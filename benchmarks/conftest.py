@@ -1,0 +1,40 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures.  The
+simulation is deterministic, so a single round per benchmark is exact;
+``pytest-benchmark`` still records the wall time of the experiment
+driver.  Scale via ``REPRO_BENCH_RANKS`` (default 128; the paper used
+512) and ``REPRO_BENCH_RPN`` (ranks per node, default 8).
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def pytest_configure(config):
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+
+@pytest.fixture
+def record_rows():
+    """Persist a benchmark's table rows as JSON under benchmarks/results/
+    (consumed by tools/generate_experiments_md.py)."""
+
+    def _write(name: str, rows, rendered: str):
+        payload = {
+            "nranks": int(os.environ.get("REPRO_BENCH_RANKS", 128)),
+            "rows": rows,
+            "rendered": rendered,
+        }
+        (RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=1))
+        print()
+        print(rendered)
+
+    return _write

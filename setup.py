@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e .` without the wheel package
+(this reproduction targets offline environments)."""
+
+from setuptools import setup
+
+setup()

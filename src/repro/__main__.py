@@ -1,0 +1,78 @@
+"""Command-line entry point: regenerate paper experiments from a shell.
+
+Usage::
+
+    python -m repro table1 [--ranks 128] [--apps amg,milc]
+    python -m repro table2
+    python -m repro fig5
+    python -m repro fig6
+    python -m repro apps            # list registered workloads
+
+Equivalent to the pytest benchmarks but without the harness — handy for
+quick sweeps at custom scales.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the SPBC paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["table1", "table2", "fig5", "fig6", "apps"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument("--ranks", type=int, default=None, help="simulated ranks")
+    parser.add_argument("--rpn", type=int, default=None, help="ranks per node")
+    parser.add_argument(
+        "--apps", type=str, default=None, help="comma-separated app subset"
+    )
+    args = parser.parse_args(argv)
+
+    if args.ranks:
+        os.environ["REPRO_BENCH_RANKS"] = str(args.ranks)
+    if args.rpn:
+        os.environ["REPRO_BENCH_RPN"] = str(args.rpn)
+
+    if args.experiment == "apps":
+        from repro.apps.base import list_apps
+
+        for spec in list_apps():
+            tags = []
+            if spec.paper_app:
+                tags.append("paper")
+            if spec.nas_app:
+                tags.append("nas")
+            if spec.uses_anysource:
+                tags.append("ANY_SOURCE")
+            print(f"{spec.name:14s} {spec.description}"
+                  + (f"  [{', '.join(tags)}]" if tags else ""))
+        return 0
+
+    from repro.harness import experiments as ex
+
+    subset = args.apps.split(",") if args.apps else None
+    if args.experiment == "table1":
+        rows = ex.table1_log_growth(apps=subset or ex.PAPER_APPS)
+        print(ex.format_table1(rows))
+    elif args.experiment == "table2":
+        rows = ex.table2_failure_free_overhead(apps=subset or ex.PAPER_APPS)
+        print(ex.format_table2(rows))
+    elif args.experiment == "fig5":
+        rows = ex.fig5_recovery(apps=subset or ex.PAPER_APPS)
+        print(ex.format_fig5(rows))
+    elif args.experiment == "fig6":
+        rows = ex.fig6_hydee_vs_spbc(apps=subset or ex.NAS_APPS)
+        print(ex.format_fig6(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

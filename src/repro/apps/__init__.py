@@ -1,0 +1,22 @@
+"""Workloads: the paper's applications as communication skeletons.
+
+Every app exposes a factory returning the uniform harness signature
+``app(ctx, state=None)`` and registers an :class:`~repro.apps.base.AppSpec`
+so the benchmark drivers can enumerate the paper's six applications
+(AMG, CM1, GTC, MILC, MiniFE, MiniGhost) and the four NAS benchmarks
+(BT, LU, MG, SP) by name.
+"""
+
+from repro.apps.base import AppSpec, get_app, list_apps, register
+
+# Importing the modules populates the registry.
+from repro.apps import synthetic  # noqa: F401
+from repro.apps import minife  # noqa: F401
+from repro.apps import minighost  # noqa: F401
+from repro.apps import amg  # noqa: F401
+from repro.apps import gtc  # noqa: F401
+from repro.apps import milc  # noqa: F401
+from repro.apps import cm1  # noqa: F401
+from repro.apps import nas  # noqa: F401
+
+__all__ = ["AppSpec", "get_app", "list_apps", "register"]

@@ -1,0 +1,183 @@
+"""BoomerAMG skeleton: algebraic multigrid V-cycles.
+
+The paper's communication-heavy workload (> 50% of time communicating,
+section 6.4) and its running example: AMG's assumed-partition exchange
+(Figure 4) is *channel-deterministic but not send-deterministic* —
+replies go out in arrival order — and three of its patterns use
+``MPI_ANY_SOURCE`` (section 6.1: "in AMG three patterns include
+MPI_ANY_SOURCE; for each pattern it was enough to enclose the function
+that contains it between BEGIN_ITERATION and END_ITERATION").
+
+Structure per V-cycle (down + up through ``levels`` grids):
+
+* fine levels: named-neighbor halo exchange, message size shrinking with
+  depth, compute shrinking ~8x per level with deterministic imbalance
+  (coarse grids are poorly balanced — the waits are a large part of
+  AMG's communication time);
+* coarse levels: the Figure-4 exchange with data-dependent *long-range*
+  partners (strides across the rank space — this is why AMG's traffic
+  does not cluster well, Table 1) via ``MPI_Iprobe(ANY_SOURCE)`` +
+  immediate replies.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.apps.base import (
+    AppSpec,
+    mix,
+    mix_unordered,
+    register,
+    resume_acc,
+    resume_iteration,
+)
+from repro.apps.calibration import det_jitter, grid3
+from repro.mpi.constants import ANY_SOURCE
+from repro.mpi.context import RankContext
+
+TAG_HALO = 31
+TAG_REQ = 32
+TAG_REP = 33
+
+# Long-range partner strides per coarse level (primes, so partners smear
+# across the rank space instead of staying near-diagonal).
+_STRIDES = [17, 29, 47, 71, 101]
+
+
+def _fine_neighbors(rank: int, size: int) -> List[int]:
+    nx, ny, nz = grid3(size)
+    x = rank % nx
+    y = (rank // nx) % ny
+    z = rank // (nx * ny)
+    out = []
+    if x > 0:
+        out.append(rank - 1)
+    if x < nx - 1:
+        out.append(rank + 1)
+    if y > 0:
+        out.append(rank - nx)
+    if y < ny - 1:
+        out.append(rank + nx)
+    if z > 0:
+        out.append(rank - nx * ny)
+    if z < nz - 1:
+        out.append(rank + nx * ny)
+    return out
+
+
+def _coarse_partners(rank: int, size: int, level: int, fanout: int) -> List[int]:
+    stride = _STRIDES[level % len(_STRIDES)]
+    out = []
+    for k in range(1, fanout // 2 + 1):
+        out.append((rank + k * stride) % size)
+        out.append((rank - k * stride) % size)
+    return [p for p in dict.fromkeys(out) if p != rank]
+
+
+def amg_app(
+    cycles: int = 8,
+    levels: int = 6,
+    fine_levels: int = 3,
+    fine_bytes: int = 4096,
+    coarse_bytes: int = 384,
+    coarse_fanout: int = 6,
+    compute_l0_ns: int = 7_000_000,
+    imbalance: float = 0.6,
+):
+    def factory(ctx: RankContext, state: Optional[dict] = None) -> Generator:
+        n = ctx.size
+        fine_nb = _fine_neighbors(ctx.rank, n)
+        # One declared pattern per coarse level (the paper modified three
+        # AMG patterns; with the default levels=6 / fine_levels=3 we also
+        # get three).
+        coarse_pids = {
+            lvl: ctx.declare_pattern() for lvl in range(fine_levels, levels)
+        }
+        start = resume_iteration(state)
+        acc = resume_acc(state)
+
+        def level_compute(lvl: int, cyc: int) -> int:
+            base = max(compute_l0_ns >> (3 * lvl), 40_000)
+            return int(base * det_jitter(ctx.rank, lvl, cyc, spread=imbalance))
+
+        def fine_exchange(lvl: int, cyc: int):
+            nbytes = max(fine_bytes >> (2 * lvl), 64)
+            recvs = [ctx.irecv(src=nb, tag=TAG_HALO) for nb in fine_nb]
+            sends = [
+                ctx.isend(nb, mix(0, ctx.rank, nb, cyc, lvl), nbytes=nbytes, tag=TAG_HALO)
+                for nb in fine_nb
+            ]
+            statuses = yield from ctx.waitall(recvs)
+            yield from ctx.waitall(sends)
+            return [s.payload for s in statuses]
+
+        def coarse_exchange(lvl: int, cyc: int):
+            """Figure-4 pattern: send to data-dependent partners, serve
+            incoming requests via Iprobe(ANY_SOURCE) with immediate
+            replies, collect own replies."""
+            partners = _coarse_partners(ctx.rank, n, lvl - fine_levels, coarse_fanout)
+            expected = len(partners)  # symmetric strides: in == out
+            pid = coarse_pids[lvl]
+            ctx.begin_iteration(pid)
+            reply_reqs = [ctx.irecv(src=p, tag=TAG_REP) for p in partners]
+            for p in partners:
+                ctx.isend(p, mix(0, ctx.rank, p, cyc, lvl), nbytes=coarse_bytes, tag=TAG_REQ)
+            served = 0
+            payloads = []
+            while served < expected:
+                flag, status = ctx.iprobe(src=ANY_SOURCE, tag=TAG_REQ)
+                if flag:
+                    s = yield from ctx.recv(src=status.source, tag=TAG_REQ)
+                    # reply order == arrival order: channel-deterministic,
+                    # NOT send-deterministic (section 3.4)
+                    yield from ctx.send(
+                        status.source, mix(0, s.payload), nbytes=coarse_bytes, tag=TAG_REP
+                    )
+                    payloads.append(s.payload)
+                    served += 1
+                else:
+                    yield from ctx.compute(2_000)
+            replies = yield from ctx.waitall(reply_reqs)
+            # The AHB boundary between iterations of this pattern (the
+            # termination algorithm in the real code).
+            yield from ctx.barrier()
+            ctx.end_iteration(pid)
+            return payloads, [s.payload for s in replies]
+
+        for cyc in range(start, cycles):
+            yield from ctx.maybe_checkpoint(
+                lambda cyc=cyc, acc=acc: {"iter": cyc, "acc": acc}
+            )
+            # Down sweep then up sweep (coarsest visited once).
+            path = list(range(levels)) + list(range(levels - 2, -1, -1))
+            for lvl in path:
+                yield from ctx.compute(level_compute(lvl, cyc))
+                if lvl < fine_levels:
+                    payloads = yield from fine_exchange(lvl, cyc)
+                    for p in payloads:
+                        acc = mix(acc, p)
+                else:
+                    got, replies = yield from coarse_exchange(lvl, cyc)
+                    acc = mix_unordered(acc, got)
+                    for p in replies:
+                        acc = mix(acc, p)
+            # Residual norm.
+            total = yield from ctx.allreduce(
+                (acc >> 7) & 0xFFFF, lambda a, b: a + b, nbytes=8
+            )
+            acc = mix(acc, total)
+        return acc
+
+    return factory
+
+
+register(
+    AppSpec(
+        name="amg",
+        factory=amg_app,
+        description="algebraic multigrid V-cycles with Fig.4 ANY_SOURCE exchanges",
+        uses_anysource=True,
+        paper_app=True,
+    )
+)

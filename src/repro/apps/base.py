@@ -1,0 +1,89 @@
+"""App registry and shared helpers for the workload skeletons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional
+
+from repro.mpi.context import RankContext
+
+AppFactory = Callable[[RankContext, Optional[dict]], Generator]
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """A registered workload.
+
+    ``factory(**params)`` returns an app factory with the harness
+    signature ``app(ctx, state=None)``; parameters default to the
+    paper-calibrated problem size scaled for simulation.
+    """
+
+    name: str
+    factory: Callable[..., AppFactory]
+    description: str
+    uses_anysource: bool
+    paper_app: bool = False  # one of the six §6.1 applications
+    nas_app: bool = False  # one of the §6.5 NAS benchmarks
+
+
+_REGISTRY: Dict[str, AppSpec] = {}
+
+
+def register(spec: AppSpec) -> AppSpec:
+    if spec.name in _REGISTRY:
+        raise ValueError(f"app {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_app(name: str) -> AppSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown app {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_apps(paper_only: bool = False, nas_only: bool = False) -> List[AppSpec]:
+    specs = list(_REGISTRY.values())
+    if paper_only:
+        specs = [s for s in specs if s.paper_app]
+    if nas_only:
+        specs = [s for s in specs if s.nas_app]
+    return sorted(specs, key=lambda s: s.name)
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+
+def resume_iteration(state: Optional[dict]) -> int:
+    """First iteration to run (0 for a fresh start)."""
+    return 0 if state is None else int(state["iter"])
+
+
+def resume_acc(state: Optional[dict], default: int = 0) -> int:
+    """Restored application checksum accumulator."""
+    return default if state is None else int(state["acc"])
+
+
+def mix(acc: int, *values: int) -> int:
+    """Deterministic order-sensitive checksum fold (64-bit).
+
+    Used by every app to produce a final value that differs if any
+    message payload or delivery order changed — the recovery-correctness
+    oracle."""
+    for v in values:
+        acc = (acc * 1_000_003 + (v & 0xFFFFFFFFFFFFFFFF)) & 0xFFFFFFFFFFFFFFFF
+    return acc
+
+
+def mix_unordered(acc: int, values) -> int:
+    """Checksum fold insensitive to the order of ``values`` (for receive
+    sets whose arrival order is legitimately nondeterministic)."""
+    total = 0
+    for v in values:
+        total ^= (v * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    return mix(acc, total)

@@ -1,0 +1,78 @@
+"""Calibration constants shared by the workload skeletons.
+
+The paper's testbed: 64 nodes x 8 cores, InfiniBand 20G driven through
+IPoIB (section 6.1) — a *high-latency, moderate-bandwidth* transport
+whose effective per-rank throughput is further divided by the 8 ranks
+sharing each NIC.  ``PAPER_NET`` models that: ~25 us one-way latency and
+~80 MB/s effective per-rank bandwidth inter-node, shared-memory-like
+parameters intra-node.
+
+Each app module calibrates its per-iteration compute time and message
+sizes so that, at the paper's scale (512 ranks), the per-process log
+growth under pure message logging lands in Table 1's 512-cluster column:
+
+    AMG ~1.7-2.0, CM1 ~2.8-2.9, GTC ~1.7-1.8, MILC ~0.6,
+    MiniFE ~0.5-0.6, MiniGhost ~5.5-6.3   (MB/s per process)
+
+and the communication-time fraction matches section 6.4's discussion
+(CM1/GTC/MiniFE < 10%, AMG > 50%, MILC/MiniGhost in between with mostly
+nearest-neighbor — hence intra-cluster — traffic).
+"""
+
+from __future__ import annotations
+
+from repro.sim.network import NetworkParams
+from repro.util.units import US
+
+#: Network model for paper-shaped experiments (IPoIB over IB 20G, 8
+#: ranks/node sharing the NIC).
+PAPER_NET = NetworkParams(
+    alpha_inter_ns=25 * US,
+    beta_inter_ns_per_byte=12.0,  # ~80 MB/s effective per rank
+    alpha_intra_ns=500,
+    beta_intra_ns_per_byte=0.25,  # ~4 GB/s shared memory
+    inject_fixed_ns=400,
+    inject_ns_per_byte=1.2,  # ~800 MB/s CPU-driven injection
+    jitter_max_ns=0,
+)
+
+
+def det_jitter(*keys: int, spread: float = 0.3) -> float:
+    """Deterministic pseudo-random factor in [1-spread, 1+spread].
+
+    Used to model compute load imbalance (e.g. AMG's per-level work
+    differences) without breaking run-to-run determinism."""
+    h = 0x9E3779B97F4A7C15
+    for k in keys:
+        h ^= (k + 0x9E3779B9) & 0xFFFFFFFFFFFFFFFF
+        h = (h * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        h ^= h >> 27
+    unit = (h & 0xFFFFFF) / float(0xFFFFFF)  # [0, 1]
+    return 1.0 + spread * (2.0 * unit - 1.0)
+
+
+def grid3(n: int) -> tuple[int, int, int]:
+    """Near-cubic 3-D factorization of ``n`` ranks."""
+    best = (n, 1, 1)
+    best_score = None
+    for a in range(1, int(round(n ** (1 / 3))) + 2):
+        if n % a:
+            continue
+        m = n // a
+        for b in range(a, int(m**0.5) + 1):
+            if m % b:
+                continue
+            c = m // b
+            score = (c - a) + (c - b)
+            if best_score is None or score < best_score:
+                best_score = score
+                best = (a, b, c)
+    return best
+
+
+def grid2(n: int) -> tuple[int, int]:
+    """Near-square 2-D factorization of ``n`` ranks."""
+    a = int(n**0.5)
+    while n % a:
+        a -= 1
+    return a, n // a

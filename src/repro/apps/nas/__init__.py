@@ -1,0 +1,12 @@
+"""NAS parallel benchmark skeletons (BT, LU, MG, SP).
+
+Used for the SPBC vs HydEE recovery comparison (paper Figure 6 — only
+these four could run under the HydEE prototype's limitations).  All four
+are deterministic named-receive codes, i.e. send-deterministic, which is
+precisely the class HydEE supports.
+"""
+
+from repro.apps.nas import bt  # noqa: F401
+from repro.apps.nas import lu  # noqa: F401
+from repro.apps.nas import mg  # noqa: F401
+from repro.apps.nas import sp  # noqa: F401

@@ -1,0 +1,75 @@
+"""NAS LU skeleton: SSOR with wavefront (pipelined) sweeps.
+
+Per iteration a lower-triangular sweep flows from the grid's north-west
+corner to the south-east (each rank receives from north and west, does a
+small block of work, forwards to south and east) and an upper sweep
+flows back.  Many *small latency-bound* messages on deep dependency
+chains — the worst case for HydEE's centralized replay coordination and
+therefore the interesting bar in Figure 6."""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.apps.base import AppSpec, mix, register, resume_acc, resume_iteration
+from repro.apps.calibration import grid2
+from repro.mpi.context import RankContext
+
+TAG_LOW = 73
+TAG_UP = 74
+
+
+def lu_app(
+    iters: int = 20,
+    wave_bytes: int = 1536,
+    block_ns: int = 400_000,
+    blocks_per_sweep: int = 6,
+):
+    def factory(ctx: RankContext, state: Optional[dict] = None) -> Generator:
+        nx, ny = grid2(ctx.size)
+        x, y = ctx.rank % nx, ctx.rank // nx
+        north = ctx.rank - nx if y > 0 else None
+        south = ctx.rank + nx if y < ny - 1 else None
+        west = ctx.rank - 1 if x > 0 else None
+        east = ctx.rank + 1 if x < nx - 1 else None
+
+        def sweep(tag: int, recv_from, send_to, i: int, acc: int):
+            """One triangular sweep, pipelined in ``blocks_per_sweep``
+            chunks (the real LU pipelines k-planes)."""
+            for b in range(blocks_per_sweep):
+                for src in recv_from:
+                    if src is not None:
+                        s = yield from ctx.recv(src=src, tag=tag)
+                        acc = mix(acc, s.payload)
+                yield from ctx.compute(block_ns)
+                for dst in send_to:
+                    if dst is not None:
+                        yield from ctx.send(
+                            dst, mix(0, ctx.rank, i, tag, b), nbytes=wave_bytes, tag=tag
+                        )
+            return acc
+
+        start = resume_iteration(state)
+        acc = resume_acc(state)
+        for i in range(start, iters):
+            yield from ctx.maybe_checkpoint(lambda i=i, acc=acc: {"iter": i, "acc": acc})
+            acc = yield from sweep(TAG_LOW, (north, west), (south, east), i, acc)
+            acc = yield from sweep(TAG_UP, (south, east), (north, west), i, acc)
+            total = yield from ctx.allreduce(
+                (acc >> 13) & 0xFFFF, lambda a, b: a + b, nbytes=8
+            )
+            acc = mix(acc, total)
+        return acc
+
+    return factory
+
+
+register(
+    AppSpec(
+        name="lu",
+        factory=lu_app,
+        description="NAS LU: SSOR wavefront pipeline (small latency-bound messages)",
+        uses_anysource=False,
+        nas_app=True,
+    )
+)

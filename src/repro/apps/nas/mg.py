@@ -1,0 +1,89 @@
+"""NAS MG skeleton: V-cycle geometric multigrid.
+
+Halo exchanges at every grid level; coarse levels talk to exponentially
+farther neighbors (the real MG's comm3 over coarsened grids), producing
+cluster-crossing traffic and many small messages per cycle."""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.apps.base import AppSpec, mix, register, resume_acc, resume_iteration
+from repro.apps.calibration import grid3
+from repro.mpi.context import RankContext
+
+TAG_MG = 75
+
+
+def _level_neighbors(rank: int, size: int, level: int) -> List[int]:
+    """Neighbors at distance 2^level along each axis of the 3-D grid
+    (periodic), the way coarsened MG grids skip ranks."""
+    nx, ny, nz = grid3(size)
+    x = rank % nx
+    y = (rank // nx) % ny
+    z = rank // (nx * ny)
+    step = 1 << level
+    out = []
+    if nx > 1:
+        out.append(((x + step) % nx) + nx * (y + ny * z))
+        out.append(((x - step) % nx) + nx * (y + ny * z))
+    if ny > 1:
+        out.append(x + nx * (((y + step) % ny) + 0) + nx * ny * z)
+        out.append(x + nx * (((y - step) % ny) + 0) + nx * ny * z)
+    if nz > 1:
+        out.append(x + nx * (y + ny * ((z + step) % nz)))
+        out.append(x + nx * (y + ny * ((z - step) % nz)))
+    return [p for p in dict.fromkeys(out) if p != rank]
+
+
+def mg_app(
+    cycles: int = 15,
+    levels: int = 4,
+    fine_bytes: int = 16 * 1024,
+    compute_l0_ns: int = 10_000_000,
+):
+    def factory(ctx: RankContext, state: Optional[dict] = None) -> Generator:
+        n = ctx.size
+        start = resume_iteration(state)
+        acc = resume_acc(state)
+
+        def exchange(level: int, cyc: int, acc: int):
+            nbs = _level_neighbors(ctx.rank, n, level)
+            nbytes = max(fine_bytes >> (2 * level), 128)
+            recvs = [ctx.irecv(src=nb, tag=TAG_MG) for nb in nbs]
+            sends = [
+                ctx.isend(nb, mix(0, ctx.rank, nb, cyc, level), nbytes=nbytes, tag=TAG_MG)
+                for nb in nbs
+            ]
+            statuses = yield from ctx.waitall(recvs)
+            yield from ctx.waitall(sends)
+            for s in statuses:
+                acc = mix(acc, s.payload)
+            return acc
+
+        for cyc in range(start, cycles):
+            yield from ctx.maybe_checkpoint(
+                lambda cyc=cyc, acc=acc: {"iter": cyc, "acc": acc}
+            )
+            path = list(range(levels)) + list(range(levels - 2, -1, -1))
+            for lvl in path:
+                yield from ctx.compute(max(compute_l0_ns >> (3 * lvl), 100_000))
+                acc = yield from exchange(lvl, cyc, acc)
+            total = yield from ctx.allreduce(
+                (acc >> 15) & 0xFFFF, lambda a, b: a + b, nbytes=8
+            )
+            acc = mix(acc, total)
+        return acc
+
+    return factory
+
+
+register(
+    AppSpec(
+        name="mg",
+        factory=mg_app,
+        description="NAS MG: V-cycle multigrid with level-strided halos",
+        uses_anysource=False,
+        nas_app=True,
+    )
+)

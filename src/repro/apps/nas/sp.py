@@ -1,0 +1,66 @@
+"""NAS SP skeleton: scalar-pentadiagonal ADI solver, multi-partition.
+
+Same staged-pipeline structure as BT (see bt.py) with thinner boundary
+faces and lighter per-cell work — SP is the more communication-bound of
+the two, hence the larger recovery effects in Figure 6."""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.apps.base import AppSpec, mix, register, resume_acc, resume_iteration
+from repro.apps.calibration import grid2
+from repro.mpi.context import RankContext
+
+TAG_SWEEP = 72
+
+
+def sp_app(
+    iters: int = 30,
+    face_bytes: int = 12 * 1024,
+    compute_per_sweep_ns: int = 3_000_000,
+    stages: int = 6,
+):
+    def factory(ctx: RankContext, state: Optional[dict] = None) -> Generator:
+        nx, ny = grid2(ctx.size)
+        x, y = ctx.rank % nx, ctx.rank // nx
+        dirs = []
+        if nx > 1:
+            dirs.append((y * nx + (x + 1) % nx, y * nx + (x - 1) % nx))
+        if ny > 1:
+            dirs.append((((y + 1) % ny) * nx + x, ((y - 1) % ny) * nx + x))
+        if ny > 1:
+            dirs.append((((y + 2) % ny) * nx + x, ((y - 2) % ny) * nx + x))
+        cell_ns = max(compute_per_sweep_ns // stages, 1)
+
+        start = resume_iteration(state)
+        acc = resume_acc(state)
+        for i in range(start, iters):
+            yield from ctx.maybe_checkpoint(lambda i=i, acc=acc: {"iter": i, "acc": acc})
+            for d, (succ, pred) in enumerate(dirs):
+                for s in range(stages):
+                    yield from ctx.compute(cell_ns)
+                    if succ == ctx.rank:
+                        continue
+                    status = yield from ctx.sendrecv(
+                        succ,
+                        mix(0, ctx.rank, i, d, s),
+                        nbytes=face_bytes,
+                        src=pred,
+                        tag=TAG_SWEEP,
+                    )
+                    acc = mix(acc, status.payload)
+        return acc
+
+    return factory
+
+
+register(
+    AppSpec(
+        name="sp",
+        factory=sp_app,
+        description="NAS SP: multi-partition ADI pipeline sweeps (thin faces)",
+        uses_anysource=False,
+        nas_app=True,
+    )
+)

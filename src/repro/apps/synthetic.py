@@ -1,0 +1,420 @@
+"""Synthetic workloads: protocol tests, paper scenarios, counterexamples.
+
+These are not the paper's applications (see the sibling modules) but the
+small programs the paper's arguments are built on:
+
+* :func:`ring_app` / :func:`halo2d_app` — checkpointable deterministic
+  SPMD kernels used throughout the test suite;
+* :func:`fig2_app` — the exact three-process ``MPI_ANY_SOURCE`` scenario
+  of paper Figure 2 (the mismatch SPBC's identifiers prevent);
+* :func:`probe_reply_app` — the BoomerAMG-style data-dependent exchange
+  of Figure 4: channel-deterministic but *not* send-deterministic;
+* :func:`master_worker_app` — the excluded application class (section
+  3.4): not even channel-deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.apps.base import (
+    AppSpec,
+    mix,
+    mix_unordered,
+    register,
+    resume_acc,
+    resume_iteration,
+)
+from repro.mpi.constants import ANY_SOURCE
+from repro.mpi.context import RankContext
+
+
+# ----------------------------------------------------------------------
+# Deterministic checkpointable kernels
+# ----------------------------------------------------------------------
+
+def ring_app(
+    iters: int = 10,
+    msg_bytes: int = 4096,
+    compute_ns: int = 200_000,
+    allreduce_every: int = 0,
+):
+    """1-D ring shift: every iteration each rank sends right, receives
+    from the left, folds the payload into a checksum.  Optionally does a
+    global allreduce every ``allreduce_every`` iterations (to exercise
+    cross-cluster collectives in recovery)."""
+
+    def factory(ctx: RankContext, state: Optional[dict] = None) -> Generator:
+        start = resume_iteration(state)
+        acc = resume_acc(state)
+        right = (ctx.rank + 1) % ctx.size
+        left = (ctx.rank - 1) % ctx.size
+        for i in range(start, iters):
+            yield from ctx.maybe_checkpoint(lambda i=i, acc=acc: {"iter": i, "acc": acc})
+            yield from ctx.compute(compute_ns)
+            payload = mix(0, ctx.rank, i)
+            status = yield from ctx.sendrecv(
+                right, payload, nbytes=msg_bytes, src=left, tag=7
+            )
+            acc = mix(acc, status.payload, i)
+            if allreduce_every and (i + 1) % allreduce_every == 0:
+                total = yield from ctx.allreduce(acc & 0xFFFF, lambda a, b: a + b, nbytes=8)
+                acc = mix(acc, total)
+        return acc
+
+    return factory
+
+
+def halo2d_app(
+    px: int = 0,
+    py: int = 0,
+    iters: int = 8,
+    msg_bytes: int = 8192,
+    compute_ns: int = 400_000,
+):
+    """2-D halo exchange on a px * py process grid (px/py inferred as a
+    near-square factorization when left 0).  Named receives only."""
+
+    def factory(ctx: RankContext, state: Optional[dict] = None) -> Generator:
+        nx, ny = _grid_dims(ctx.size, px, py)
+        x, y = ctx.rank % nx, ctx.rank // nx
+        neighbors = []
+        if nx > 1:
+            neighbors.append(y * nx + (x + 1) % nx)
+            neighbors.append(y * nx + (x - 1) % nx)
+        if ny > 1:
+            neighbors.append(((y + 1) % ny) * nx + x)
+            neighbors.append(((y - 1) % ny) * nx + x)
+        neighbors = [n for n in dict.fromkeys(neighbors) if n != ctx.rank]
+        start = resume_iteration(state)
+        acc = resume_acc(state)
+        for i in range(start, iters):
+            yield from ctx.maybe_checkpoint(lambda i=i, acc=acc: {"iter": i, "acc": acc})
+            yield from ctx.compute(compute_ns)
+            sends = [
+                ctx.isend(n, mix(0, ctx.rank, n, i), nbytes=msg_bytes, tag=2)
+                for n in neighbors
+            ]
+            recvs = [ctx.irecv(src=n, tag=2) for n in neighbors]
+            statuses = yield from ctx.waitall(recvs)
+            yield from ctx.waitall(sends)
+            for s in statuses:
+                acc = mix(acc, s.payload)
+        return acc
+
+    return factory
+
+
+def _grid_dims(size: int, px: int, py: int):
+    if px and py:
+        if px * py != size:
+            raise ValueError(f"{px}x{py} grid does not match {size} ranks")
+        return px, py
+    nx = int(size**0.5)
+    while size % nx:
+        nx -= 1
+    return nx, size // nx
+
+
+# ----------------------------------------------------------------------
+# Paper Figure 2: the ANY_SOURCE mismatch scenario
+# ----------------------------------------------------------------------
+
+def fig2_app(use_pattern_api: bool = True, p0_delay_ns: int = 300_000):
+    """Three processes, paper Figure 2.
+
+    p0 and p1 live in one cluster, p2 in another.  p1 receives twice with
+    ``MPI_ANY_SOURCE``; the algorithm guarantees deliver(m0) AHB
+    deliver(m2) because m1 (p1→p2) is only sent after m0 arrives and m2
+    only after m1.  During recovery of {p0, p1}, m2 is replayed from p2's
+    log immediately, so without identifiers p1 can deliver m2 first — an
+    invalid execution.  ``use_pattern_api`` applies the section 5.1 fix:
+    the two receives live in different iterations of a declared pattern.
+
+    Every rank returns its delivery order (p1) or None.
+    """
+
+    def factory(ctx: RankContext, state: Optional[dict] = None) -> Generator:
+        if state is not None:
+            raise NotImplementedError("fig2 scenario restarts from scratch")
+        if ctx.rank > 2:
+            # The scenario needs exactly three processes; extras idle.
+            yield from ctx.compute(0)
+            return None
+        pid = ctx.declare_pattern() if use_pattern_api else None
+        delivered: List[str] = []
+        if ctx.rank == 0:
+            # p0 delays a little so that, during recovery, the replayed m2
+            # can overtake m0 (the paper's race).
+            yield from ctx.compute(p0_delay_ns)
+            if pid is not None:
+                ctx.begin_iteration(pid)
+            yield from ctx.send(1, "m0", nbytes=64, tag=1)
+            if pid is not None:
+                ctx.end_iteration(pid)
+                ctx.begin_iteration(pid)  # stay aligned with iteration 2
+                ctx.end_iteration(pid)
+            return None
+        if ctx.rank == 1:
+            if pid is not None:
+                ctx.begin_iteration(pid)
+            s1 = yield from ctx.recv(src=ANY_SOURCE, tag=1)
+            delivered.append(s1.payload)
+            yield from ctx.send(2, "m1", nbytes=64, tag=2)
+            if pid is not None:
+                ctx.end_iteration(pid)
+                ctx.begin_iteration(pid)
+            s2 = yield from ctx.recv(src=ANY_SOURCE, tag=1)
+            delivered.append(s2.payload)
+            if pid is not None:
+                ctx.end_iteration(pid)
+            return delivered
+        # p2 (the other cluster)
+        if pid is not None:
+            ctx.begin_iteration(pid)
+        yield from ctx.recv(src=1, tag=2)
+        if pid is not None:
+            ctx.end_iteration(pid)
+            ctx.begin_iteration(pid)
+        yield from ctx.send(1, "m2", nbytes=64, tag=1)
+        if pid is not None:
+            ctx.end_iteration(pid)
+        return None
+
+    return factory
+
+
+# ----------------------------------------------------------------------
+# Paper Figure 4: data-dependent exchange (channel- but not send-det)
+# ----------------------------------------------------------------------
+
+def probe_reply_app(
+    iters: int = 3,
+    contacts_per_rank: int = 2,
+    msg_bytes: int = 2048,
+    compute_ns: int = 50_000,
+    use_pattern_api: bool = True,
+):
+    """Simplified BoomerAMG assumed-partition exchange (paper Figure 4).
+
+    Each rank contacts ``contacts_per_rank`` data-dependent peers with
+    tag 1 and *replies immediately* (tag 2) to whoever it hears from via
+    ``MPI_Iprobe(ANY_SOURCE)``.  The reply order follows arrival order,
+    which differs between timings: the app is channel-deterministic but
+    not send-deterministic.  Termination inside an iteration is detected
+    with a nonblocking barrier-free scheme simplified to counting
+    (every rank knows it must receive exactly as many requests as it is
+    a contact of — precomputed deterministically)."""
+
+    def factory(ctx: RankContext, state: Optional[dict] = None) -> Generator:
+        start = resume_iteration(state)
+        acc = resume_acc(state)
+        n = ctx.size
+
+        def contacts_of(r: int) -> List[int]:
+            # Deterministic data-dependent contact list (stand-in for
+            # "based on local data"); every rank can compute its own but
+            # not who will contact it (hence the ANY_SOURCE probe).
+            cs = [(r * 7 + 3 * k + 1) % n for k in range(contacts_per_rank)]
+            return [c for c in dict.fromkeys(cs) if c != r]
+
+        contacts = contacts_of(ctx.rank)
+        # The simulation's termination shortcut: the test knows how many
+        # requests will arrive (the real code runs a termination protocol).
+        expected = sum(
+            1 for r in range(n) if r != ctx.rank and ctx.rank in contacts_of(r)
+        )
+        pid = ctx.declare_pattern() if use_pattern_api else None
+        for i in range(start, iters):
+            yield from ctx.maybe_checkpoint(lambda i=i, acc=acc: {"iter": i, "acc": acc})
+            if pid is not None:
+                ctx.begin_iteration(pid)
+            yield from ctx.compute(compute_ns)
+            reply_reqs = [ctx.irecv(src=c, tag=2) for c in contacts]
+            for c in contacts:
+                ctx.isend(c, mix(0, ctx.rank, c, i), nbytes=msg_bytes, tag=1)
+            served = 0
+            got_replies = False
+            replies = []
+            served_payloads = []
+            while served < expected or not got_replies:
+                flag, status = ctx.iprobe(src=ANY_SOURCE, tag=1)
+                if flag:
+                    s = yield from ctx.recv(src=status.source, tag=1)
+                    # immediate reply: the send order now depends on the
+                    # arrival order -> not send-deterministic
+                    yield from ctx.send(
+                        status.source, mix(0, s.payload), nbytes=msg_bytes, tag=2
+                    )
+                    served_payloads.append(s.payload)
+                    served += 1
+                    continue
+                done, statuses = ctx.testall(reply_reqs)
+                if done:
+                    got_replies = True
+                    if served >= expected:
+                        replies = statuses
+                        break
+                yield from ctx.compute(5_000)
+            if not replies:
+                replies = yield from ctx.waitall(reply_reqs)
+            # Requests arrive in a timing-dependent order: fold them
+            # order-insensitively so the result is execution-independent.
+            acc = mix_unordered(acc, served_payloads)
+            for s in replies:
+                acc = mix(acc, s.payload)
+            # The iteration's AHB boundary: nobody starts iteration i+1
+            # before everyone finished i (paper: "the only way to get a
+            # correct MPI code when a pattern includes anonymous requests").
+            yield from ctx.barrier()
+            if pid is not None:
+                ctx.end_iteration(pid)
+        return acc
+
+    return factory
+
+
+# ----------------------------------------------------------------------
+# Replay-window stressor (paper section 5.2.2)
+# ----------------------------------------------------------------------
+
+def window_stress_app(
+    iters: int = 4,
+    big_bytes: int = 200 * 1024,
+    small_bytes: int = 1024,
+    nsmall: int = 8,
+    compute_ns: int = 100_000,
+):
+    """Adversarial log order for the replay flow control.
+
+    Odd ranks send, each iteration, one *large* (rendezvous) message that
+    their even partner receives only at the *end* of the iteration, then
+    ``nsmall`` small messages the partner consumes first.  A replayer
+    that insists on completing sends strictly in post order (pre-post
+    window 1) deadlocks: the large send cannot complete until its receive
+    is posted, which happens only after the small messages — which sit
+    behind the large one in the log.  This is exactly why SPBC logs send
+    post/completion orders and pre-posts up to 50 requests (section
+    5.2.2).
+    """
+
+    def factory(ctx: RankContext, state: Optional[dict] = None) -> Generator:
+        start = resume_iteration(state)
+        acc = resume_acc(state)
+        partner = ctx.rank ^ 1
+        if partner >= ctx.size:
+            yield from ctx.compute(0)
+            return acc
+        sender = ctx.rank % 2 == 1
+        for i in range(start, iters):
+            yield from ctx.maybe_checkpoint(lambda i=i, acc=acc: {"iter": i, "acc": acc})
+            if sender:
+                reqs = [ctx.isend(partner, mix(0, i), nbytes=big_bytes, tag=9)]
+                for k in range(nsmall):
+                    reqs.append(
+                        ctx.isend(partner, mix(0, i, k), nbytes=small_bytes, tag=8)
+                    )
+                yield from ctx.waitall(reqs)
+            else:
+                for _k in range(nsmall):
+                    s = yield from ctx.recv(src=partner, tag=8)
+                    acc = mix(acc, s.payload)
+                    yield from ctx.compute(compute_ns)
+                s = yield from ctx.recv(src=partner, tag=9)  # big one last
+                acc = mix(acc, s.payload)
+        return acc
+
+    return factory
+
+
+# ----------------------------------------------------------------------
+# Master/worker: the excluded, non-channel-deterministic class
+# ----------------------------------------------------------------------
+
+def master_worker_app(tasks: int = 12, task_bytes: int = 1024):
+    """First-come-first-served master/worker: the master hands the next
+    task to whichever worker's result arrives first, so even the
+    *channels* carry different sequences in different timings.  Used to
+    show the determinism checker catching non-channel-deterministic
+    codes (which SPBC explicitly does not target, section 3.4)."""
+
+    def factory(ctx: RankContext, state: Optional[dict] = None) -> Generator:
+        nworkers = ctx.size - 1
+        if ctx.rank == 0:
+            handed = 0
+            acc = 0
+            # Seed one task per worker.
+            for w in range(1, ctx.size):
+                if handed < tasks:
+                    yield from ctx.send(w, handed, nbytes=task_bytes, tag=1)
+                    handed += 1
+            done = 0
+            while done < tasks:
+                s = yield from ctx.recv(src=ANY_SOURCE, tag=2)
+                done += 1
+                acc = mix_unordered(acc, [s.payload])
+                if handed < tasks:
+                    yield from ctx.send(s.source, handed, nbytes=task_bytes, tag=1)
+                    handed += 1
+                else:
+                    yield from ctx.send(s.source, -1, nbytes=8, tag=1)
+            return acc
+        # worker: jittered service time makes completion order timing-dependent
+        while True:
+            s = yield from ctx.recv(src=0, tag=1)
+            if s.payload == -1:
+                return None
+            yield from ctx.compute(100_000 + (ctx.rank * 37_000) % 90_000)
+            yield from ctx.send(0, mix(0, s.payload, ctx.rank), nbytes=task_bytes, tag=2)
+
+    return factory
+
+
+register(
+    AppSpec(
+        name="ring",
+        factory=ring_app,
+        description="1-D ring shift (deterministic, checkpointable)",
+        uses_anysource=False,
+    )
+)
+register(
+    AppSpec(
+        name="halo2d",
+        factory=halo2d_app,
+        description="2-D halo exchange (deterministic, checkpointable)",
+        uses_anysource=False,
+    )
+)
+register(
+    AppSpec(
+        name="fig2",
+        factory=fig2_app,
+        description="paper Figure 2 ANY_SOURCE mismatch scenario",
+        uses_anysource=True,
+    )
+)
+register(
+    AppSpec(
+        name="probe_reply",
+        factory=probe_reply_app,
+        description="paper Figure 4 assumed-partition exchange",
+        uses_anysource=True,
+    )
+)
+register(
+    AppSpec(
+        name="master_worker",
+        factory=master_worker_app,
+        description="non-channel-deterministic counterexample",
+        uses_anysource=True,
+    )
+)
+register(
+    AppSpec(
+        name="window_stress",
+        factory=window_stress_app,
+        description="adversarial log order for the replay pre-post window (5.2.2)",
+        uses_anysource=False,
+    )
+)

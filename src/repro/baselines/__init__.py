@@ -1,0 +1,29 @@
+"""Baselines SPBC is compared against.
+
+* :mod:`repro.baselines.hydee` — HydEE [19]: the only other protocol with
+  failure containment and no reliable event logging; needs a centralized
+  coordinator to order replayed messages during recovery (Figure 6);
+* :mod:`repro.baselines.classic` — pure coordinated checkpointing
+  (global rollback) and pure per-process message logging, the two
+  extremes the hybrid design interpolates between (Table 1).
+"""
+
+from repro.baselines.hydee import (
+    HydEEPlan,
+    compute_levels,
+    run_hydee_recovery,
+)
+from repro.baselines.classic import (
+    coordinated_rollback_cost,
+    pure_logging_clusters,
+    single_cluster,
+)
+
+__all__ = [
+    "HydEEPlan",
+    "compute_levels",
+    "run_hydee_recovery",
+    "coordinated_rollback_cost",
+    "pure_logging_clusters",
+    "single_cluster",
+]

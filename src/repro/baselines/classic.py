@@ -1,0 +1,40 @@
+"""Classic baselines: pure coordinated checkpointing and pure logging.
+
+Both are degenerate SPBC configurations (the hybrid design's endpoints):
+
+* one single cluster  -> nothing is ever logged, but a failure rolls back
+  every process (no failure containment);
+* one cluster per rank -> perfect containment, but every message is
+  logged (Table 1's last row).
+"""
+
+from __future__ import annotations
+
+from repro.core.clusters import ClusterMap
+
+
+def single_cluster(nranks: int) -> ClusterMap:
+    """Pure coordinated checkpointing: all processes in one cluster."""
+    return ClusterMap.single(nranks)
+
+
+def pure_logging_clusters(nranks: int) -> ClusterMap:
+    """Pure (sender-based) message logging: every rank its own cluster."""
+    return ClusterMap.singletons(nranks)
+
+
+def coordinated_rollback_cost(
+    nranks: int, lost_work_ns: int, restart_read_ns: int = 0
+) -> dict:
+    """Cost model of a failure under pure coordinated checkpointing.
+
+    Every process re-executes the lost segment, so the wasted CPU time is
+    ``nranks * lost_work_ns`` (plus the I/O burst of everyone re-reading
+    checkpoints) — versus a single cluster's share under SPBC.  Used by
+    the ablation benchmark to quantify the containment benefit.
+    """
+    return {
+        "processes_rolled_back": nranks,
+        "wasted_cpu_ns": nranks * lost_work_ns,
+        "restart_read_ns": restart_read_ns * nranks,
+    }

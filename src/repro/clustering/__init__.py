@@ -1,0 +1,25 @@
+"""Communication-driven process clustering (the paper's tool from [30]).
+
+Pipeline: profile a few iterations of the application, build the
+rank-to-rank communication-volume matrix, contract it to the node level
+(ranks of one physical node always cluster together), and partition the
+node graph into k balanced clusters minimizing the logged volume (the
+weight of edges cut).
+"""
+
+from repro.clustering.commstats import comm_matrix_from_trace, profile_app
+from repro.clustering.partition import (
+    cluster_by_communication,
+    cut_bytes,
+    greedy_kway,
+    refine_kl,
+)
+
+__all__ = [
+    "comm_matrix_from_trace",
+    "profile_app",
+    "cluster_by_communication",
+    "cut_bytes",
+    "greedy_kway",
+    "refine_kl",
+]

@@ -1,0 +1,38 @@
+"""Communication statistics collection.
+
+The paper: "we ran each application for a few iterations and collected
+its communication statistics data" (section 6.1).  Here the profiling
+run is a short native simulation; the statistic is the bytes-sent matrix
+over directed rank pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.sim.tracing import Trace
+
+
+def comm_matrix_from_trace(trace: Trace, nranks: int) -> np.ndarray:
+    """Directed bytes matrix; entry [s, d] = bytes sent s -> d."""
+    return trace.comm_bytes_matrix(nranks)
+
+
+def profile_app(
+    app_factory: Callable,
+    nranks: int,
+    ranks_per_node: int = 8,
+    seed: int = 0,
+) -> np.ndarray:
+    """Run the app once (natively) and return its symmetrized volume
+    matrix: W[i, j] = bytes(i -> j) + bytes(j -> i).
+
+    The clustering objective only cares about total volume crossing a
+    partition, which is direction-agnostic."""
+    from repro.harness.runner import run_native
+
+    res = run_native(app_factory, nranks, ranks_per_node=ranks_per_node, seed=seed)
+    mat = comm_matrix_from_trace(res.trace, nranks).astype(np.float64)
+    return mat + mat.T

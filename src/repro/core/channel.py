@@ -1,0 +1,91 @@
+"""Channel sequence-number variants, including the paper's section-7
+extension for hybrid MPI+threads programs.
+
+With ``MPI_THREAD_MULTIPLE``, several threads of one rank may send on
+the same channel; if they disambiguate by *tag*, per-channel total order
+(channel-determinism) is lost, but per-``(channel, tag)`` order can
+survive.  The paper proposes "to associate a sequence number with each
+(channel, tag) tuple instead of a single sequence number per channel".
+:class:`TagChannelSeq` implements exactly that bookkeeping, alongside
+the default :class:`ChannelSeq`, so a thread-aware protocol variant can
+decide which messages need re-sending per (channel, tag) stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+ChannelKey = Tuple[int, int]  # (comm_id, peer)
+TaggedKey = Tuple[int, int, int]  # (comm_id, peer, tag)
+
+
+class ChannelSeq:
+    """Per-channel sequence numbers (the paper's base protocol)."""
+
+    def __init__(self) -> None:
+        self._next: Dict[ChannelKey, int] = {}
+
+    def next(self, comm_id: int, peer: int) -> int:
+        key = (comm_id, peer)
+        self._next[key] = self._next.get(key, 0) + 1
+        return self._next[key]
+
+    def current(self, comm_id: int, peer: int) -> int:
+        return self._next.get((comm_id, peer), 0)
+
+    def snapshot(self) -> Dict[ChannelKey, int]:
+        return dict(self._next)
+
+    def restore(self, snap: Dict[ChannelKey, int]) -> None:
+        self._next = dict(snap)
+
+
+class TagChannelSeq:
+    """Per-(channel, tag) sequence numbers (section 7's sketch for
+    MPI_THREAD_MULTIPLE programs that separate threads by tag).
+
+    Guarantees: for each (comm, peer, tag) stream the numbers are gapless
+    and monotone, independent of interleaving with other tags — so a
+    tag-deterministic multi-threaded sender still produces comparable
+    streams across executions even though the per-channel total order is
+    gone.
+    """
+
+    def __init__(self) -> None:
+        self._next: Dict[TaggedKey, int] = {}
+
+    def next(self, comm_id: int, peer: int, tag: int) -> int:
+        key = (comm_id, peer, tag)
+        self._next[key] = self._next.get(key, 0) + 1
+        return self._next[key]
+
+    def current(self, comm_id: int, peer: int, tag: int) -> int:
+        return self._next.get((comm_id, peer, tag), 0)
+
+    def streams_of_channel(self, comm_id: int, peer: int) -> Dict[int, int]:
+        """tag -> last seq for one physical channel (what a recovery
+        handshake would exchange per stream)."""
+        return {
+            tag: seq
+            for (cid, p, tag), seq in self._next.items()
+            if cid == comm_id and p == peer
+        }
+
+    def snapshot(self) -> Dict[TaggedKey, int]:
+        return dict(self._next)
+
+    def restore(self, snap: Dict[TaggedKey, int]) -> None:
+        self._next = dict(snap)
+
+    def merge_resend_bounds(
+        self, received: Dict[int, int], comm_id: int, peer: int
+    ) -> Dict[int, Tuple[int, int]]:
+        """Given the peer's per-tag received high-water marks, compute
+        per-tag (first, last) seq ranges that need re-sending."""
+        out: Dict[int, Tuple[int, int]] = {}
+        for tag, last_sent in self.streams_of_channel(comm_id, peer).items():
+            got = received.get(tag, 0)
+            if got < last_sent:
+                out[tag] = (got + 1, last_sent)
+        return out

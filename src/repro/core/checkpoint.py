@@ -1,0 +1,68 @@
+"""Checkpoint content and stable storage.
+
+A checkpoint of one rank bundles (Algorithm 1 line 15):
+
+* the application state (whatever the app's ``state_fn`` returns — it
+  must include everything needed to resume, e.g. the iteration index);
+* the MPI library state that survives a rollback: per-channel outgoing
+  sequence numbers, delivered LR per incoming channel, arrival-dedup
+  counters, the unexpected-message queue, pattern-API counters;
+* the sender-side message ``Logs``.
+
+``StableStorage`` is the reliable medium: an in-memory map (indexed by
+rank, versioned per checkpoint round) with an optional write/read cost
+model from :mod:`repro.storage` — the paper's experiments exclude
+checkpoint I/O time and so do ours by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class Checkpoint:
+    """Everything rank ``rank`` needs to restart consistently."""
+
+    rank: int
+    round_no: int
+    taken_at_ns: int
+    app_state: dict
+    chan_seq: Dict[Tuple[int, int], int]
+    lr: Dict[Tuple[int, int], int]
+    arrived: Dict[Tuple[int, int], int]
+    ls: Dict[Tuple[int, int], int]
+    pattern_state: dict
+    unexpected: List[Any]  # envelopes buffered in the library at the cut
+    log_snapshot: dict
+    # Per-communicator collective instance counters: a restarted rank must
+    # resume the collective tag sequence where the checkpoint left it, or
+    # its re-executed collectives can never match live peers' messages.
+    coll_seq: Dict[int, int] = field(default_factory=dict)
+    nbytes: int = 0  # modeled size (app state + logs), for storage costs
+
+
+class StableStorage:
+    """Reliable checkpoint store (survives any process failure)."""
+
+    def __init__(self) -> None:
+        self._latest: Dict[int, Checkpoint] = {}
+        self._history: Dict[int, List[Checkpoint]] = {}
+        self.writes = 0
+        self.bytes_written = 0
+
+    def save(self, ckpt: Checkpoint) -> None:
+        self._latest[ckpt.rank] = ckpt
+        self._history.setdefault(ckpt.rank, []).append(ckpt)
+        self.writes += 1
+        self.bytes_written += ckpt.nbytes
+
+    def load_latest(self, rank: int) -> Optional[Checkpoint]:
+        return self._latest.get(rank)
+
+    def rounds_of(self, rank: int) -> List[int]:
+        return [c.round_no for c in self._history.get(rank, [])]
+
+    def has_checkpoint(self, rank: int) -> bool:
+        return rank in self._latest

@@ -1,0 +1,157 @@
+"""Determinism checkers and the always-happens-before (AHB) toolkit.
+
+Section 3.4 defines two properties over the set of valid executions E_A:
+
+* **send-determinism** (Def. 1): each process emits the same total
+  sequence of send events in every valid execution;
+* **channel-determinism** (Def. 2): each *channel* carries the same
+  sequence of send events in every valid execution (strictly weaker —
+  AMG's probe/reply pattern is channel- but not send-deterministic).
+
+We approximate "every valid execution" by running the same program under
+different network timing seeds (jitter): each seed yields a different
+interleaving, i.e., a different element of E_A.  The checkers compare the
+per-channel / per-process send sequences across those runs.
+
+Section 3.5's always-happens-before relation is approximated the same
+way: compute happened-before (vector clocks, Lamport [23]) for each run
+and intersect — a pair related in *every* observed execution is reported
+as AHB.  This is exactly the relation the paper's Theorem 1 quantifies
+over, restricted to the executions we sampled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.tracing import Trace
+
+MessageKey = Tuple[int, int, int, int]  # (src, dst, comm_id, seqnum)
+
+
+@dataclass
+class DeterminismReport:
+    """Result of comparing send sequences across executions."""
+
+    deterministic: bool
+    runs_compared: int
+    mismatches: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.deterministic
+
+
+def check_channel_determinism(traces: Sequence[Trace]) -> DeterminismReport:
+    """Compare per-channel send sequences (seqnum, tag, nbytes) across
+    executions (Definition 2)."""
+    if len(traces) < 2:
+        raise ValueError("need at least two executions to compare")
+    ref = traces[0].per_channel_send_sequences()
+    mismatches: List[str] = []
+    for i, trace in enumerate(traces[1:], start=1):
+        other = trace.per_channel_send_sequences()
+        for chan in sorted(set(ref) | set(other)):
+            a, b = ref.get(chan, []), other.get(chan, [])
+            if a != b:
+                mismatches.append(
+                    f"run0 vs run{i}: channel {chan}: "
+                    f"{_first_divergence(a, b)}"
+                )
+    return DeterminismReport(not mismatches, len(traces), mismatches)
+
+
+def check_send_determinism(traces: Sequence[Trace]) -> DeterminismReport:
+    """Compare per-process total send orders across executions
+    (Definition 1 — stricter than channel-determinism)."""
+    if len(traces) < 2:
+        raise ValueError("need at least two executions to compare")
+    ref = traces[0].per_process_send_sequences()
+    mismatches: List[str] = []
+    for i, trace in enumerate(traces[1:], start=1):
+        other = trace.per_process_send_sequences()
+        for rank in sorted(set(ref) | set(other)):
+            a, b = ref.get(rank, []), other.get(rank, [])
+            if a != b:
+                mismatches.append(
+                    f"run0 vs run{i}: process {rank}: {_first_divergence(a, b)}"
+                )
+    return DeterminismReport(not mismatches, len(traces), mismatches)
+
+
+def _first_divergence(a: List, b: List) -> str:
+    if len(a) != len(b):
+        return f"lengths differ ({len(a)} vs {len(b)})"
+    for i, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            return f"index {i}: {x} vs {y}"
+    return "identical"  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# Happened-before via vector clocks
+# ----------------------------------------------------------------------
+
+@dataclass
+class HBIndex:
+    """Vector clocks of the send/deliver event of every message in one
+    execution."""
+
+    nranks: int
+    send_vc: Dict[MessageKey, np.ndarray]
+    deliver_vc: Dict[MessageKey, np.ndarray]
+
+    @staticmethod
+    def _before(a: np.ndarray, b: np.ndarray) -> bool:
+        return bool(np.all(a <= b) and np.any(a < b))
+
+    def happens_before(
+        self, kind1: str, m1: MessageKey, kind2: str, m2: MessageKey
+    ) -> bool:
+        """Is event kind1(m1) happened-before kind2(m2) in this run?
+        ``kind`` is "send" or "deliver"."""
+        vc1 = (self.send_vc if kind1 == "send" else self.deliver_vc).get(m1)
+        vc2 = (self.send_vc if kind2 == "send" else self.deliver_vc).get(m2)
+        if vc1 is None or vc2 is None:
+            raise KeyError(f"unknown event {kind1}({m1}) or {kind2}({m2})")
+        return self._before(vc1, vc2)
+
+
+def build_hb_index(trace: Trace, nranks: int) -> HBIndex:
+    """Single pass over a (time-ordered) trace computing vector clocks.
+
+    Every send and deliver event ticks its rank's clock; a deliver joins
+    the sender's clock attached to the message.
+    """
+    clocks = np.zeros((nranks, nranks), dtype=np.int64)
+    send_vc: Dict[MessageKey, np.ndarray] = {}
+    deliver_vc: Dict[MessageKey, np.ndarray] = {}
+    for e in trace.events:
+        if e.kind == "send":
+            r = e.rank
+            clocks[r, r] += 1
+            send_vc[e.message_key] = clocks[r].copy()
+        elif e.kind == "deliver":
+            r = e.rank
+            svc = send_vc.get(e.message_key)
+            if svc is not None:
+                np.maximum(clocks[r], svc, out=clocks[r])
+            clocks[r, r] += 1
+            deliver_vc[e.message_key] = clocks[r].copy()
+    return HBIndex(nranks=nranks, send_vc=send_vc, deliver_vc=deliver_vc)
+
+
+def always_happens_before(
+    indices: Sequence[HBIndex],
+    kind1: str,
+    m1: MessageKey,
+    kind2: str,
+    m2: MessageKey,
+) -> bool:
+    """AHB(e1, e2): e1 -> e2 in *every* sampled execution (Definition 3,
+    restricted to the sampled subset of E_A)."""
+    if not indices:
+        raise ValueError("need at least one execution")
+    return all(ix.happens_before(kind1, m1, kind2, m2) for ix in indices)

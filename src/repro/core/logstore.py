@@ -1,0 +1,109 @@
+"""Sender-based message logs (Algorithm 1 line 6, Johnson/Zwaenepoel [21]).
+
+Every inter-cluster message is recorded in its sender's memory: payload,
+metadata — including the per-channel sequence number and the SPBC
+``(pattern_id, iteration_id)`` identifier — so it can be re-sent verbatim
+during recovery.  The store also keeps the accounting the paper's Table 1
+reports: logged bytes over time per process (growth rate in MB/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.util.units import mb_per_s
+
+
+@dataclass
+class LogRecord:
+    """One logged message, exactly as it must be replayed."""
+
+    comm_id: int
+    dst: int
+    seqnum: int
+    tag: int
+    nbytes: int
+    ident: Tuple[int, int]
+    payload: Any
+    send_time_ns: int
+
+
+ChannelKey = Tuple[int, int]  # (comm_id, dst)
+
+
+class LogStore:
+    """Per-rank append-only log, organized by outgoing channel."""
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self.channels: Dict[ChannelKey, List[LogRecord]] = {}
+        self.bytes_logged = 0
+        self.records_logged = 0
+
+    def append(self, rec: LogRecord) -> None:
+        chan = self.channels.setdefault((rec.comm_id, rec.dst), [])
+        if chan and rec.seqnum <= chan[-1].seqnum:
+            raise ValueError(
+                f"log seqnums must increase per channel: {rec.seqnum} after "
+                f"{chan[-1].seqnum} on {(rec.comm_id, rec.dst)}"
+            )
+        chan.append(rec)
+        self.bytes_logged += rec.nbytes
+        self.records_logged += 1
+
+    def last_seq(self, comm_id: int, dst: int) -> int:
+        """Highest logged seqnum on a channel (0 if nothing logged)."""
+        chan = self.channels.get((comm_id, dst))
+        return chan[-1].seqnum if chan else 0
+
+    def replay_after(self, comm_id: int, dst: int, seqnum: int) -> List[LogRecord]:
+        """Records on (comm_id, dst) with seqnum strictly greater than
+        ``seqnum``, in sequence order (Algorithm 1 lines 23-24)."""
+        chan = self.channels.get((comm_id, dst), [])
+        # Logs are appended in seq order; binary search would be fine but
+        # replay happens once per failure — keep it simple.
+        return [r for r in chan if r.seqnum > seqnum]
+
+    def records_to(self, dst: int) -> List[LogRecord]:
+        """All records destined to ``dst``, across communicators, in send
+        order (send_time then seqnum keeps cross-comm order sensible)."""
+        out: List[LogRecord] = []
+        for (cid, d), recs in self.channels.items():
+            if d == dst:
+                out.extend(recs)
+        out.sort(key=lambda r: (r.send_time_ns, r.comm_id, r.seqnum))
+        return out
+
+    def all_records(self) -> Iterator[LogRecord]:
+        for recs in self.channels.values():
+            yield from recs
+
+    # ------------------------------------------------------------------
+    def growth_rate_mb_s(self, duration_ns: int) -> float:
+        """Average log growth over a run — the quantity of Table 1."""
+        return mb_per_s(self.bytes_logged, duration_ns)
+
+    # ------------------------------------------------------------------
+    # Checkpoint support: logs are saved with the process state (line 15)
+    # and the memory may be freed afterwards.  Rolled-back processes come
+    # back with exactly the snapshot content.
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "channels": {k: list(v) for k, v in self.channels.items()},
+            "bytes_logged": self.bytes_logged,
+            "records_logged": self.records_logged,
+        }
+
+    def restore(self, snap: dict) -> None:
+        self.channels = {k: list(v) for k, v in snap["channels"].items()}
+        self.bytes_logged = snap["bytes_logged"]
+        self.records_logged = snap["records_logged"]
+
+    def truncate(self) -> None:
+        """Free the log memory (legal right after a checkpoint: the saved
+        snapshot now covers everything up to the checkpoint)."""
+        self.channels = {}
+        # accounting counters are cumulative on purpose: Table 1 reports
+        # growth over the whole run, not log residency.

@@ -1,0 +1,22 @@
+"""Experiment harness: run apps under a protocol, measure, reproduce the
+paper's tables and figures."""
+
+from repro.harness.runner import (
+    RunResult,
+    RecoveryResult,
+    run_app,
+    run_native,
+    run_spbc,
+    run_emulated_recovery,
+    run_online_failure,
+)
+
+__all__ = [
+    "RunResult",
+    "RecoveryResult",
+    "run_app",
+    "run_native",
+    "run_spbc",
+    "run_emulated_recovery",
+    "run_online_failure",
+]

@@ -1,0 +1,430 @@
+"""Experiment drivers for every table and figure in the paper's evaluation.
+
+Scale model: the paper runs 512 ranks on 64 nodes (8 ranks/node).  The
+drivers default to ``REPRO_BENCH_RANKS`` (128) ranks with 8 ranks/node;
+the cluster-count sweeps scale accordingly (…, nnodes = "log all
+inter-node", nranks = "pure message logging").  Set
+``REPRO_BENCH_RANKS=512`` for paper scale.
+
+Efficiency note: Table 1 and Figure 5 derive *all* clustering
+configurations from a single logging run per application — log content
+per channel is independent of the cluster map, only the inter-cluster
+predicate changes — exactly mirroring how the paper collects
+communication statistics once and clusters offline ([30], section 6.1).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.base import get_app
+from repro.apps.calibration import PAPER_NET
+from repro.baselines.hydee import HydEEPlan, run_hydee_recovery
+from repro.clustering.partition import cluster_by_communication, cut_bytes
+from repro.core.clusters import ClusterMap
+from repro.core.emulated import ReplayPlan
+from repro.core.protocol import SPBC, SPBCConfig
+from repro.harness.runner import (
+    RunResult,
+    run_emulated_recovery,
+    run_native,
+    run_spbc,
+)
+from repro.sim.network import Topology
+from repro.util.stats import summarize
+from repro.util.table import format_table
+from repro.util.units import SEC, mb_per_s
+
+PAPER_APPS = ["amg", "cm1", "gtc", "milc", "minife", "minighost"]
+NAS_APPS = ["bt", "lu", "mg", "sp"]
+
+#: Per-app factory arguments used by the benchmark drivers (paper-
+#: calibrated defaults; see repro/apps/calibration.py for the targets).
+BENCH_PARAMS: Dict[str, dict] = {
+    "amg": dict(cycles=6),
+    "cm1": dict(iters=6),
+    "gtc": dict(iters=8),
+    "milc": dict(iters=10),
+    "minife": dict(iters=16),
+    "minighost": dict(iters=4),
+    "bt": dict(iters=30),
+    "lu": dict(iters=20),
+    "mg": dict(cycles=15),
+    "sp": dict(iters=30),
+}
+
+
+def bench_nranks(default: int = 128) -> int:
+    return int(os.environ.get("REPRO_BENCH_RANKS", default))
+
+
+def bench_ranks_per_node() -> int:
+    return int(os.environ.get("REPRO_BENCH_RPN", 8))
+
+
+def cluster_counts(nranks: int, ranks_per_node: int) -> List[int]:
+    """The Table 1 sweep scaled to the current world size: the paper's
+    {2, 4, 8, 16, 64 (= nodes), 512 (= ranks)} at 512/64."""
+    nnodes = nranks // ranks_per_node
+    counts = [k for k in (2, 4, 8, 16) if k < nnodes]
+    counts += [nnodes, nranks]
+    return sorted(set(counts))
+
+
+def app_factory(name: str, overrides: Optional[dict] = None):
+    params = dict(BENCH_PARAMS.get(name, {}))
+    if overrides:
+        params.update(overrides)
+    return get_app(name).factory(**params)
+
+
+# ----------------------------------------------------------------------
+# Shared: one logging run per app + clustering maps for every k
+# ----------------------------------------------------------------------
+
+@dataclass
+class LoggingRun:
+    """A failure-free run that logged every channel (singleton clusters),
+    from which any clustering configuration can be analyzed."""
+
+    name: str
+    nranks: int
+    ranks_per_node: int
+    result: RunResult
+    bytes_matrix: np.ndarray  # directed bytes, from the trace
+    maps: Dict[int, ClusterMap] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> int:
+        return self.result.makespan_ns
+
+    def clustering_for(self, k: int) -> ClusterMap:
+        """The paper's pipeline: node-constrained partition minimizing
+        logged volume; k == nranks means pure message logging."""
+        cm = self.maps.get(k)
+        if cm is None:
+            nnodes = self.nranks // self.ranks_per_node
+            sym = self.bytes_matrix + self.bytes_matrix.T
+            if k >= self.nranks:
+                cm = ClusterMap.singletons(self.nranks)
+            elif k <= nnodes:
+                topo = Topology(self.nranks, self.ranks_per_node)
+                cm = cluster_by_communication(sym, k, topology=topo)
+            else:
+                # More clusters than nodes: node alignment is impossible
+                # (like the paper's pure-logging column); partition ranks.
+                cm = cluster_by_communication(sym, k, topology=None)
+            self.maps[k] = cm
+        return cm
+
+    def per_rank_logged_bytes(self, cm: ClusterMap) -> np.ndarray:
+        """Bytes each rank would log under cluster map ``cm``."""
+        assign = np.asarray(cm.cluster_of)
+        cross = assign[:, None] != assign[None, :]
+        return (self.bytes_matrix * cross).sum(axis=1)
+
+
+def make_logging_run(
+    name: str,
+    nranks: Optional[int] = None,
+    ranks_per_node: Optional[int] = None,
+    overrides: Optional[dict] = None,
+    seed: int = 0,
+) -> LoggingRun:
+    n = nranks or bench_nranks()
+    rpn = ranks_per_node or bench_ranks_per_node()
+    app = app_factory(name, overrides)
+    res = run_spbc(
+        app,
+        n,
+        ClusterMap.singletons(n),
+        ranks_per_node=rpn,
+        net_params=PAPER_NET,
+        seed=seed,
+    )
+    return LoggingRun(
+        name=name,
+        nranks=n,
+        ranks_per_node=rpn,
+        result=res,
+        bytes_matrix=res.trace.comm_bytes_matrix(n).astype(np.float64),
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 1 — log growth rate per process (MB/s), Avg and Max
+# ----------------------------------------------------------------------
+
+@dataclass
+class Table1Row:
+    app: str
+    k: int
+    avg_mb_s: float
+    max_mb_s: float
+    min_mb_s: float
+
+
+def table1_log_growth(
+    apps: Sequence[str] = PAPER_APPS,
+    nranks: Optional[int] = None,
+    ranks_per_node: Optional[int] = None,
+    counts: Optional[Sequence[int]] = None,
+    overrides: Optional[Dict[str, dict]] = None,
+) -> List[Table1Row]:
+    rows: List[Table1Row] = []
+    for name in apps:
+        run = make_logging_run(
+            name, nranks, ranks_per_node, (overrides or {}).get(name)
+        )
+        ks = counts or cluster_counts(run.nranks, run.ranks_per_node)
+        for k in ks:
+            cm = run.clustering_for(k)
+            logged = run.per_rank_logged_bytes(cm)
+            rates = [mb_per_s(int(b), run.duration_ns) for b in logged]
+            stats = summarize(rates)
+            rows.append(
+                Table1Row(
+                    app=name,
+                    k=k,
+                    avg_mb_s=stats.mean,
+                    max_mb_s=stats.maximum,
+                    min_mb_s=stats.minimum,
+                )
+            )
+    return rows
+
+
+def format_table1(rows: List[Table1Row]) -> str:
+    ks = sorted({r.k for r in rows})
+    apps = sorted({r.app for r in rows})
+    by = {(r.app, r.k): r for r in rows}
+    out_rows = []
+    for k in ks:
+        row: List[object] = [k]
+        for a in apps:
+            r = by.get((a, k))
+            row += [r.avg_mb_s if r else float("nan"), r.max_mb_s if r else float("nan")]
+        out_rows.append(row)
+    headers = ["clusters"]
+    for a in apps:
+        headers += [f"{a}.avg", f"{a}.max"]
+    return format_table(
+        headers,
+        out_rows,
+        title="Table 1: log growth rate per process (MB/s)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 2 — failure-free overhead of SPBC vs native MPI
+# ----------------------------------------------------------------------
+
+@dataclass
+class Table2Row:
+    app: str
+    k: int
+    native_ns: int
+    spbc_ns: int
+
+    @property
+    def overhead_pct(self) -> float:
+        return 100.0 * (self.spbc_ns - self.native_ns) / self.native_ns
+
+
+def table2_failure_free_overhead(
+    apps: Sequence[str] = PAPER_APPS,
+    ks: Sequence[int] = (16,),
+    nranks: Optional[int] = None,
+    ranks_per_node: Optional[int] = None,
+    overrides: Optional[Dict[str, dict]] = None,
+) -> List[Table2Row]:
+    n = nranks or bench_nranks()
+    rpn = ranks_per_node or bench_ranks_per_node()
+    rows: List[Table2Row] = []
+    for name in apps:
+        ov = (overrides or {}).get(name)
+        app = app_factory(name, ov)
+        native = run_native(app, n, ranks_per_node=rpn, net_params=PAPER_NET, trace=False)
+        run = make_logging_run(name, n, rpn, ov)
+        for k in ks:
+            cm = run.clustering_for(k)
+            spbc = run_spbc(
+                app, n, cm, ranks_per_node=rpn, net_params=PAPER_NET, trace=False
+            )
+            rows.append(
+                Table2Row(
+                    app=name, k=k, native_ns=native.makespan_ns, spbc_ns=spbc.makespan_ns
+                )
+            )
+    return rows
+
+
+def format_table2(rows: List[Table2Row]) -> str:
+    return format_table(
+        ["app", "clusters", "native (ms)", "SPBC (ms)", "overhead %"],
+        [
+            [r.app, r.k, r.native_ns / 1e6, r.spbc_ns / 1e6, r.overhead_pct]
+            for r in rows
+        ],
+        title="Table 2: failure-free overhead of SPBC",
+        float_fmt="{:.3f}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — recovery (rework) time normalized to failure-free
+# ----------------------------------------------------------------------
+
+@dataclass
+class Fig5Row:
+    app: str
+    k: int
+    rework_ns: int
+    native_ns: int
+    replayed_records: int
+    replayed_bytes: int
+
+    @property
+    def normalized(self) -> float:
+        return self.rework_ns / self.native_ns
+
+
+def fig5_recovery(
+    apps: Sequence[str] = PAPER_APPS,
+    ks: Sequence[int] = (2, 4, 8, 16),
+    nranks: Optional[int] = None,
+    ranks_per_node: Optional[int] = None,
+    overrides: Optional[Dict[str, dict]] = None,
+    window: int = 50,
+) -> List[Fig5Row]:
+    n = nranks or bench_nranks()
+    rpn = ranks_per_node or bench_ranks_per_node()
+    rows: List[Fig5Row] = []
+    for name in apps:
+        ov = (overrides or {}).get(name)
+        app = app_factory(name, ov)
+        native = run_native(app, n, ranks_per_node=rpn, net_params=PAPER_NET, trace=False)
+        run = make_logging_run(name, n, rpn, ov)
+        for k in ks:
+            if k > run.nranks:
+                continue
+            cm = run.clustering_for(k)
+            plan = ReplayPlan.from_run(
+                run.result.hooks, run.duration_ns, clusters=cm
+            )
+            rec = run_emulated_recovery(
+                app,
+                n,
+                cm,
+                plan,
+                reference_ns=native.makespan_ns,
+                window=window,
+                ranks_per_node=rpn,
+                net_params=PAPER_NET,
+            )
+            rows.append(
+                Fig5Row(
+                    app=name,
+                    k=k,
+                    rework_ns=rec.rework_ns,
+                    native_ns=native.makespan_ns,
+                    replayed_records=plan.total_records,
+                    replayed_bytes=plan.total_bytes,
+                )
+            )
+    return rows
+
+
+def format_fig5(rows: List[Fig5Row]) -> str:
+    ks = sorted({r.k for r in rows})
+    apps = sorted({r.app for r in rows})
+    by = {(r.app, r.k): r for r in rows}
+    out = []
+    for a in apps:
+        line: List[object] = [a]
+        for k in ks:
+            r = by.get((a, k))
+            line.append(r.normalized if r else float("nan"))
+        out.append(line)
+    return format_table(
+        ["app"] + [f"{k} clusters" for k in ks],
+        out,
+        title="Figure 5: recovery time normalized to failure-free execution "
+        "(MPICH native = 1.0)",
+        float_fmt="{:.3f}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — SPBC vs HydEE recovery on the NAS benchmarks
+# ----------------------------------------------------------------------
+
+@dataclass
+class Fig6Row:
+    app: str
+    spbc_normalized: float
+    hydee_normalized: float
+    hydee_grants: int
+    records: int
+
+
+def fig6_hydee_vs_spbc(
+    apps: Sequence[str] = NAS_APPS,
+    k: int = 8,
+    nranks: Optional[int] = None,
+    ranks_per_node: Optional[int] = None,
+    overrides: Optional[Dict[str, dict]] = None,
+) -> List[Fig6Row]:
+    n = nranks or bench_nranks()
+    rpn = ranks_per_node or bench_ranks_per_node()
+    rows: List[Fig6Row] = []
+    for name in apps:
+        ov = (overrides or {}).get(name)
+        app = app_factory(name, ov)
+        native = run_native(app, n, ranks_per_node=rpn, net_params=PAPER_NET, trace=False)
+        # Phase 1 with the actual k-cluster map (the trace also yields the
+        # causal levels HydEE needs).
+        run = make_logging_run(name, n, rpn, ov)
+        cm = run.clustering_for(k)
+        plan = ReplayPlan.from_run(run.result.hooks, run.duration_ns, clusters=cm)
+        # The HydEE plan (dependency vectors + tracked set) is derived
+        # against the same k-cluster map from the same phase-1 trace.
+        hplan = HydEEPlan.from_run(
+            run.result.hooks, run.result.trace, run.duration_ns, clusters=cm
+        )
+        spbc_rec = run_emulated_recovery(
+            app, n, cm, plan,
+            reference_ns=native.makespan_ns, ranks_per_node=rpn, net_params=PAPER_NET,
+        )
+        hydee_rec = run_hydee_recovery(
+            app, n, cm, hplan,
+            reference_ns=native.makespan_ns, ranks_per_node=rpn, net_params=PAPER_NET,
+        )
+        rows.append(
+            Fig6Row(
+                app=name,
+                spbc_normalized=spbc_rec.normalized,
+                hydee_normalized=hydee_rec.normalized,
+                hydee_grants=hydee_rec.grants,
+                records=plan.total_records,
+            )
+        )
+    return rows
+
+
+def format_fig6(rows: List[Fig6Row]) -> str:
+    return format_table(
+        ["app", "SPBC", "HydEE", "HydEE/SPBC", "replayed msgs"],
+        [
+            [r.app, r.spbc_normalized, r.hydee_normalized,
+             r.hydee_normalized / r.spbc_normalized, r.records]
+            for r in rows
+        ],
+        title="Figure 6: recovery time normalized to failure-free "
+        "(8 clusters, NAS benchmarks)",
+        float_fmt="{:.3f}",
+    )

@@ -1,0 +1,229 @@
+"""Run orchestration: failure-free runs, emulated recovery (paper §6.4),
+and online failure injection.
+
+Application factories have the uniform signature
+
+    app_factory(ctx: RankContext, state: dict | None) -> generator
+
+``state=None`` means a fresh start; a dict is a checkpointed application
+state to resume from (online recovery path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional, Set
+
+from repro.core.clusters import ClusterMap
+from repro.core.emulated import ReplayPlan, replayer_process, DEFAULT_PREPOST_WINDOW
+from repro.core.protocol import SPBC, SPBCConfig
+from repro.core.recovery import RecoveryManager
+from repro.mpi.context import RankContext
+from repro.mpi.hooks import NativeHooks, ProtocolHooks
+from repro.mpi.runtime import World
+from repro.sim.network import NetworkParams
+from repro.sim.process import ProcessStatus
+
+AppFactory = Callable[[RankContext, Optional[dict]], Generator]
+
+
+@dataclass
+class RunResult:
+    """Outcome of a (failure-free) run."""
+
+    world: World
+    hooks: ProtocolHooks
+    makespan_ns: int
+    finish_ns: Dict[int, int]
+    results: Dict[int, object]
+
+    @property
+    def trace(self):
+        return self.world.trace
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of an emulated-recovery run (paper §6.4).
+
+    ``rework_ns`` is the time for the recovering cluster to re-execute the
+    lost segment; ``normalized`` divides by the reference failure-free
+    time (the quantity plotted in Figures 5 and 6)."""
+
+    world: World
+    plan: ReplayPlan
+    rework_ns: int
+    reference_ns: int
+    results: Dict[int, object]
+
+    @property
+    def normalized(self) -> float:
+        return self.rework_ns / self.reference_ns
+
+
+def _check_world(world: World, allow_killed: bool = False) -> None:
+    for r, proc in world.processes.items():
+        if proc.exception is not None:
+            raise RuntimeError(f"rank {r} raised: {proc.exception!r}") from proc.exception
+        if proc.status is not ProcessStatus.DONE and not allow_killed:
+            raise RuntimeError(f"rank {r} ended as {proc.status}")
+
+
+def run_app(
+    app_factory: AppFactory,
+    nranks: int,
+    hooks: Optional[ProtocolHooks] = None,
+    ranks_per_node: int = 8,
+    seed: int = 0,
+    net_params: Optional[NetworkParams] = None,
+    trace: bool = True,
+    until_ns: Optional[int] = None,
+) -> RunResult:
+    """Launch ``app_factory`` on every rank and run to completion."""
+    world = World(
+        nranks,
+        ranks_per_node=ranks_per_node,
+        hooks=hooks,
+        seed=seed,
+        net_params=net_params,
+        trace=trace,
+    )
+    for r in range(nranks):
+        world.launch(r, app_factory(RankContext(world, r), None))
+    world.run(until_ns=until_ns)
+    _check_world(world)
+    finish = {r: p.finish_time for r, p in world.processes.items()}
+    return RunResult(
+        world=world,
+        hooks=world.hooks,
+        makespan_ns=max(finish.values()),
+        finish_ns=finish,
+        results={r: p.result for r, p in world.processes.items()},
+    )
+
+
+def run_native(app_factory: AppFactory, nranks: int, **kw) -> RunResult:
+    """Reference run with unmodified MPI (the paper's normalization base)."""
+    return run_app(app_factory, nranks, hooks=NativeHooks(), **kw)
+
+
+def run_spbc(
+    app_factory: AppFactory,
+    nranks: int,
+    clusters: ClusterMap,
+    config: Optional[SPBCConfig] = None,
+    **kw,
+) -> RunResult:
+    """Failure-free run under SPBC (logging + identifiers active)."""
+    cfg = config or SPBCConfig(clusters=clusters)
+    if cfg.clusters is not clusters and cfg.clusters != clusters:
+        raise ValueError("config.clusters disagrees with the clusters argument")
+    return run_app(app_factory, nranks, hooks=SPBC(cfg), **kw)
+
+
+def run_emulated_recovery(
+    app_factory: AppFactory,
+    nranks: int,
+    clusters: ClusterMap,
+    plan: ReplayPlan,
+    reference_ns: Optional[int] = None,
+    window: int = DEFAULT_PREPOST_WINDOW,
+    hooks: Optional[SPBC] = None,
+    ranks_per_node: int = 8,
+    seed: int = 0,
+    net_params: Optional[NetworkParams] = None,
+    trace: bool = False,
+) -> RecoveryResult:
+    """Phase 2 of the paper's recovery methodology.
+
+    Ranks of the recovering cluster re-execute the application; all other
+    ranks replay their logged messages (pre-post window per §5.2.2).
+    ``reference_ns`` defaults to the plan's failure-free time.
+    """
+    if window < 1:
+        raise ValueError("pre-post window must be >= 1")
+    if hooks is None:
+        hooks = SPBC(
+            SPBCConfig(
+                clusters=clusters, emulated_recovering=set(plan.recovering_ranks)
+            )
+        )
+    world = World(
+        nranks,
+        ranks_per_node=ranks_per_node,
+        hooks=hooks,
+        seed=seed,
+        net_params=net_params,
+        trace=trace,
+    )
+    for r in range(nranks):
+        ctx = RankContext(world, r)
+        if r in plan.recovering_ranks:
+            world.launch(r, app_factory(ctx, None))
+        else:
+            records = plan.records_by_sender.get(r, [])
+            world.launch(r, replayer_process(ctx, records, window=window))
+    world.run()
+    _check_world(world)
+    rework = max(world.processes[r].finish_time for r in plan.recovering_ranks)
+    return RecoveryResult(
+        world=world,
+        plan=plan,
+        rework_ns=rework,
+        reference_ns=reference_ns or plan.failure_free_ns,
+        results={r: p.result for r, p in world.processes.items()},
+    )
+
+
+@dataclass
+class OnlineResult:
+    """Outcome of an online failure-injection run."""
+
+    world: World
+    manager: RecoveryManager
+    makespan_ns: int
+    results: Dict[int, object]
+    restarted_ranks: Set[int]
+
+
+def run_online_failure(
+    app_factory: AppFactory,
+    nranks: int,
+    clusters: ClusterMap,
+    fail_at_ns: int,
+    fail_rank: int = 0,
+    config: Optional[SPBCConfig] = None,
+    restart_delay_ns: int = 2_000_000,
+    ranks_per_node: int = 8,
+    seed: int = 0,
+    net_params: Optional[NetworkParams] = None,
+    trace: bool = True,
+) -> OnlineResult:
+    """Run with a crash of ``fail_rank``'s cluster at ``fail_at_ns`` and
+    full online recovery (Algorithm 1 lines 16-26)."""
+    cfg = config or SPBCConfig(clusters=clusters)
+    hooks = SPBC(cfg)
+    world = World(
+        nranks,
+        ranks_per_node=ranks_per_node,
+        hooks=hooks,
+        seed=seed,
+        net_params=net_params,
+        trace=trace,
+    )
+    manager = RecoveryManager(
+        world, hooks, app_factory, restart_delay_ns=restart_delay_ns
+    )
+    for r in range(nranks):
+        world.launch(r, app_factory(RankContext(world, r), None))
+    manager.inject_failure(fail_at_ns, fail_rank)
+    world.run()
+    _check_world(world)
+    finish = {r: p.finish_time for r, p in world.processes.items()}
+    return OnlineResult(
+        world=world,
+        manager=manager,
+        makespan_ns=max(finish.values()),
+        results={r: p.result for r, p in world.processes.items()},
+        restarted_ranks=set(manager.restarts),
+    )

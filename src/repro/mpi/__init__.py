@@ -1,0 +1,44 @@
+"""A simulated MPI library (the substrate SPBC is implemented inside).
+
+This package reimplements, over the discrete-event engine, the MPI subset
+the paper relies on (section 3.2):
+
+* point-to-point: ``Isend``/``Irecv``/``Send``/``Recv``, ``Wait``/
+  ``Waitall``/``Waitany``, ``Test``/``Testall``, ``Iprobe``/``Probe``;
+* wildcards ``ANY_SOURCE`` and ``ANY_TAG`` (the paper's two sources of
+  non-determinism);
+* eager and rendezvous transfer protocols with sender-side completion
+  semantics (section 5.2.2's replay flow control depends on them);
+* communicators with ``split`` (a channel is defined per communicator);
+* collectives implemented on top of point-to-point (the paper's stated
+  assumption);
+* per-channel sequence numbers (the implicit seqnum of section 3.3);
+* a protocol-hook interface through which SPBC, HydEE and the native
+  baseline intercept sends, arrivals and matching.
+"""
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, TAG_USER_MAX
+from repro.mpi.message import Envelope, ControlMsg
+from repro.mpi.request import Request, RecvRequest, SendRequest, Status
+from repro.mpi.hooks import ProtocolHooks, NativeHooks
+from repro.mpi.communicator import Communicator
+from repro.mpi.runtime import MPIRuntime, World
+from repro.mpi.context import RankContext
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "TAG_USER_MAX",
+    "Envelope",
+    "ControlMsg",
+    "Request",
+    "RecvRequest",
+    "SendRequest",
+    "Status",
+    "ProtocolHooks",
+    "NativeHooks",
+    "Communicator",
+    "MPIRuntime",
+    "World",
+    "RankContext",
+]

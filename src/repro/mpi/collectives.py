@@ -1,0 +1,278 @@
+"""Collective operations built on point-to-point messaging.
+
+The paper assumes collectives are implemented over point-to-point
+(section 3.2), which makes them automatically covered by SPBC: their
+constituent messages get per-channel sequence numbers, are logged when
+they cross clusters, and are replayed like any other message.  All
+algorithms below use named receives only — no ``ANY_SOURCE`` — so they
+are deterministic and never need the pattern API.
+
+Algorithms (standard textbook choices, matching MPICH's defaults for
+mid-size messages):
+
+* barrier    — dissemination (ceil(log2 n) rounds);
+* bcast      — binomial tree;
+* reduce     — binomial tree (children fold into parents);
+* allreduce  — reduce to root 0 + bcast;
+* allgather  — ring (n-1 steps);
+* alltoall   — pairwise exchange (n-1 steps);
+* gather / scatter — linear to/from root.
+
+Every function is a generator and must be driven with ``yield from``.
+Tags: each collective instance consumes one tag above
+``TAG_COLLECTIVE_BASE`` from a per-communicator counter; SPMD programs
+call collectives in the same order on every member rank, so counters
+agree across ranks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.mpi.communicator import Communicator
+from repro.mpi.constants import TAG_COLLECTIVE_BASE
+
+
+def _coll_tag(rt, comm: Communicator) -> int:
+    seq = rt._coll_seq.get(comm.comm_id, 0) + 1
+    rt._coll_seq[comm.comm_id] = seq
+    return TAG_COLLECTIVE_BASE + seq
+
+
+def barrier(rt, comm: Communicator) -> Generator:
+    """Dissemination barrier: after round k every rank has heard (directly
+    or transitively) from 2^(k+1) predecessors."""
+    n = comm.size
+    if n == 1:
+        return
+    me = comm.comm_rank(rt.rank)
+    tag = _coll_tag(rt, comm)
+    k = 1
+    while k < n:
+        dst = comm.world_rank((me + k) % n)
+        src = comm.world_rank((me - k) % n)
+        sreq = rt.isend(dst, None, 8, tag, comm)
+        rreq = rt.irecv(src, tag, comm)
+        yield from rt.wait(rreq)
+        yield from rt.wait(sreq)
+        k *= 2
+
+
+def bcast(
+    rt, comm: Communicator, value: Any = None, nbytes: int = 0, root: int = 0
+) -> Generator:
+    """Binomial-tree broadcast; returns the broadcast value on every rank."""
+    n = comm.size
+    if n == 1:
+        return value
+    me = comm.comm_rank(rt.rank)
+    vrank = (me - root) % n  # virtual rank: root becomes 0
+    tag = _coll_tag(rt, comm)
+
+    # Receive from parent (everyone except the root).
+    if vrank != 0:
+        mask = 1
+        while not vrank & mask:
+            mask <<= 1
+        parent = (vrank - mask + n) % n
+        status = yield from rt.recv(comm.world_rank((parent + root) % n), tag, comm)
+        value = status.payload
+
+    # Forward to children.
+    mask = 1
+    while mask < n:
+        if vrank & (mask - 1) == 0 and vrank & mask == 0:
+            child = vrank + mask
+            if child < n:
+                yield from rt.send(
+                    comm.world_rank((child + root) % n), value, nbytes, tag, comm
+                )
+        mask <<= 1
+    return value
+
+
+def reduce(
+    rt,
+    comm: Communicator,
+    value: Any,
+    op: Callable[[Any, Any], Any],
+    nbytes: int = 0,
+    root: int = 0,
+) -> Generator:
+    """Binomial-tree reduction; returns the folded value on root, None
+    elsewhere.  ``op`` must be associative (MPI requirement)."""
+    n = comm.size
+    me = comm.comm_rank(rt.rank)
+    if n == 1:
+        return value
+    vrank = (me - root) % n
+    tag = _coll_tag(rt, comm)
+    acc = value
+    mask = 1
+    while mask < n:
+        if vrank & mask:
+            parent = vrank & ~mask
+            yield from rt.send(comm.world_rank((parent + root) % n), acc, nbytes, tag, comm)
+            return None
+        partner = vrank | mask
+        if partner < n:
+            status = yield from rt.recv(comm.world_rank((partner + root) % n), tag, comm)
+            acc = op(acc, status.payload)
+        mask <<= 1
+    return acc
+
+
+def allreduce(
+    rt, comm: Communicator, value: Any, op: Callable[[Any, Any], Any], nbytes: int = 0
+) -> Generator:
+    """Reduce to comm-rank 0 then broadcast the result."""
+    folded = yield from reduce(rt, comm, value, op, nbytes, root=0)
+    result = yield from bcast(rt, comm, folded, nbytes, root=0)
+    return result
+
+
+def allgather(rt, comm: Communicator, value: Any, nbytes: int = 0) -> Generator:
+    """Ring allgather; returns a list indexed by communicator rank."""
+    n = comm.size
+    me = comm.comm_rank(rt.rank)
+    out: List[Any] = [None] * n
+    out[me] = value
+    if n == 1:
+        return out
+    tag = _coll_tag(rt, comm)
+    right = comm.world_rank((me + 1) % n)
+    left = comm.world_rank((me - 1) % n)
+    # At step s every rank forwards the block it received at step s-1.
+    block = me
+    for _step in range(n - 1):
+        sreq = rt.isend(right, (block, out[block]), nbytes, tag, comm)
+        status = yield from rt.recv(left, tag, comm)
+        yield from rt.wait(sreq)
+        block, payload = status.payload
+        out[block] = payload
+    return out
+
+
+def alltoall(
+    rt, comm: Communicator, values: List[Any], nbytes_each: int = 0
+) -> Generator:
+    """Pairwise-exchange all-to-all; ``values[i]`` goes to comm rank i.
+    Returns the list of received values indexed by source comm rank."""
+    n = comm.size
+    if len(values) != n:
+        raise ValueError(f"alltoall needs {n} values, got {len(values)}")
+    me = comm.comm_rank(rt.rank)
+    out: List[Any] = [None] * n
+    out[me] = values[me]
+    if n == 1:
+        return out
+    tag = _coll_tag(rt, comm)
+    for step in range(1, n):
+        dst = (me + step) % n
+        src = (me - step) % n
+        sreq = rt.isend(comm.world_rank(dst), values[dst], nbytes_each, tag, comm)
+        status = yield from rt.recv(comm.world_rank(src), tag, comm)
+        out[src] = status.payload
+        yield from rt.wait(sreq)
+    return out
+
+
+def scan(
+    rt, comm: Communicator, value: Any, op: Callable[[Any, Any], Any], nbytes: int = 0
+) -> Generator:
+    """Inclusive prefix reduction (MPI_Scan): rank i returns
+    op-fold(values of ranks 0..i).  Linear chain algorithm."""
+    n = comm.size
+    me = comm.comm_rank(rt.rank)
+    tag = _coll_tag(rt, comm)
+    acc = value
+    if me > 0:
+        status = yield from rt.recv(comm.world_rank(me - 1), tag, comm)
+        acc = op(status.payload, value)
+    if me < n - 1:
+        yield from rt.send(comm.world_rank(me + 1), acc, nbytes, tag, comm)
+    return acc
+
+
+def exscan(
+    rt, comm: Communicator, value: Any, op: Callable[[Any, Any], Any], nbytes: int = 0
+) -> Generator:
+    """Exclusive prefix reduction (MPI_Exscan): rank 0 returns None,
+    rank i > 0 returns op-fold(values of ranks 0..i-1)."""
+    n = comm.size
+    me = comm.comm_rank(rt.rank)
+    tag = _coll_tag(rt, comm)
+    prefix = None
+    if me > 0:
+        status = yield from rt.recv(comm.world_rank(me - 1), tag, comm)
+        prefix = status.payload
+    if me < n - 1:
+        nxt = value if prefix is None else op(prefix, value)
+        yield from rt.send(comm.world_rank(me + 1), nxt, nbytes, tag, comm)
+    return prefix
+
+
+def reduce_scatter_block(
+    rt,
+    comm: Communicator,
+    values: List[Any],
+    op: Callable[[Any, Any], Any],
+    nbytes_each: int = 0,
+) -> Generator:
+    """MPI_Reduce_scatter_block: element i of the op-fold across ranks
+    lands on comm rank i.  Implemented as alltoall + local fold (the
+    textbook pairwise algorithm for modest sizes)."""
+    n = comm.size
+    if len(values) != n:
+        raise ValueError(f"reduce_scatter needs {n} values, got {len(values)}")
+    mine = yield from alltoall(rt, comm, values, nbytes_each)
+    acc = mine[0]
+    for v in mine[1:]:
+        acc = op(acc, v)
+    return acc
+
+
+def gather(
+    rt, comm: Communicator, value: Any, nbytes: int = 0, root: int = 0
+) -> Generator:
+    """Linear gather; returns list indexed by comm rank on root, None
+    elsewhere."""
+    n = comm.size
+    me = comm.comm_rank(rt.rank)
+    tag = _coll_tag(rt, comm)
+    if me != root:
+        yield from rt.send(comm.world_rank(root), value, nbytes, tag, comm)
+        return None
+    out: List[Any] = [None] * n
+    out[root] = value
+    for r in range(n):
+        if r == root:
+            continue
+        status = yield from rt.recv(comm.world_rank(r), tag, comm)
+        out[r] = status.payload
+    return out
+
+
+def scatter(
+    rt,
+    comm: Communicator,
+    values: Optional[List[Any]] = None,
+    nbytes_each: int = 0,
+    root: int = 0,
+) -> Generator:
+    """Linear scatter; returns this rank's element."""
+    n = comm.size
+    me = comm.comm_rank(rt.rank)
+    tag = _coll_tag(rt, comm)
+    if me == root:
+        if values is None or len(values) != n:
+            raise ValueError(f"scatter root needs {n} values")
+        reqs = []
+        for r in range(n):
+            if r == root:
+                continue
+            reqs.append(rt.isend(comm.world_rank(r), values[r], nbytes_each, tag, comm))
+        yield from rt.waitall(reqs)
+        return values[root]
+    status = yield from rt.recv(comm.world_rank(root), tag, comm)
+    return status.payload

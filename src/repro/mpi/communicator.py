@@ -1,0 +1,95 @@
+"""Communicators: ordered process groups with their own channel context.
+
+The paper's model (section 3.2) defines channels per communicator —
+"there can be multiple channels between two processes, one for each
+communicator they belong to".  A communicator here is a world-level
+object shared by all member ranks: an id, an ordered list of world ranks,
+and translation helpers.  ``split`` mirrors ``MPI_Comm_split`` and is
+collective-free in the simulator (deterministic, no messages), which is
+faithful enough since MPICH's implementation is also deterministic for
+SPMD call sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+class Communicator:
+    """An ordered group of world ranks with a unique context id."""
+
+    def __init__(self, comm_id: int, world_ranks: Sequence[int], name: str = "") -> None:
+        if len(set(world_ranks)) != len(world_ranks):
+            raise ValueError("duplicate ranks in communicator")
+        self.comm_id = comm_id
+        self.world_ranks: List[int] = list(world_ranks)
+        self.name = name or f"comm{comm_id}"
+        self._rank_of_world: Dict[int, int] = {
+            w: i for i, w in enumerate(self.world_ranks)
+        }
+
+    @property
+    def size(self) -> int:
+        return len(self.world_ranks)
+
+    def world_rank(self, comm_rank: int) -> int:
+        """Translate a communicator-local rank to a world rank."""
+        return self.world_ranks[comm_rank]
+
+    def comm_rank(self, world_rank: int) -> int:
+        """Translate a world rank to its rank inside this communicator."""
+        try:
+            return self._rank_of_world[world_rank]
+        except KeyError:
+            raise ValueError(
+                f"world rank {world_rank} is not a member of {self.name}"
+            ) from None
+
+    def contains(self, world_rank: int) -> bool:
+        return world_rank in self._rank_of_world
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Communicator {self.name} id={self.comm_id} size={self.size}>"
+
+
+class CommunicatorRegistry:
+    """World-level registry; hands out context ids and implements split."""
+
+    def __init__(self, nranks: int) -> None:
+        self._next_id = 0
+        self.comms: Dict[int, Communicator] = {}
+        self.world = self.create(list(range(nranks)), name="world")
+
+    def create(self, world_ranks: Sequence[int], name: str = "") -> Communicator:
+        cid = self._next_id
+        self._next_id += 1
+        comm = Communicator(cid, world_ranks, name=name)
+        self.comms[cid] = comm
+        return comm
+
+    def split(
+        self, parent: Communicator, colors: Sequence[int], keys: Optional[Sequence[int]] = None
+    ) -> Dict[int, Communicator]:
+        """MPI_Comm_split over ``parent``.
+
+        ``colors[i]``/``keys[i]`` belong to parent comm-rank ``i``.  Ranks
+        with color < 0 (MPI_UNDEFINED) get no communicator.  Returns
+        ``{color: communicator}``; member order is (key, parent rank).
+        """
+        if len(colors) != parent.size:
+            raise ValueError("colors must cover every parent rank")
+        if keys is None:
+            keys = list(range(parent.size))
+        groups: Dict[int, List[tuple]] = {}
+        for prank, (color, key) in enumerate(zip(colors, keys)):
+            if color < 0:
+                continue
+            groups.setdefault(color, []).append((key, prank))
+        out: Dict[int, Communicator] = {}
+        for color in sorted(groups):
+            members = [
+                parent.world_rank(prank)
+                for _key, prank in sorted(groups[color])
+            ]
+            out[color] = self.create(members, name=f"{parent.name}.split{color}")
+        return out

@@ -1,0 +1,21 @@
+"""MPI-level constants."""
+
+from __future__ import annotations
+
+# Wildcards (negative so they can never collide with a real rank/tag).
+ANY_SOURCE: int = -1
+ANY_TAG: int = -2
+
+# Tag space layout: user tags must stay below TAG_USER_MAX; the collective
+# implementation and protocol control planes use tags above it.
+TAG_USER_MAX: int = 1 << 20
+TAG_COLLECTIVE_BASE: int = 1 << 20
+TAG_PROTOCOL_BASE: int = 1 << 24
+
+# Transfer protocol switch point (MPICH-like): messages strictly larger
+# than this go through rendezvous (RTS/CTS/DATA).
+DEFAULT_EAGER_THRESHOLD: int = 64 * 1024
+
+# The default identifier stamped on messages/requests outside any
+# user-declared pattern (section 5.1: "a default communication pattern").
+DEFAULT_IDENT: tuple[int, int] = (0, 0)

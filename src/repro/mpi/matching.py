@@ -1,0 +1,101 @@
+"""The per-rank matching engine.
+
+Mirrors MPICH's posted-receive queue and unexpected-message queue:
+
+* when a message arrives it is matched against posted requests in
+  **posting order**;
+* when a receive is posted it is matched against unexpected messages in
+  **arrival order** (which per-channel equals send order, thanks to FIFO
+  channels);
+* ``ANY_SOURCE``/``ANY_TAG`` wildcards follow the MPI standard;
+* the protocol hook ``match_allowed`` is consulted on top of the standard
+  envelope match — this is exactly the one-line change SPBC makes to
+  MPICH's matching function (section 5.2.1): message and request must
+  carry the same ``(pattern_id, iteration_id)`` identifier.
+
+A message is matched at most once and a request is matched at most once;
+both invariants are asserted here because the whole recovery correctness
+argument (Theorem 1) is about *which* pairs may match.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.mpi.message import Envelope
+from repro.mpi.request import RecvRequest
+
+
+class MatchingEngine:
+    def __init__(self, match_allowed: Callable[[RecvRequest, Envelope], bool]) -> None:
+        self._match_allowed = match_allowed
+        self.posted: List[RecvRequest] = []
+        self.unexpected: List[Envelope] = []
+        self.matches = 0
+
+    # ------------------------------------------------------------------
+    def allowed(self, req: RecvRequest, env: Envelope) -> bool:
+        return req.header_matches(env) and self._match_allowed(req, env)
+
+    def post(self, req: RecvRequest) -> Optional[Envelope]:
+        """Post a reception request; returns the matched envelope if an
+        unexpected message satisfies it, else queues the request."""
+        if req.matched_env is not None:
+            raise AssertionError("request posted twice")
+        for i, env in enumerate(self.unexpected):
+            if self.allowed(req, env):
+                del self.unexpected[i]
+                self._bind(req, env)
+                return env
+        self.posted.append(req)
+        return None
+
+    def arrive(self, env: Envelope) -> Optional[RecvRequest]:
+        """Process an arriving envelope; returns the matched request if a
+        posted request satisfies it, else queues the message."""
+        for i, req in enumerate(self.posted):
+            if self.allowed(req, env):
+                del self.posted[i]
+                self._bind(req, env)
+                return req
+        self.unexpected.append(env)
+        return None
+
+    def probe(
+        self, probe_req: RecvRequest
+    ) -> Optional[Envelope]:
+        """First unexpected message that would match ``probe_req`` (the
+        message is left in place — MPI_Iprobe semantics)."""
+        for env in self.unexpected:
+            if self.allowed(probe_req, env):
+                return env
+        return None
+
+    def cancel(self, req: RecvRequest) -> bool:
+        """Remove a posted request (used on process kill)."""
+        try:
+            self.posted.remove(req)
+        except ValueError:
+            return False
+        req.cancelled = True
+        return True
+
+    def clear(self) -> None:
+        """Drop all state (rank restart)."""
+        self.posted.clear()
+        self.unexpected.clear()
+
+    # ------------------------------------------------------------------
+    def _bind(self, req: RecvRequest, env: Envelope) -> None:
+        if req.matched_env is not None:  # pragma: no cover - invariant
+            raise AssertionError(f"double match of request {req.req_id}")
+        req.matched_env = env
+        self.matches += 1
+
+    @property
+    def posted_count(self) -> int:
+        return len(self.posted)
+
+    @property
+    def unexpected_count(self) -> int:
+        return len(self.unexpected)

@@ -1,0 +1,94 @@
+"""Message envelopes and wire-level payload types.
+
+A message is identified across executions by payload plus the tuple
+``{src, dst, comm, seqnum}`` (paper section 3.3); ``seqnum`` is the
+per-channel sequence number every MPI library keeps to implement FIFO.
+SPBC additionally stamps an ``ident = (pattern_id, iteration_id)`` tuple
+(section 4.3 / 5.1) used by the matching engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro.mpi.constants import DEFAULT_IDENT
+
+
+@dataclass
+class Envelope:
+    """Metadata + payload of one application-level message."""
+
+    src: int  # world rank of sender
+    dst: int  # world rank of destination
+    tag: int
+    comm_id: int
+    seqnum: int  # per (comm_id, src, dst) channel sequence number
+    nbytes: int
+    payload: Any = None
+    ident: Tuple[int, int] = DEFAULT_IDENT
+    # True when this copy was re-sent from a sender-side log during
+    # recovery (diagnostics only; matching never looks at it).
+    replayed: bool = False
+
+    @property
+    def channel(self) -> Tuple[int, int, int]:
+        return (self.src, self.dst, self.comm_id)
+
+    @property
+    def message_key(self) -> Tuple[int, int, int, int]:
+        """Identity of the message across executions (section 3.3)."""
+        return (self.src, self.dst, self.comm_id, self.seqnum)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<msg {self.src}->{self.dst} comm={self.comm_id} tag={self.tag} "
+            f"seq={self.seqnum} id={self.ident} {self.nbytes}B>"
+        )
+
+
+# ----------------------------------------------------------------------
+# Wire-level payloads (what actually travels through repro.sim.network)
+# ----------------------------------------------------------------------
+
+@dataclass
+class EagerMsg:
+    """Envelope + payload shipped in one shot (small messages)."""
+
+    env: Envelope
+
+
+@dataclass
+class RtsMsg:
+    """Rendezvous request-to-send: envelope only, payload stays behind."""
+
+    env: Envelope
+    send_req_id: int
+
+
+@dataclass
+class CtsMsg:
+    """Rendezvous clear-to-send, returned once the receive is matched."""
+
+    send_req_id: int
+
+
+@dataclass
+class RvzData:
+    """Rendezvous payload transfer."""
+
+    env: Envelope
+    send_req_id: int
+
+
+@dataclass
+class ControlMsg:
+    """Out-of-band protocol message (Rollback, lastMessage, coordinator
+    traffic...).  Routed to the protocol hooks, never to MPI matching."""
+
+    kind: str
+    data: Any = None
+    src: int = -1
+
+
+WIRE_HEADER_BYTES = 64  # modeled size of envelope/control headers

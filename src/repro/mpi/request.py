@@ -1,0 +1,105 @@
+"""Send/receive request objects.
+
+Requests mirror MPI semantics: they are created by the nonblocking calls,
+become ``done`` when the library completes them, and are waited on with
+``Wait``-family calls.  A reception request is identified across
+executions by ``{src, dst, comm, req_seq}`` where ``req_seq`` is the
+per-rank posting sequence number (paper section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, DEFAULT_IDENT
+from repro.sim.engine import Trigger
+
+
+@dataclass
+class Status:
+    """Completion information (MPI_Status subset + received payload)."""
+
+    source: int = -1
+    tag: int = -1
+    nbytes: int = 0
+    payload: Any = None
+
+
+class Request:
+    """Base request: a one-shot completion trigger plus a status."""
+
+    __slots__ = ("done", "status", "trigger", "req_id", "cancelled")
+
+    _next_id = 0
+
+    def __init__(self) -> None:
+        self.done = False
+        self.cancelled = False
+        self.status = Status()
+        Request._next_id += 1
+        self.req_id = Request._next_id
+        self.trigger = Trigger(name=f"req{self.req_id}")
+
+    def complete(self, status: Optional[Status] = None) -> None:
+        if self.done:
+            return
+        self.done = True
+        if status is not None:
+            self.status = status
+        self.trigger.fire(self.status)
+
+
+class SendRequest(Request):
+    """Tracks one send until local completion.
+
+    ``post_seq``/``complete_seq`` record the per-rank order in which send
+    requests were posted and completed — the two orders SPBC logs to drive
+    replay without rendezvous deadlocks (section 5.2.2).
+    """
+
+    __slots__ = ("env", "post_seq", "complete_seq", "rendezvous", "suppressed")
+
+    def __init__(self, env, post_seq: int, rendezvous: bool) -> None:
+        super().__init__()
+        self.env = env
+        self.post_seq = post_seq
+        self.complete_seq = -1
+        self.rendezvous = rendezvous
+        self.suppressed = False  # True when skipped by recovery (seq <= LS)
+
+
+class RecvRequest(Request):
+    """A posted reception request."""
+
+    __slots__ = ("src", "tag", "comm_id", "req_seq", "ident", "matched_env")
+
+    def __init__(
+        self,
+        src: int,
+        tag: int,
+        comm_id: int,
+        req_seq: int,
+        ident: Tuple[int, int] = DEFAULT_IDENT,
+    ) -> None:
+        super().__init__()
+        self.src = src  # world rank or ANY_SOURCE
+        self.tag = tag
+        self.comm_id = comm_id
+        self.req_seq = req_seq
+        self.ident = ident
+        self.matched_env = None
+
+    @property
+    def anonymous(self) -> bool:
+        return self.src == ANY_SOURCE
+
+    def header_matches(self, env) -> bool:
+        """MPI-standard envelope matching (communicator, source, tag)."""
+        if env.comm_id != self.comm_id:
+            return False
+        if self.src != ANY_SOURCE and env.src != self.src:
+            return False
+        if self.tag != ANY_TAG and env.tag != self.tag:
+            return False
+        return True

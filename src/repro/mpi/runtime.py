@@ -1,0 +1,737 @@
+"""The per-rank MPI runtime and the world that ties ranks together.
+
+``MPIRuntime`` is the "MPI library" of one simulated rank: it owns the
+matching engine, per-channel send sequence numbers, the eager/rendezvous
+machinery, request bookkeeping, and the CPU-overhead accounting used by
+the failure-free benchmarks.  Every protocol decision is delegated to the
+installed :class:`~repro.mpi.hooks.ProtocolHooks`.
+
+``World`` builds the engine/network/topology, one runtime per rank, the
+communicator registry and the trace, and launches application processes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.mpi.communicator import Communicator, CommunicatorRegistry
+from repro.mpi.constants import (
+    ANY_SOURCE,
+    ANY_TAG,
+    DEFAULT_EAGER_THRESHOLD,
+    DEFAULT_IDENT,
+)
+from repro.mpi.hooks import NativeHooks, ProtocolHooks
+from repro.mpi.matching import MatchingEngine
+from repro.mpi.message import (
+    ControlMsg,
+    CtsMsg,
+    EagerMsg,
+    Envelope,
+    RtsMsg,
+    RvzData,
+    WIRE_HEADER_BYTES,
+)
+from repro.mpi.request import RecvRequest, Request, SendRequest, Status
+from repro.sim.engine import AllOf, AnyOf, Engine, SimError, Trigger
+from repro.sim.network import Network, NetworkParams, Packet, Topology
+from repro.sim.process import SimProcess
+from repro.sim.tracing import CommEvent, Trace
+
+# CPU cost of handing a loopback (self) message through shared memory.
+LOOPBACK_NS_PER_BYTE = 0.05
+LOOPBACK_FIXED_NS = 150
+
+
+class MPIRuntime:
+    """MPI library instance of a single world rank."""
+
+    def __init__(self, world: "World", rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self.engine: Engine = world.engine
+        self.hooks: ProtocolHooks = world.hooks
+        self.matching = MatchingEngine(self.hooks.match_allowed)
+        self.alive = True
+        self.incarnation = 0
+
+        # Per-channel outgoing sequence numbers: (comm_id, dst) -> last.
+        self.chan_seq: Dict[Tuple[int, int], int] = {}
+        # Per-rank request numbering (paper section 3.3 identities).
+        self._recv_post_seq = 0
+        self._send_post_seq = 0
+        self._send_complete_seq = 0
+        # Send-request order logs (section 5.2.2): per-rank post order and
+        # completion order of send requests, used for replay flow control.
+        self.send_post_order: List[Tuple[int, int, int, int]] = []  # message keys
+        self.send_complete_order: List[Tuple[int, int, int, int]] = []
+
+        # Rendezvous bookkeeping.
+        self._rvz_pending_cts: Dict[int, SendRequest] = {}
+        self._rvz_awaiting_data: Dict[Tuple, RecvRequest] = {}
+        self._rvz_unexpected: Dict[Tuple, int] = {}  # message_key -> send_req_id
+        # Sends held back until the peer's lastMessage fixes LS.
+        self._deferred_sends: Dict[Tuple[int, int], List[SendRequest]] = {}
+
+        # Deferred CPU cost (charged at the next blocking call).
+        self.cpu_debt_ns = 0
+        self.overhead_total_ns = 0
+        # Application compute time (the profiler's numerator).
+        self.compute_total_ns = 0
+        # Serialization point for protocol work on the send path.
+        self._send_busy_until = 0
+
+        # Pattern API state (stamped into idents by the SPBC hooks).
+        self.active_ident: Tuple[int, int] = DEFAULT_IDENT
+        self._next_pattern_id = 0
+        self.pattern_iters: Dict[int, int] = {}
+
+        # Fires on every accepted arrival; blocking probe waits on it.
+        self._arrival_signal = Trigger(name=f"r{rank}.arrival")
+
+        # Collective instance counters, per communicator.
+        self._coll_seq: Dict[int, int] = {}
+
+        world.network.attach(rank, self._on_packet)
+
+    # ------------------------------------------------------------------
+    # Pattern API (paper section 5.1) — state only; semantics live in the
+    # protocol hooks.  DECLARE_PATTERN / BEGIN_ITERATION / END_ITERATION
+    # are local operations: no communication happens here.
+    # ------------------------------------------------------------------
+    def declare_pattern(self) -> int:
+        self._next_pattern_id += 1
+        pid = self._next_pattern_id
+        # setdefault, not assignment: a restarted process re-executes its
+        # (deterministic, SPMD) declarations, and the pattern's iteration
+        # counter restored from the checkpoint must survive them.
+        self.pattern_iters.setdefault(pid, 0)
+        return pid
+
+    def begin_iteration(self, pattern_id: int) -> None:
+        if pattern_id not in self.pattern_iters:
+            raise ValueError(f"pattern {pattern_id} was never declared")
+        self.pattern_iters[pattern_id] += 1
+        self.active_ident = (pattern_id, self.pattern_iters[pattern_id])
+
+    def end_iteration(self, pattern_id: int) -> None:
+        if self.active_ident[0] != pattern_id:
+            raise ValueError(
+                f"end_iteration({pattern_id}) but active pattern is "
+                f"{self.active_ident[0]}"
+            )
+        self.active_ident = DEFAULT_IDENT
+
+    def pattern_state(self) -> dict:
+        """Checkpointable snapshot of the pattern counters."""
+        return {
+            "next_pattern_id": self._next_pattern_id,
+            "pattern_iters": dict(self.pattern_iters),
+            "active_ident": self.active_ident,
+        }
+
+    def restore_pattern_state(self, state: dict) -> None:
+        # The declaration counter restarts at 0: the restarted generator
+        # re-executes its DECLARE_PATTERN calls in program order and must
+        # obtain the same ids as the original execution.  The iteration
+        # counters, in contrast, carry on from the checkpoint.
+        self._next_pattern_id = 0
+        self.pattern_iters = dict(state["pattern_iters"])
+        self.active_ident = tuple(state["active_ident"])
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def next_seqnum(self, comm_id: int, dst: int) -> int:
+        key = (comm_id, dst)
+        self.chan_seq[key] = self.chan_seq.get(key, 0) + 1
+        return self.chan_seq[key]
+
+    def isend(
+        self,
+        dst: int,
+        payload: Any = None,
+        nbytes: int = 0,
+        tag: int = 0,
+        comm: Optional[Communicator] = None,
+    ) -> SendRequest:
+        """Nonblocking send to world rank ``dst``; returns a request."""
+        comm = comm or self.world.comm_world
+        if not self.alive:
+            raise SimError(f"rank {self.rank}: isend on dead runtime")
+        env = Envelope(
+            src=self.rank,
+            dst=dst,
+            tag=tag,
+            comm_id=comm.comm_id,
+            seqnum=self.next_seqnum(comm.comm_id, dst),
+            nbytes=nbytes,
+            payload=payload,
+            ident=self.hooks.message_ident(self),
+        )
+        self._send_post_seq += 1
+        req = SendRequest(
+            env,
+            self._send_post_seq,
+            rendezvous=nbytes > self.world.eager_threshold and dst != self.rank,
+        )
+        self.send_post_order.append(env.message_key)
+        self.world.trace.record(
+            CommEvent(
+                kind="send",
+                rank=self.rank,
+                time_ns=self.engine.now,
+                channel=env.channel,
+                seqnum=env.seqnum,
+                tag=tag,
+                nbytes=nbytes,
+                ident=env.ident,
+            )
+        )
+        overhead = self.hooks.send_overhead_ns(self, env)
+        if overhead:
+            self.charge_cpu(overhead)
+            self.overhead_total_ns += overhead
+
+        decision = self.hooks.on_send(self, env)
+        if decision is False:
+            # Destination already received this message (recovery filter,
+            # Algorithm 1 line 7).
+            req.suppressed = True
+            self._complete_send(req)
+            return req
+        if decision == "defer":
+            # Restarted rank: LS for this channel is unknown until the
+            # peer's lastMessage arrives; queue the physical transfer.
+            self._deferred_sends.setdefault((comm.comm_id, dst), []).append(req)
+            return req
+        if overhead > 0:
+            # Protocol work (the log memcpy) happens inside the send call,
+            # *before* the message reaches the wire: delay the physical
+            # transfer by the same amount, serialized per sender.  This is
+            # what makes logging visible end-to-end (Table 2) instead of
+            # disappearing into the receivers' waits.
+            at = max(self.engine.now, self._send_busy_until) + overhead
+            self._send_busy_until = at
+            self.engine.schedule_at(at, self._transmit_evt, env, req, self.incarnation)
+        else:
+            self._transmit(env, req)
+        return req
+
+    def _transmit_evt(self, env: Envelope, req: SendRequest, inc: int) -> None:
+        if inc != self.incarnation or not self.alive:
+            return
+        self._transmit(env, req)
+
+    def _transmit(self, env: Envelope, req: SendRequest) -> None:
+        """Physically move one envelope (eager, rendezvous, or loopback)."""
+        if env.dst == self.rank:
+            copy_ns = LOOPBACK_FIXED_NS + int(env.nbytes * LOOPBACK_NS_PER_BYTE)
+            self.engine.schedule(copy_ns, self._loopback_arrival, env, self.incarnation)
+            self._complete_send(req)
+            return
+        if req.rendezvous:
+            self._rvz_pending_cts[req.req_id] = req
+            self.world.network.send(
+                self.rank, env.dst, RtsMsg(env, req.req_id), WIRE_HEADER_BYTES
+            )
+        else:
+            pkt = self.world.network.send(
+                self.rank, env.dst, EagerMsg(env), env.nbytes + WIRE_HEADER_BYTES
+            )
+            # Local completion once the NIC finished injecting the payload.
+            self.engine.schedule_at(
+                pkt.inject_done_at, self._complete_send_evt, req, self.incarnation
+            )
+
+    def isend_raw(self, env: Envelope) -> SendRequest:
+        """Send a pre-built envelope verbatim (log replay).
+
+        Skips sequence-number assignment and every protocol hook: the
+        envelope already carries the seqnum/ident it had in the original
+        execution.  Used by replayers (paper section 5.2.2) and by the
+        Rollback-triggered replay path (Algorithm 1 lines 23-24).
+        """
+        env.replayed = True
+        self._send_post_seq += 1
+        req = SendRequest(
+            env,
+            self._send_post_seq,
+            rendezvous=env.nbytes > self.world.eager_threshold and env.dst != self.rank,
+        )
+        self._transmit(env, req)
+        return req
+
+    def release_deferred(self, comm_id: int, dst: int) -> None:
+        """Flush sends queued while LS of (comm_id, dst) was unknown.
+
+        Called by the protocol once the peer's lastMessage (or Rollback)
+        fixed LS; each queued send is re-submitted to ``on_send`` which
+        now either suppresses or transmits it.
+        """
+        queue = self._deferred_sends.pop((comm_id, dst), [])
+        for req in queue:
+            decision = self.hooks.on_send(self, req.env)
+            if decision is False:
+                req.suppressed = True
+                self._complete_send(req)
+            else:
+                self._transmit(req.env, req)
+
+    def _complete_send_evt(self, req: SendRequest, inc: int) -> None:
+        if inc != self.incarnation:
+            return
+        self._complete_send(req)
+
+    def _complete_send(self, req: SendRequest) -> None:
+        if req.done:
+            return
+        self._send_complete_seq += 1
+        req.complete_seq = self._send_complete_seq
+        self.send_complete_order.append(req.env.message_key)
+        req.complete(Status(source=-1, tag=req.env.tag, nbytes=req.env.nbytes))
+
+    def _loopback_arrival(self, env: Envelope, inc: int) -> None:
+        if inc != self.incarnation or not self.alive:
+            return
+        if self.hooks.on_arrival(self, env, None):
+            self.accept_arrival(env)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def irecv(
+        self,
+        src: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        comm: Optional[Communicator] = None,
+    ) -> RecvRequest:
+        """Nonblocking receive; ``src`` is a world rank or ANY_SOURCE."""
+        comm = comm or self.world.comm_world
+        if not self.alive:
+            raise SimError(f"rank {self.rank}: irecv on dead runtime")
+        self._recv_post_seq += 1
+        req = RecvRequest(
+            src=src,
+            tag=tag,
+            comm_id=comm.comm_id,
+            req_seq=self._recv_post_seq,
+            ident=self.hooks.request_ident(self),
+        )
+        self.world.trace.record(
+            CommEvent(
+                kind="post",
+                rank=self.rank,
+                time_ns=self.engine.now,
+                channel=(src, self.rank, comm.comm_id),
+                seqnum=-1,
+                tag=tag,
+                req_seq=req.req_seq,
+                ident=req.ident,
+            )
+        )
+        env = self.matching.post(req)
+        if env is not None:
+            self._on_matched(req, env)
+        return req
+
+    def accept_arrival(self, env: Envelope, rvz_send_req_id: Optional[int] = None) -> None:
+        """Feed an (already protocol-approved) envelope into matching."""
+        req = self.matching.arrive(env)
+        if req is None:
+            if rvz_send_req_id is not None:
+                self._rvz_unexpected[env.message_key] = rvz_send_req_id
+        else:
+            if rvz_send_req_id is not None:
+                self._rvz_unexpected[env.message_key] = rvz_send_req_id
+            self._on_matched(req, env)
+        # Wake blocked probes/waiters that poll the unexpected queue.
+        sig, self._arrival_signal = self._arrival_signal, Trigger(
+            name=f"r{self.rank}.arrival"
+        )
+        sig.fire()
+
+    def _on_matched(self, req: RecvRequest, env: Envelope) -> None:
+        self.world.trace.record(
+            CommEvent(
+                kind="match",
+                rank=self.rank,
+                time_ns=self.engine.now,
+                channel=env.channel,
+                seqnum=env.seqnum,
+                tag=env.tag,
+                nbytes=env.nbytes,
+                req_seq=req.req_seq,
+                ident=env.ident,
+            )
+        )
+        rvz_id = self._rvz_unexpected.pop(env.message_key, None)
+        if rvz_id is not None:
+            # Rendezvous: grant the sender a CTS; completion at data arrival.
+            self._rvz_awaiting_data[env.message_key] = req
+            self.world.network.send(
+                self.rank, env.src, CtsMsg(rvz_id), WIRE_HEADER_BYTES
+            )
+            return
+        self._complete_recv(req, env)
+
+    def _complete_recv(self, req: RecvRequest, env: Envelope) -> None:
+        comm = self.world.comms.comms[env.comm_id]
+        status = Status(
+            source=comm.comm_rank(env.src),
+            tag=env.tag,
+            nbytes=env.nbytes,
+            payload=env.payload,
+        )
+        self.world.trace.record(
+            CommEvent(
+                kind="deliver",
+                rank=self.rank,
+                time_ns=self.engine.now,
+                channel=env.channel,
+                seqnum=env.seqnum,
+                tag=env.tag,
+                nbytes=env.nbytes,
+                req_seq=req.req_seq,
+                ident=env.ident,
+            )
+        )
+        self.hooks.on_deliver(self, env)
+        req.complete(status)
+
+    # ------------------------------------------------------------------
+    # Packet dispatch (network sink)
+    # ------------------------------------------------------------------
+    def _on_packet(self, pkt: Packet) -> None:
+        payload = pkt.payload
+        if isinstance(payload, EagerMsg):
+            env = payload.env
+            if self.hooks.on_arrival(self, env, None):
+                self.accept_arrival(env)
+        elif isinstance(payload, RtsMsg):
+            env = payload.env
+            if self.hooks.on_arrival(self, env, payload.send_req_id):
+                self.accept_arrival(env, rvz_send_req_id=payload.send_req_id)
+        elif isinstance(payload, CtsMsg):
+            req = self._rvz_pending_cts.pop(payload.send_req_id, None)
+            if req is None:
+                return  # sender restarted; stale CTS
+            data_pkt = self.world.network.send(
+                self.rank,
+                req.env.dst,
+                RvzData(req.env, req.req_id),
+                req.env.nbytes + WIRE_HEADER_BYTES,
+            )
+            self.engine.schedule_at(
+                data_pkt.inject_done_at, self._complete_send_evt, req, self.incarnation
+            )
+        elif isinstance(payload, RvzData):
+            req = self._rvz_awaiting_data.pop(payload.env.message_key, None)
+            if req is None:
+                return  # receiver restarted; stale data
+            self._complete_recv(req, payload.env)
+        elif isinstance(payload, ControlMsg):
+            self.hooks.on_control(self, payload)
+        else:  # pragma: no cover - wiring error
+            raise SimError(f"rank {self.rank}: unknown packet payload {payload!r}")
+
+    # ------------------------------------------------------------------
+    # Blocking operations (generators; apps use them via ``yield from``)
+    # ------------------------------------------------------------------
+    def charge_cpu(self, ns: int) -> None:
+        """Accumulate CPU time to be paid at the next blocking call."""
+        self.cpu_debt_ns += ns
+
+    def _flush_debt(self) -> Generator:
+        if self.cpu_debt_ns > 0:
+            debt, self.cpu_debt_ns = self.cpu_debt_ns, 0
+            yield self.engine.timeout(debt)
+
+    def compute(self, ns: int) -> Generator:
+        """Model ``ns`` of local computation."""
+        if ns < 0:
+            raise ValueError("negative compute time")
+        self.compute_total_ns += ns
+        debt, self.cpu_debt_ns = self.cpu_debt_ns, 0
+        yield self.engine.timeout(ns + debt)
+
+    def wait(self, req: Request) -> Generator:
+        yield from self._flush_debt()
+        if not req.done:
+            yield req.trigger
+        return req.status
+
+    def waitall(self, reqs: List[Request]) -> Generator:
+        yield from self._flush_debt()
+        pending = [r.trigger for r in reqs if not r.done]
+        if pending:
+            yield AllOf(pending)
+        return [r.status for r in reqs]
+
+    def waitany(self, reqs: List[Request]) -> Generator:
+        """MPI_Waitany: yields (index, status) of one completed request.
+
+        This call is one of the paper's two sources of non-determinism
+        (section 3.2): which request completes first depends on message
+        arrival timing.
+        """
+        if not reqs:
+            raise ValueError("waitany on empty request list")
+        yield from self._flush_debt()
+        while True:
+            for i, r in enumerate(reqs):
+                if r.done:
+                    return i, r.status
+            yield AnyOf([r.trigger for r in reqs if not r.done])
+
+    def test(self, req: Request) -> Tuple[bool, Optional[Status]]:
+        """MPI_Test: nonblocking completion check."""
+        return (True, req.status) if req.done else (False, None)
+
+    def testall(self, reqs: List[Request]) -> Tuple[bool, Optional[List[Status]]]:
+        if all(r.done for r in reqs):
+            return True, [r.status for r in reqs]
+        return False, None
+
+    def testany(self, reqs: List[Request]) -> Tuple[bool, int, Optional[Status]]:
+        """MPI_Testany: (flag, index, status) of the first completed
+        request, or (False, -1, None).  Like MPI_Waitany, one of the
+        paper's sources of timing non-determinism (section 3.2)."""
+        for i, r in enumerate(reqs):
+            if r.done:
+                return True, i, r.status
+        return False, -1, None
+
+    def waitsome(self, reqs: List[Request]) -> Generator:
+        """MPI_Waitsome: block until at least one request completes, then
+        return every completed (index, status) pair."""
+        if not reqs:
+            raise ValueError("waitsome on empty request list")
+        yield from self._flush_debt()
+        while True:
+            done = [(i, r.status) for i, r in enumerate(reqs) if r.done]
+            if done:
+                return done
+            yield AnyOf([r.trigger for r in reqs if not r.done])
+
+    def iprobe(
+        self,
+        src: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        comm: Optional[Communicator] = None,
+    ) -> Tuple[bool, Optional[Status]]:
+        """MPI_Iprobe: check for a matchable unexpected message.
+
+        The probe carries the active identifier, so under SPBC a message
+        from another pattern iteration is invisible — the same rule the
+        modified matching function applies (section 5.2.1).
+        """
+        comm = comm or self.world.comm_world
+        probe = RecvRequest(
+            src=src,
+            tag=tag,
+            comm_id=comm.comm_id,
+            req_seq=-1,
+            ident=self.hooks.request_ident(self),
+        )
+        env = self.matching.probe(probe)
+        if env is None:
+            return False, None
+        return True, Status(
+            source=comm.comm_rank(env.src), tag=env.tag, nbytes=env.nbytes
+        )
+
+    def probe(
+        self,
+        src: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        comm: Optional[Communicator] = None,
+    ) -> Generator:
+        """Blocking probe: waits until a matching message is available."""
+        yield from self._flush_debt()
+        while True:
+            flag, status = self.iprobe(src, tag, comm)
+            if flag:
+                return status
+            yield self._arrival_signal
+
+    def send(
+        self,
+        dst: int,
+        payload: Any = None,
+        nbytes: int = 0,
+        tag: int = 0,
+        comm: Optional[Communicator] = None,
+    ) -> Generator:
+        req = self.isend(dst, payload, nbytes, tag, comm)
+        yield from self.wait(req)
+
+    def recv(
+        self,
+        src: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        comm: Optional[Communicator] = None,
+    ) -> Generator:
+        req = self.irecv(src, tag, comm)
+        status = yield from self.wait(req)
+        return status
+
+    def maybe_checkpoint(self, state_fn: Callable[[], dict]) -> Generator:
+        """Cooperative checkpoint opportunity (delegated to the protocol)."""
+        yield from self._flush_debt()
+        result = yield from self.hooks.maybe_checkpoint(self, state_fn)
+        return result
+
+    # ------------------------------------------------------------------
+    # Failure / restart support
+    # ------------------------------------------------------------------
+    def kill(self) -> None:
+        """Crash this rank's library state (failure injection)."""
+        self.alive = False
+        self.incarnation += 1
+        self.world.network.detach(self.rank)
+        self.matching.clear()
+        self._rvz_pending_cts.clear()
+        self._rvz_awaiting_data.clear()
+        self._rvz_unexpected.clear()
+        self._deferred_sends.clear()
+        self.cpu_debt_ns = 0
+        self._send_busy_until = 0
+
+    def restart(self) -> None:
+        """Bring the library back up for a new process incarnation.
+
+        Channel seqnums, pattern state etc. must be restored separately
+        by the protocol (they are part of the checkpoint)."""
+        self.alive = True
+        self.matching = MatchingEngine(self.hooks.match_allowed)
+        self._arrival_signal = Trigger(name=f"r{self.rank}.arrival")
+        self.chan_seq = {}
+        self._coll_seq = {}
+        self._recv_post_seq = 0
+        self._send_post_seq = 0
+        self._send_complete_seq = 0
+        self.send_post_order = []
+        self.send_complete_order = []
+        self.world.network.attach(self.rank, self._on_packet)
+
+    def cancel_pending_rvz_to(self, peer: int, comm_id: int) -> int:
+        """Complete rendezvous sends stuck waiting for a CTS from a peer
+        that just rolled back.
+
+        The old incarnation's RTS died with the crash and the new
+        incarnation will receive the payload through log replay (every
+        inter-cluster message is logged before transmission), so the local
+        send request is done as far as this application is concerned.
+        Returns the number of requests completed.
+        """
+        victims = [
+            (rid, req)
+            for rid, req in self._rvz_pending_cts.items()
+            if req.env.dst == peer and req.env.comm_id == comm_id
+        ]
+        for rid, req in victims:
+            del self._rvz_pending_cts[rid]
+            req.suppressed = True
+            self._complete_send(req)
+        return len(victims)
+
+    def scrub_peer_rendezvous(self, peer: int, comm_id: int) -> int:
+        """Cancel rendezvous transfers whose sender just rolled back.
+
+        Matched-but-incomplete receives are unbound and re-posted (at the
+        front, in original posting order) so the restarted peer's re-sent
+        copy can match them again; unmatched-RTS bookkeeping is dropped
+        (the protocol removes the corresponding unexpected envelopes).
+        Returns the number of unbound requests.
+        """
+        victims = [
+            (key, req)
+            for key, req in self._rvz_awaiting_data.items()
+            if key[0] == peer and key[2] == comm_id
+        ]
+        reqs = []
+        for key, req in victims:
+            del self._rvz_awaiting_data[key]
+            req.matched_env = None
+            reqs.append(req)
+        reqs.sort(key=lambda r: r.req_seq)
+        self.matching.posted[:0] = reqs
+        for key in [
+            k for k in self._rvz_unexpected if k[0] == peer and k[2] == comm_id
+        ]:
+            del self._rvz_unexpected[key]
+        return len(victims)
+
+    # ------------------------------------------------------------------
+    def control_send(self, dst: int, kind: str, data: Any = None, nbytes: int = 0) -> None:
+        """Send an out-of-band protocol control message."""
+        msg = ControlMsg(kind=kind, data=data, src=self.rank)
+        if dst == self.rank:
+            # Local control delivery (e.g. a rank hosting a coordinator
+            # role talking to itself): cheap in-process hop.
+            self.engine.schedule(LOOPBACK_FIXED_NS, self._local_control, msg, self.incarnation)
+            return
+        self.world.network.send(
+            self.rank, dst, msg, nbytes + WIRE_HEADER_BYTES
+        )
+
+    def _local_control(self, msg: ControlMsg, inc: int) -> None:
+        if inc != self.incarnation or not self.alive:
+            return
+        self.hooks.on_control(self, msg)
+
+
+class World:
+    """All simulated ranks plus the fabric they run on."""
+
+    def __init__(
+        self,
+        nranks: int,
+        ranks_per_node: int = 8,
+        net_params: Optional[NetworkParams] = None,
+        seed: int = 0,
+        hooks: Optional[ProtocolHooks] = None,
+        trace: bool = True,
+        eager_threshold: int = DEFAULT_EAGER_THRESHOLD,
+    ) -> None:
+        self.engine = Engine()
+        self.topology = Topology(nranks=nranks, ranks_per_node=ranks_per_node)
+        self.network = Network(self.engine, self.topology, net_params, seed=seed)
+        self.trace = Trace(enabled=trace)
+        self.comms = CommunicatorRegistry(nranks)
+        self.hooks = hooks or NativeHooks()
+        self.eager_threshold = eager_threshold
+        self.runtimes: List[MPIRuntime] = [MPIRuntime(self, r) for r in range(nranks)]
+        for rt in self.runtimes:
+            self.hooks.attach(rt)
+        self.processes: Dict[int, SimProcess] = {}
+
+    @property
+    def nranks(self) -> int:
+        return self.topology.nranks
+
+    @property
+    def comm_world(self) -> Communicator:
+        return self.comms.world
+
+    def launch(self, rank: int, gen: Generator, name: Optional[str] = None) -> SimProcess:
+        """Create and start the application process of ``rank``."""
+        proc = SimProcess(self.engine, name or f"rank{rank}", gen)
+        self.processes[rank] = proc
+        proc.start()
+        return proc
+
+    def run(self, until_ns: Optional[int] = None, detect_deadlock: bool = True) -> int:
+        return self.engine.run(until_ns=until_ns, detect_deadlock=detect_deadlock)
+
+    def all_done(self) -> bool:
+        from repro.sim.process import ProcessStatus
+
+        return all(p.status is ProcessStatus.DONE for p in self.processes.values())
+
+    def max_finish_time(self) -> int:
+        times = [p.finish_time for p in self.processes.values() if p.finish_time is not None]
+        if not times:
+            raise SimError("no process finished")
+        return max(times)

@@ -1,0 +1,28 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package is the "hardware" under the reproduced system: a virtual-time
+event engine, cooperatively-scheduled rank processes (Python generators),
+and a FIFO network with an alpha + beta*size latency model and a node
+topology. Everything above it (the MPI library, the SPBC protocol, the
+baselines) is deterministic given the engine seed.
+"""
+
+from repro.sim.engine import Engine, Trigger, AnyOf, AllOf, SimError, DeadlockError
+from repro.sim.process import SimProcess, ProcessKilled, ProcessStatus
+from repro.sim.network import Network, NetworkParams, Topology, Packet
+
+__all__ = [
+    "Engine",
+    "Trigger",
+    "AnyOf",
+    "AllOf",
+    "SimError",
+    "DeadlockError",
+    "SimProcess",
+    "ProcessKilled",
+    "ProcessStatus",
+    "Network",
+    "NetworkParams",
+    "Topology",
+    "Packet",
+]

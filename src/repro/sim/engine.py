@@ -1,0 +1,239 @@
+"""Discrete-event engine with integer-nanosecond virtual time.
+
+Design notes
+------------
+* The event queue is a binary heap of ``(time_ns, seq, fn, args)`` where
+  ``seq`` is a global monotone counter assigned at scheduling time.  Two
+  events at the same virtual time therefore fire in scheduling order,
+  making whole executions reproducible byte-for-byte.
+* Blocking is expressed with :class:`Trigger` objects.  A process
+  generator yields a trigger and is resumed with ``trigger.value`` once it
+  fires.  Triggers are single-fire.  ``AnyOf``/``AllOf`` compose them.
+* The engine deliberately knows nothing about MPI or protocols; it only
+  schedules callables and wakes trigger waiters.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, List, Optional
+
+
+class SimError(RuntimeError):
+    """Base class for simulator errors."""
+
+
+class DeadlockError(SimError):
+    """Raised when ``run()`` exhausts events while processes still block.
+
+    A drained event queue with live blocked processes means no future event
+    can ever wake them: the simulated program has deadlocked.
+    """
+
+
+class EventHandle:
+    """Cancelable handle for a scheduled event."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self.cancelled = True
+
+
+class Engine:
+    """The virtual clock and event queue."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: List[tuple] = []
+        self._seq: int = 0
+        self._running = False
+        self._stopped = False
+        # Processes register here so run() can detect deadlock; the engine
+        # treats them opaquely (anything with .is_blocked and .name).
+        self.processes: List[Any] = []
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay_ns: int, fn: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay_ns`` from now."""
+        if delay_ns < 0:
+            raise ValueError(f"negative delay {delay_ns}")
+        handle = EventHandle()
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay_ns, self._seq, handle, fn, args))
+        return handle
+
+    def schedule_at(
+        self, time_ns: int, fn: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute virtual time ``time_ns``."""
+        if time_ns < self.now:
+            raise ValueError(f"cannot schedule in the past ({time_ns} < {self.now})")
+        return self.schedule(time_ns - self.now, fn, *args)
+
+    def timeout(self, delay_ns: int) -> "Trigger":
+        """A trigger that fires ``delay_ns`` from now (virtual sleep)."""
+        trig = Trigger(name=f"timeout+{delay_ns}")
+        self.schedule(delay_ns, trig.fire, None)
+        return trig
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until_ns: Optional[int] = None,
+        detect_deadlock: bool = True,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run events until the queue drains (or ``until_ns`` / ``stop()``).
+
+        Returns the number of events executed.  When the queue drains while
+        registered processes are still blocked and ``detect_deadlock`` is
+        set, raises :class:`DeadlockError` naming the stuck processes.
+        """
+        if self._running:
+            raise SimError("engine.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._heap:
+                if self._stopped:
+                    break
+                time_ns, _seq, handle, fn, args = self._heap[0]
+                if until_ns is not None and time_ns > until_ns:
+                    self.now = until_ns
+                    break
+                heapq.heappop(self._heap)
+                if handle.cancelled:
+                    continue
+                self.now = time_ns
+                fn(*args)
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    raise SimError(
+                        f"exceeded max_events={max_events}; likely livelock"
+                    )
+        finally:
+            self._running = False
+        if detect_deadlock and not self._stopped and not self._heap:
+            stuck = [p for p in self.processes if getattr(p, "is_blocked", False)]
+            if stuck:
+                names = ", ".join(str(getattr(p, "name", p)) for p in stuck[:8])
+                raise DeadlockError(
+                    f"event queue drained with {len(stuck)} blocked process(es): {names}"
+                )
+        return executed
+
+    def stop(self) -> None:
+        """Stop ``run()`` after the current event returns."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)
+
+
+class Trigger:
+    """A single-fire wakeup condition.
+
+    A waiter is anything with a ``_trigger_fired(trigger)`` method (the
+    process driver and composite triggers implement it).  ``fire`` may be
+    called before any waiter registers; late waiters observe ``fired`` and
+    do not block.
+    """
+
+    __slots__ = ("fired", "value", "_waiters", "name")
+
+    def __init__(self, name: str = "") -> None:
+        self.fired = False
+        self.value: Any = None
+        self._waiters: List[Any] = []
+        self.name = name
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the trigger, waking all registered waiters exactly once."""
+        if self.fired:
+            return
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for w in waiters:
+            w._trigger_fired(self)
+
+    def add_waiter(self, waiter: Any) -> None:
+        if self.fired:
+            waiter._trigger_fired(self)
+        else:
+            self._waiters.append(waiter)
+
+    def discard_waiter(self, waiter: Any) -> None:
+        try:
+            self._waiters.remove(waiter)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self.fired else "pending"
+        return f"<Trigger {self.name or id(self):x} {state}>"
+
+
+class AnyOf(Trigger):
+    """Fires when any child trigger fires; value = (index, child_value)."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Iterable[Trigger]) -> None:
+        super().__init__(name="any")
+        self.children = list(children)
+        if not self.children:
+            raise ValueError("AnyOf requires at least one child")
+        for child in self.children:
+            child.add_waiter(self)
+
+    def _trigger_fired(self, child: Trigger) -> None:
+        if self.fired:
+            return
+        idx = self.children.index(child)
+        for other in self.children:
+            if other is not child:
+                other.discard_waiter(self)
+        self.fire((idx, child.value))
+
+
+class AllOf(Trigger):
+    """Fires when every child trigger has fired; value = list of values."""
+
+    __slots__ = ("children", "_remaining")
+
+    def __init__(self, children: Iterable[Trigger]) -> None:
+        super().__init__(name="all")
+        self.children = list(children)
+        self._remaining = 0
+        if not self.children:
+            raise ValueError("AllOf requires at least one child")
+        # Count first, then register: a child firing synchronously during
+        # registration must not complete the composite early.
+        self._remaining = sum(1 for c in self.children if not c.fired)
+        if self._remaining == 0:
+            self.fire([c.value for c in self.children])
+            return
+        for child in self.children:
+            if not child.fired:
+                child.add_waiter(self)
+
+    def _trigger_fired(self, child: Trigger) -> None:
+        if self.fired:
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.fire([c.value for c in self.children])

@@ -1,0 +1,225 @@
+"""Network and topology model.
+
+The model mirrors what the SPBC evaluation ran on: a cluster of nodes
+(8 ranks per node in the paper) connected by a flat fabric.  Message cost
+uses the classic alpha-beta model with distinct parameters for intra-node
+(shared memory) and inter-node (InfiniBand/IPoIB) transfers:
+
+    arrival = depart + alpha + nbytes * beta (+ jitter)
+
+Guarantees:
+
+* **Per-channel FIFO** — packets on a directed (src, dst) pair arrive in
+  send order, matching MPI's non-overtaking rule that SPBC's per-channel
+  sequence numbers rely on.
+* **Sender NIC serialization** — a rank injects one packet at a time at
+  the injection bandwidth, so a burst of sends is spaced realistically
+  (this is what makes "skipping inter-cluster sends" profitable during
+  recovery, paper section 6.4).
+* Optional seeded jitter perturbs arrival times without breaking FIFO;
+  different seeds give different-but-valid executions, which is how the
+  determinism checkers produce "other executions in E_A".
+
+Failure support: all in-flight packets to and from a set of ranks can be
+purged atomically (used when a cluster rolls back).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.engine import Engine
+from repro.util.units import KB, US
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Placement of ranks onto nodes; ranks are block-distributed."""
+
+    nranks: int
+    ranks_per_node: int = 8
+
+    def __post_init__(self) -> None:
+        if self.nranks <= 0 or self.ranks_per_node <= 0:
+            raise ValueError("nranks and ranks_per_node must be positive")
+
+    @property
+    def nnodes(self) -> int:
+        return (self.nranks + self.ranks_per_node - 1) // self.ranks_per_node
+
+    def node_of(self, rank: int) -> int:
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} out of range [0,{self.nranks})")
+        return rank // self.ranks_per_node
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    def ranks_on_node(self, node: int) -> range:
+        lo = node * self.ranks_per_node
+        hi = min(lo + self.ranks_per_node, self.nranks)
+        if lo >= self.nranks:
+            raise ValueError(f"node {node} out of range")
+        return range(lo, hi)
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Latency/bandwidth parameters (defaults ~ IPoIB on IB 20G + shm).
+
+    beta values are ns/byte: 0.8 ns/B ~ 1.25 GB/s effective inter-node,
+    0.12 ns/B ~ 8 GB/s intra-node.  alpha values are one-way latencies.
+    """
+
+    alpha_inter_ns: int = 8 * US
+    beta_inter_ns_per_byte: float = 0.8
+    alpha_intra_ns: int = 400
+    beta_intra_ns_per_byte: float = 0.12
+    # Sender-side injection (NIC/memcpy) cost per byte; serializes sends.
+    inject_ns_per_byte: float = 0.25
+    inject_fixed_ns: int = 300
+    # Uniform random extra latency in [0, jitter_max_ns]; 0 disables.
+    jitter_max_ns: int = 0
+
+    def wire_time(self, same_node: bool, nbytes: int) -> int:
+        if same_node:
+            return self.alpha_intra_ns + int(nbytes * self.beta_intra_ns_per_byte)
+        return self.alpha_inter_ns + int(nbytes * self.beta_inter_ns_per_byte)
+
+    def inject_time(self, nbytes: int) -> int:
+        return self.inject_fixed_ns + int(nbytes * self.inject_ns_per_byte)
+
+
+@dataclass
+class Packet:
+    """One transfer on the wire (an MPI message fragment or control msg)."""
+
+    src: int
+    dst: int
+    payload: object
+    nbytes: int
+    sent_at: int = 0
+    inject_done_at: int = 0  # when the sender's NIC finished injecting
+    arrives_at: int = 0
+    channel_seq: int = 0  # network-level FIFO index on (src, dst)
+
+
+class Network:
+    """Connects ranks; delivers packets to a per-rank callback."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        topology: Topology,
+        params: Optional[NetworkParams] = None,
+        seed: int = 0,
+    ) -> None:
+        self.engine = engine
+        self.topology = topology
+        self.params = params or NetworkParams()
+        self._rng = random.Random(seed ^ 0x5B5C_2013)
+        # Per-directed-pair last-arrival time, to enforce FIFO.
+        self._last_arrival: Dict[Tuple[int, int], int] = {}
+        self._chan_seq: Dict[Tuple[int, int], int] = {}
+        # Per-rank NIC availability time (sender serialization).
+        self._nic_free: List[int] = [0] * topology.nranks
+        # Delivery sinks, installed by the MPI runtimes.
+        self._sinks: List[Optional[Callable[[Packet], None]]] = [
+            None
+        ] * topology.nranks
+        # In-flight bookkeeping for failure purge: handle + packet.
+        self._in_flight: Dict[int, Tuple[object, Packet]] = {}
+        self._flight_ids = 0
+        # Counters (useful for tests/benches).
+        self.packets_sent = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, rank: int, sink: Callable[[Packet], None]) -> None:
+        """Install the delivery callback for ``rank``."""
+        self._sinks[rank] = sink
+
+    def detach(self, rank: int) -> None:
+        self._sinks[rank] = None
+
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, payload: object, nbytes: int) -> Packet:
+        """Inject a packet; returns it (with ``arrives_at`` filled in).
+
+        The sender's NIC is busy until injection completes; the packet then
+        takes ``wire_time`` and arrives no earlier than the previous packet
+        on the same directed pair (FIFO).
+        """
+        if src == dst:
+            raise ValueError("network send to self is not modeled; loopback "
+                             "messages are handled inside the MPI runtime")
+        if nbytes < 0:
+            raise ValueError("negative nbytes")
+        p = self.params
+        now = self.engine.now
+        inject = p.inject_time(nbytes)
+        start = max(now, self._nic_free[src])
+        self._nic_free[src] = start + inject
+        same = self.topology.same_node(src, dst)
+        jitter = self._rng.randrange(p.jitter_max_ns + 1) if p.jitter_max_ns else 0
+        arrival = start + inject + p.wire_time(same, nbytes) + jitter
+        key = (src, dst)
+        prev = self._last_arrival.get(key, 0)
+        if arrival <= prev:
+            arrival = prev + 1  # preserve FIFO and strict ordering
+        self._last_arrival[key] = arrival
+        seq = self._chan_seq.get(key, 0) + 1
+        self._chan_seq[key] = seq
+
+        pkt = Packet(
+            src=src,
+            dst=dst,
+            payload=payload,
+            nbytes=nbytes,
+            sent_at=now,
+            inject_done_at=start + inject,
+            arrives_at=arrival,
+            channel_seq=seq,
+        )
+        fid = self._flight_ids = self._flight_ids + 1
+        handle = self.engine.schedule_at(arrival, self._deliver, fid)
+        self._in_flight[fid] = (handle, pkt)
+        self.packets_sent += 1
+        self.bytes_sent += nbytes
+        return pkt
+
+    def _deliver(self, fid: int) -> None:
+        entry = self._in_flight.pop(fid, None)
+        if entry is None:
+            return
+        _handle, pkt = entry
+        sink = self._sinks[pkt.dst]
+        if sink is None:
+            return  # destination dead and not yet restarted: packet lost
+        sink(pkt)
+
+    # ------------------------------------------------------------------
+    def purge_involving(self, ranks: set[int]) -> int:
+        """Drop every in-flight packet to or from ``ranks``.
+
+        Used at rollback time: a failed cluster loses its in-flight traffic
+        in both directions (paper model: crash kills the node's transport).
+        Returns the number of packets dropped.
+        """
+        doomed = [
+            fid
+            for fid, (_h, pkt) in self._in_flight.items()
+            if pkt.src in ranks or pkt.dst in ranks
+        ]
+        for fid in doomed:
+            handle, _pkt = self._in_flight.pop(fid)
+            handle.cancel()
+        return len(doomed)
+
+    def in_flight_count(self) -> int:
+        return len(self._in_flight)
+
+
+DEFAULT_EAGER_THRESHOLD = 64 * KB

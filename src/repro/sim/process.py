@@ -1,0 +1,154 @@
+"""Cooperatively-scheduled simulated processes.
+
+A simulated process wraps a Python generator.  The generator yields
+:class:`~repro.sim.engine.Trigger` objects when it blocks (e.g. inside
+``MPI_Wait``) and is resumed with the trigger's value.  Blocking library
+calls are written as sub-generators and invoked with ``yield from``.
+
+Processes can be killed (for failure injection) and replaced by a fresh
+incarnation (for rollback-recovery); the driver tracks an incarnation
+number so stale wakeups from a previous life are ignored.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.engine import Engine, SimError, Trigger
+
+
+class ProcessKilled(Exception):
+    """Injected into a generator when its process is killed."""
+
+
+class ProcessStatus(enum.Enum):
+    CREATED = "created"
+    RUNNING = "running"  # scheduled or executing
+    BLOCKED = "blocked"  # waiting on a trigger
+    DONE = "done"
+    FAILED = "failed"  # generator raised
+    KILLED = "killed"  # failure injection
+
+
+class SimProcess:
+    """Drives one rank's generator on the engine."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        gen: Generator[Trigger, Any, Any],
+        on_exit: Optional[Callable[["SimProcess"], None]] = None,
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self._gen = gen
+        self.status = ProcessStatus.CREATED
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self.exit_trigger = Trigger(name=f"{name}.exit")
+        self.on_exit = on_exit
+        self.start_time: Optional[int] = None
+        self.finish_time: Optional[int] = None
+        self.incarnation = 0
+        self._waiting_on: Optional[Trigger] = None
+        engine.processes.append(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_blocked(self) -> bool:
+        return self.status is ProcessStatus.BLOCKED
+
+    @property
+    def is_live(self) -> bool:
+        return self.status in (
+            ProcessStatus.CREATED,
+            ProcessStatus.RUNNING,
+            ProcessStatus.BLOCKED,
+        )
+
+    def start(self, delay_ns: int = 0) -> None:
+        if self.status is not ProcessStatus.CREATED:
+            raise SimError(f"{self.name}: start() on {self.status}")
+        self.status = ProcessStatus.RUNNING
+        inc = self.incarnation
+        self.engine.schedule(delay_ns, self._first_step, inc)
+
+    def _first_step(self, inc: int) -> None:
+        if inc != self.incarnation or not self.is_live:
+            return
+        self.start_time = self.engine.now
+        self._advance(None)
+
+    # ------------------------------------------------------------------
+    def _trigger_fired(self, trigger: Trigger) -> None:
+        """Trigger waiter interface: schedule a resume at the current time."""
+        if self.status is not ProcessStatus.BLOCKED or trigger is not self._waiting_on:
+            return
+        self._waiting_on = None
+        self.status = ProcessStatus.RUNNING
+        self.engine.schedule(0, self._resume, self.incarnation, trigger.value)
+
+    def _resume(self, inc: int, value: Any) -> None:
+        if inc != self.incarnation or self.status is not ProcessStatus.RUNNING:
+            return
+        self._advance(value)
+
+    def _advance(self, send_value: Any) -> None:
+        try:
+            yielded = self._gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(ProcessStatus.DONE, result=stop.value)
+            return
+        except ProcessKilled:
+            self._finish(ProcessStatus.KILLED)
+            return
+        except BaseException as exc:  # noqa: BLE001 - report app failures
+            self.exception = exc
+            self._finish(ProcessStatus.FAILED)
+            return
+        if not isinstance(yielded, Trigger):
+            self.exception = SimError(
+                f"{self.name} yielded {type(yielded).__name__}, expected Trigger"
+            )
+            self._finish(ProcessStatus.FAILED)
+            return
+        self.status = ProcessStatus.BLOCKED
+        self._waiting_on = yielded
+        yielded.add_waiter(self)
+
+    def _finish(self, status: ProcessStatus, result: Any = None) -> None:
+        self.status = status
+        self.result = result
+        self.finish_time = self.engine.now
+        self._waiting_on = None
+        self.exit_trigger.fire(result)
+        if self.on_exit is not None:
+            self.on_exit(self)
+
+    # ------------------------------------------------------------------
+    def kill(self) -> None:
+        """Kill the process (failure injection).
+
+        The generator receives :class:`ProcessKilled` so its ``finally``
+        blocks run; any pending wakeups for this incarnation are ignored.
+        """
+        if not self.is_live:
+            return
+        self.incarnation += 1  # invalidate in-flight resumes
+        if self._waiting_on is not None:
+            self._waiting_on.discard_waiter(self)
+            self._waiting_on = None
+        try:
+            self._gen.throw(ProcessKilled())
+        except (ProcessKilled, StopIteration):
+            pass
+        except BaseException as exc:  # noqa: BLE001
+            self.exception = exc
+        self.status = ProcessStatus.KILLED
+        self.finish_time = self.engine.now
+        # Intentionally do NOT fire exit_trigger: a killed process did not
+        # exit; recovery machinery replaces it with a new incarnation.
+        if self.on_exit is not None:
+            self.on_exit(self)

@@ -1,0 +1,106 @@
+"""Communication-event tracing.
+
+Records the paper's event vocabulary (section 3.2): ``send(m)``,
+``deliver(m)``, ``post(req)``, ``match(req, m)``, plus compute spans.
+Traces feed three consumers:
+
+* the channel/send-determinism checkers (compare send sequences across
+  executions — section 3.4),
+* the happened-before / always-happens-before tooling (section 3.5),
+* the communication-statistics collector used by the clustering tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One traced communication event.
+
+    ``kind`` is one of ``send``, ``deliver``, ``post``, ``match``.
+    ``channel`` is (src, dst, comm_id); ``seqnum`` is the per-channel MPI
+    sequence number (section 3.3's message identity), ``req_seq`` the
+    per-rank reception-request sequence number where applicable.
+    """
+
+    kind: str
+    rank: int
+    time_ns: int
+    channel: Tuple[int, int, int]
+    seqnum: int
+    tag: int = 0
+    nbytes: int = 0
+    req_seq: int = -1
+    ident: Tuple[int, int] = (0, 0)  # (pattern_id, iteration_id)
+
+    @property
+    def message_key(self) -> Tuple[int, int, int, int]:
+        """Unique message identity across executions: channel + seqnum."""
+        return (*self.channel, self.seqnum)
+
+
+class Trace:
+    """Append-only event log for one execution."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: List[CommEvent] = []
+
+    def record(self, event: CommEvent) -> None:
+        if self.enabled:
+            self.events.append(event)
+
+    # ------------------------------------------------------------------
+    # Views used by the determinism checkers
+    # ------------------------------------------------------------------
+    def sends(self) -> Iterator[CommEvent]:
+        return (e for e in self.events if e.kind == "send")
+
+    def delivers(self) -> Iterator[CommEvent]:
+        return (e for e in self.events if e.kind == "deliver")
+
+    def per_channel_send_sequences(
+        self,
+    ) -> Dict[Tuple[int, int, int], List[Tuple[int, int, int]]]:
+        """channel -> ordered [(seqnum, tag, nbytes)] of send events.
+
+        This is S|c restricted to sends — the object channel-determinism
+        (Definition 2) quantifies over.
+        """
+        out: Dict[Tuple[int, int, int], List[Tuple[int, int, int]]] = {}
+        for e in self.sends():
+            out.setdefault(e.channel, []).append((e.seqnum, e.tag, e.nbytes))
+        return out
+
+    def per_process_send_sequences(self) -> Dict[int, List[Tuple]]:
+        """rank -> ordered [(dst, comm, seqnum, tag, nbytes)] of sends.
+
+        This is S|p restricted to sends — send-determinism (Definition 1)
+        quantifies over it.  The *order across channels* matters here,
+        which is exactly what AMG's reply pattern breaks.
+        """
+        out: Dict[int, List[Tuple]] = {}
+        for e in self.sends():
+            out.setdefault(e.rank, []).append(
+                (e.channel[1], e.channel[2], e.seqnum, e.tag, e.nbytes)
+            )
+        return out
+
+    def deliveries_of_rank(self, rank: int) -> List[CommEvent]:
+        return [e for e in self.events if e.kind == "deliver" and e.rank == rank]
+
+    def comm_bytes_matrix(self, nranks: int):
+        """Dense (nranks x nranks) numpy matrix of bytes sent src->dst."""
+        import numpy as np
+
+        mat = np.zeros((nranks, nranks), dtype=np.int64)
+        for e in self.sends():
+            src, dst, _comm = e.channel
+            mat[src, dst] += e.nbytes
+        return mat
+
+    def __len__(self) -> int:
+        return len(self.events)

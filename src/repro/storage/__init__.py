@@ -1,0 +1,20 @@
+"""Checkpoint storage cost models (PFS, node-local, multi-level).
+
+The paper excludes checkpoint-writing time from its measurements and
+cites multi-level checkpointing work (FTI [3], SCR [27]) for that side
+of the problem; this package provides the corresponding cost models so
+examples and ablations can reason about end-to-end checkpoint budgets
+(e.g. why logs-to-local-storage beats everything-to-PFS).
+"""
+
+from repro.storage.model import StorageTier, pfs_tier, local_ssd_tier, ram_tier
+from repro.storage.multilevel import MultiLevelPlan, optimal_interval_ns
+
+__all__ = [
+    "StorageTier",
+    "pfs_tier",
+    "local_ssd_tier",
+    "ram_tier",
+    "MultiLevelPlan",
+    "optimal_interval_ns",
+]

@@ -1,0 +1,76 @@
+"""Storage tiers with bandwidth/latency and shared-medium contention.
+
+A tier models where checkpoints (state + logs) can be written:
+
+* the parallel file system — high capacity, survives any failure, but
+  its aggregate bandwidth is *shared by every writer* (the PFS
+  contention the paper's introduction warns about);
+* node-local storage (SSD) — per-node bandwidth, survives process
+  crashes but not node loss (hence multi-level schemes);
+* RAM (partner-copy style) — fastest, least resilient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import GB, MB, MS, SEC, US
+
+
+@dataclass(frozen=True)
+class StorageTier:
+    """One level of the checkpoint storage hierarchy."""
+
+    name: str
+    latency_ns: int
+    bandwidth_bytes_per_s: float
+    shared: bool  # True: bandwidth divided among concurrent writers
+    survives_node_failure: bool
+
+    def write_time_ns(self, nbytes: int, concurrent_writers: int = 1) -> int:
+        """Time for one writer to persist ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("negative size")
+        if concurrent_writers < 1:
+            raise ValueError("need at least one writer")
+        bw = self.bandwidth_bytes_per_s
+        if self.shared:
+            bw /= concurrent_writers
+        return self.latency_ns + int(nbytes / bw * SEC)
+
+    def read_time_ns(self, nbytes: int, concurrent_readers: int = 1) -> int:
+        """Restart-time read (the paper's 'IO burst when retrieving the
+        last checkpoint' applies on the shared tier)."""
+        return self.write_time_ns(nbytes, concurrent_readers)
+
+
+def pfs_tier(aggregate_gb_s: float = 20.0) -> StorageTier:
+    """A parallel file system: tens-of-minutes full-system checkpoints
+    at scale (paper section 2.1 cites [27])."""
+    return StorageTier(
+        name="pfs",
+        latency_ns=5 * MS,
+        bandwidth_bytes_per_s=aggregate_gb_s * GB,
+        shared=True,
+        survives_node_failure=True,
+    )
+
+
+def local_ssd_tier(gb_s: float = 0.5) -> StorageTier:
+    return StorageTier(
+        name="local-ssd",
+        latency_ns=100 * US,
+        bandwidth_bytes_per_s=gb_s * GB,
+        shared=False,
+        survives_node_failure=False,
+    )
+
+
+def ram_tier(gb_s: float = 5.0) -> StorageTier:
+    return StorageTier(
+        name="ram",
+        latency_ns=2 * US,
+        bandwidth_bytes_per_s=gb_s * GB,
+        shared=False,
+        survives_node_failure=False,
+    )

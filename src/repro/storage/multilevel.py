@@ -1,0 +1,63 @@
+"""Multi-level checkpoint planning (SCR/FTI-style, paper refs [3], [27]).
+
+SPBC composes with multi-level checkpointing (paper reference [4]):
+cluster checkpoints and logs go to fast local tiers at high frequency,
+with periodic propagation to the PFS.  The planner here computes write
+times per tier and a Young/Daly-style optimal interval, used by the
+clustering-trade-off example to put the log-size numbers in context.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.storage.model import StorageTier
+from repro.util.units import SEC
+
+
+@dataclass
+class MultiLevelPlan:
+    """Checkpoint levels, cheapest/most-frequent first."""
+
+    tiers: Sequence[StorageTier]
+    # every level-i checkpoint happens once per `period[i]` level-0 rounds
+    periods: Sequence[int]
+
+    def __post_init__(self) -> None:
+        if len(self.tiers) != len(self.periods):
+            raise ValueError("one period per tier")
+        if not self.tiers:
+            raise ValueError("at least one tier")
+        if list(self.periods) != sorted(self.periods):
+            raise ValueError("periods must be non-decreasing (rarer upward)")
+        if self.periods[0] != 1:
+            raise ValueError("the first tier runs every round")
+
+    def round_cost_ns(
+        self, ckpt_bytes: int, round_no: int, concurrent_writers: int = 1
+    ) -> int:
+        """Write cost of checkpoint round ``round_no`` (1-based)."""
+        cost = 0
+        for tier, period in zip(self.tiers, self.periods):
+            if round_no % period == 0:
+                cost += tier.write_time_ns(ckpt_bytes, concurrent_writers)
+        return cost
+
+    def amortized_cost_ns(self, ckpt_bytes: int, concurrent_writers: int = 1) -> float:
+        """Average per-round write cost over a full cycle."""
+        cycle = self.periods[-1]
+        total = sum(
+            self.round_cost_ns(ckpt_bytes, r, concurrent_writers)
+            for r in range(1, cycle + 1)
+        )
+        return total / cycle
+
+
+def optimal_interval_ns(ckpt_cost_ns: int, mtbf_ns: int) -> int:
+    """Young's first-order optimal checkpoint interval:
+    sqrt(2 * C * MTBF)."""
+    if ckpt_cost_ns <= 0 or mtbf_ns <= 0:
+        raise ValueError("costs and MTBF must be positive")
+    return int(math.sqrt(2.0 * ckpt_cost_ns * mtbf_ns))

@@ -1,0 +1,19 @@
+"""Small shared utilities: units, statistics, table formatting, counters."""
+
+from repro.util.units import KB, MB, GB, US, MS, SEC, ns_to_s, mb_per_s
+from repro.util.stats import SummaryStats, summarize
+from repro.util.table import format_table
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "US",
+    "MS",
+    "SEC",
+    "ns_to_s",
+    "mb_per_s",
+    "SummaryStats",
+    "summarize",
+    "format_table",
+]

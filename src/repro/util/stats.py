@@ -1,0 +1,53 @@
+"""Summary statistics over per-process metrics.
+
+The paper's Table 1 reports average and maximum log growth rates over all
+MPI processes; this module provides the small container used everywhere a
+per-rank metric is aggregated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Aggregate view of a sequence of per-rank values."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    stddev: float
+    total: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} mean={self.mean:.3g} min={self.minimum:.3g} "
+            f"max={self.maximum:.3g} sd={self.stddev:.3g}"
+        )
+
+
+def summarize(values: Iterable[float]) -> SummaryStats:
+    """Compute :class:`SummaryStats` for ``values``.
+
+    Raises ``ValueError`` on an empty input: an empty per-rank metric is
+    always a harness bug, never a legitimate result.
+    """
+    vals: Sequence[float] = list(values)
+    if not vals:
+        raise ValueError("summarize() requires at least one value")
+    n = len(vals)
+    total = float(sum(vals))
+    mean = total / n
+    var = sum((v - mean) ** 2 for v in vals) / n
+    return SummaryStats(
+        count=n,
+        mean=mean,
+        minimum=float(min(vals)),
+        maximum=float(max(vals)),
+        stddev=math.sqrt(var),
+        total=total,
+    )

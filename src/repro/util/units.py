@@ -1,0 +1,34 @@
+"""Unit constants and conversions.
+
+All virtual time in the simulator is kept in integer nanoseconds to make
+executions byte-for-byte reproducible (no floating point accumulation).
+All sizes are plain integer bytes.
+"""
+
+from __future__ import annotations
+
+# Sizes (bytes)
+KB: int = 1024
+MB: int = 1024 * 1024
+GB: int = 1024 * 1024 * 1024
+
+# Durations (nanoseconds)
+US: int = 1_000
+MS: int = 1_000_000
+SEC: int = 1_000_000_000
+
+
+def ns_to_s(ns: int) -> float:
+    """Convert integer nanoseconds to float seconds."""
+    return ns / 1e9
+
+
+def mb_per_s(nbytes: int, duration_ns: int) -> float:
+    """Throughput in MB/s (MB = 2**20 bytes) over a virtual-time interval.
+
+    Returns 0.0 for an empty interval so callers can fold it into tables
+    without special-casing zero-length runs.
+    """
+    if duration_ns <= 0:
+        return 0.0
+    return (nbytes / MB) / (duration_ns / SEC)

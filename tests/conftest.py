@@ -1,0 +1,53 @@
+"""Shared test fixtures/helpers: tiny worlds and app launchers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi.context import RankContext
+from repro.mpi.runtime import World
+
+
+def run_world(
+    nranks,
+    app_factory,
+    ranks_per_node=4,
+    hooks=None,
+    seed=0,
+    net_params=None,
+    until_ns=None,
+    eager_threshold=None,
+):
+    """Build a world, launch ``app_factory(ctx)`` on every rank, run it.
+
+    ``app_factory(ctx)`` must return the rank's generator.  Returns the
+    world (processes hold results; world.trace holds events).  Raises if
+    any rank failed.
+    """
+    kwargs = {}
+    if eager_threshold is not None:
+        kwargs["eager_threshold"] = eager_threshold
+    world = World(
+        nranks,
+        ranks_per_node=ranks_per_node,
+        hooks=hooks,
+        seed=seed,
+        net_params=net_params,
+        **kwargs,
+    )
+    for r in range(nranks):
+        world.launch(r, app_factory(RankContext(world, r)))
+    world.run(until_ns=until_ns)
+    for r, proc in world.processes.items():
+        if proc.exception is not None:
+            raise AssertionError(f"rank {r} failed: {proc.exception!r}") from proc.exception
+    return world
+
+
+def results_of(world):
+    return {r: p.result for r, p in world.processes.items()}
+
+
+@pytest.fixture
+def small_world_runner():
+    return run_world

@@ -1,0 +1,168 @@
+"""Channel/send-determinism checkers and the AHB toolkit (sections 3.4-3.5).
+
+The checkers approximate "all valid executions" with runs under distinct
+network-jitter seeds; the bundled apps must be channel-deterministic
+(SPBC's correctness condition), while the master/worker counterexample
+must be flagged.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.clusters import ClusterMap
+from repro.core.determinism import (
+    HBIndex,
+    always_happens_before,
+    build_hb_index,
+    check_channel_determinism,
+    check_send_determinism,
+)
+from repro.harness.runner import run_native
+from repro.apps.base import get_app
+from repro.sim.network import NetworkParams
+from repro.sim.tracing import CommEvent, Trace
+
+
+def traces_for(appname, params, nranks, nseeds=3, rpn=4):
+    app = get_app(appname).factory(**params)
+    out = []
+    for seed in range(nseeds):
+        res = run_native(
+            app,
+            nranks,
+            ranks_per_node=rpn,
+            seed=seed,
+            net_params=NetworkParams(jitter_max_ns=50_000),
+        )
+        out.append(res.trace)
+    return out
+
+
+APP_PARAMS = {
+    "ring": dict(iters=3, compute_ns=20_000),
+    "halo2d": dict(iters=3, compute_ns=20_000),
+    "minife": dict(iters=3, compute_ns=100_000),
+    "minighost": dict(iters=2, nvars=3, compute_ns_per_var=50_000),
+    "amg": dict(cycles=2, compute_l0_ns=200_000),
+    "gtc": dict(iters=3, compute_ns=100_000, npartdom=2),
+    "milc": dict(iters=3, compute_ns=100_000),
+    "cm1": dict(iters=2, compute_ns=100_000, nfields=2),
+    "bt": dict(iters=2, compute_per_sweep_ns=50_000),
+    "sp": dict(iters=2, compute_per_sweep_ns=50_000),
+    "lu": dict(iters=2, block_ns=20_000),
+    "mg": dict(cycles=2, compute_l0_ns=100_000),
+}
+
+
+@pytest.mark.parametrize("appname", sorted(APP_PARAMS))
+def test_all_bundled_apps_are_channel_deterministic(appname):
+    """SPBC's applicability condition (Definition 2) holds for every
+    workload the benchmarks use."""
+    traces = traces_for(appname, APP_PARAMS[appname], nranks=8)
+    report = check_channel_determinism(traces)
+    assert report.deterministic, report.mismatches[:3]
+
+
+@pytest.mark.parametrize(
+    "appname",
+    ["ring", "halo2d", "cm1", "bt", "sp", "lu", "mg", "minighost"],
+)
+def test_named_receive_apps_are_send_deterministic(appname):
+    traces = traces_for(appname, APP_PARAMS[appname], nranks=8)
+    assert check_send_determinism(traces).deterministic
+
+
+def test_master_worker_not_channel_deterministic():
+    """The excluded class (section 3.4): first-come-first-served task
+    hand-out changes even per-channel content across timings."""
+    app = get_app("master_worker").factory(tasks=12)
+    traces = []
+    for seed in range(4):
+        res = run_native(
+            app,
+            5,
+            ranks_per_node=5,
+            seed=seed,
+            net_params=NetworkParams(jitter_max_ns=200_000),
+        )
+        traces.append(res.trace)
+    report = check_channel_determinism(traces)
+    assert not report.deterministic
+    assert report.mismatches
+
+
+def test_checker_needs_two_runs():
+    with pytest.raises(ValueError):
+        check_channel_determinism([Trace()])
+    with pytest.raises(ValueError):
+        check_send_determinism([Trace()])
+
+
+def test_report_pinpoints_divergence():
+    t1, t2 = Trace(), Trace()
+    for seq, tag in [(1, 5), (2, 6)]:
+        t1.record(CommEvent("send", 0, 0, (0, 1, 0), seq, tag=tag, nbytes=10))
+    for seq, tag in [(1, 5), (2, 9)]:
+        t2.record(CommEvent("send", 0, 0, (0, 1, 0), seq, tag=tag, nbytes=10))
+    report = check_channel_determinism([t1, t2])
+    assert not report.deterministic
+    assert "index 1" in report.mismatches[0]
+
+
+# ----------------------------------------------------------------------
+# Vector clocks / HB
+# ----------------------------------------------------------------------
+
+def _mini_trace():
+    """p0 sends m to p1; p1 then sends m' to p2."""
+    t = Trace()
+    t.record(CommEvent("send", 0, 10, (0, 1, 0), 1))
+    t.record(CommEvent("deliver", 1, 20, (0, 1, 0), 1))
+    t.record(CommEvent("send", 1, 30, (1, 2, 0), 1))
+    t.record(CommEvent("deliver", 2, 40, (1, 2, 0), 1))
+    return t
+
+
+def test_hb_transitive_chain():
+    ix = build_hb_index(_mini_trace(), 3)
+    m, m2 = (0, 1, 0, 1), (1, 2, 0, 1)
+    assert ix.happens_before("send", m, "deliver", m, )
+    assert ix.happens_before("deliver", m, "send", m2)
+    assert ix.happens_before("send", m, "deliver", m2)  # transitivity
+    assert not ix.happens_before("deliver", m2, "send", m)
+
+
+def test_hb_concurrent_events_unordered():
+    t = Trace()
+    t.record(CommEvent("send", 0, 10, (0, 2, 0), 1))
+    t.record(CommEvent("send", 1, 10, (1, 2, 0), 1))
+    t.record(CommEvent("deliver", 2, 30, (0, 2, 0), 1))
+    t.record(CommEvent("deliver", 2, 40, (1, 2, 0), 1))
+    ix = build_hb_index(t, 3)
+    a, b = (0, 2, 0, 1), (1, 2, 0, 1)
+    assert not ix.happens_before("send", a, "send", b)
+    assert not ix.happens_before("send", b, "send", a)
+    # but deliveries at the same process are ordered
+    assert ix.happens_before("deliver", a, "deliver", b)
+
+
+def test_hb_unknown_event_raises():
+    ix = build_hb_index(_mini_trace(), 3)
+    with pytest.raises(KeyError):
+        ix.happens_before("send", (9, 9, 9, 9), "send", (0, 1, 0, 1))
+
+
+def test_ahb_is_intersection():
+    ix1 = build_hb_index(_mini_trace(), 3)
+    # second "execution": the chain does not hold (m' delivered first)
+    t2 = Trace()
+    t2.record(CommEvent("send", 1, 5, (1, 2, 0), 1))
+    t2.record(CommEvent("deliver", 2, 10, (1, 2, 0), 1))
+    t2.record(CommEvent("send", 0, 15, (0, 1, 0), 1))
+    t2.record(CommEvent("deliver", 1, 25, (0, 1, 0), 1))
+    ix2 = build_hb_index(t2, 3)
+    m, m2 = (0, 1, 0, 1), (1, 2, 0, 1)
+    assert always_happens_before([ix1], "send", m, "deliver", m2)
+    assert not always_happens_before([ix1, ix2], "send", m, "deliver", m2)
+    with pytest.raises(ValueError):
+        always_happens_before([], "send", m, "send", m2)

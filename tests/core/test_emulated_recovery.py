@@ -1,0 +1,134 @@
+"""Emulated recovery (paper section 6.4): phase-1 logging run, phase-2
+replay with only the failed cluster re-executing."""
+
+import pytest
+
+from repro.core.clusters import ClusterMap
+from repro.core.emulated import ReplayPlan, replayer_process
+from repro.core.protocol import SPBCConfig
+from repro.harness.runner import (
+    run_emulated_recovery,
+    run_native,
+    run_spbc,
+)
+from repro.apps.base import get_app
+from repro.apps.synthetic import halo2d_app, probe_reply_app, ring_app
+
+
+def phase1(app, nranks, clusters, **kw):
+    res = run_spbc(app, nranks, clusters, **kw)
+    plan = ReplayPlan.from_run(res.hooks, res.makespan_ns)
+    return res, plan
+
+
+def test_plan_contains_only_messages_into_recovering_cluster():
+    app = ring_app(iters=4, msg_bytes=512, compute_ns=10_000)
+    clusters = ClusterMap.block(8, 4)
+    res, plan = phase1(app, 8, clusters, ranks_per_node=2)
+    assert plan.recovering_cluster == 0
+    assert plan.recovering_ranks == {0, 1}
+    # only rank 7 sends into cluster 0 (7 -> 0 ring edge)
+    assert set(plan.records_by_sender) == {7}
+    assert all(r.dst == 0 for r in plan.records_by_sender[7])
+    assert plan.total_records == 4
+
+
+def test_plan_records_sorted_by_send_time():
+    app = get_app("milc").factory(iters=2, compute_ns=20_000)
+    clusters = ClusterMap.block(8, 2)
+    _res, plan = phase1(app, 8, clusters, ranks_per_node=4)
+    for sender, recs in plan.records_by_sender.items():
+        times = [r.send_time_ns for r in recs]
+        assert times == sorted(times)
+        # per-channel seq order must also hold within the merged list
+        per_chan = {}
+        for r in recs:
+            per_chan.setdefault((r.comm_id, r.dst), []).append(r.seqnum)
+        for seqs in per_chan.values():
+            assert seqs == sorted(seqs)
+
+
+@pytest.mark.parametrize("appname,params", [
+    ("ring", dict(iters=5, msg_bytes=2048, compute_ns=50_000, allreduce_every=2)),
+    ("halo2d", dict(iters=4, msg_bytes=4096, compute_ns=80_000)),
+    ("milc", dict(iters=3, compute_ns=200_000)),
+    ("minife", dict(iters=3, compute_ns=150_000)),
+    ("probe_reply", dict(iters=2)),
+])
+def test_recovery_reproduces_application_results(appname, params):
+    """The recovering cluster's re-execution must compute exactly the
+    failure-free results (channel-determinism + correct replay)."""
+    app = get_app(appname).factory(**params)
+    nranks, k = 8, 4
+    clusters = ClusterMap.block(nranks, k)
+    res, plan = phase1(app, nranks, clusters, ranks_per_node=2)
+    rec = run_emulated_recovery(app, nranks, clusters, plan, ranks_per_node=2)
+    for r in plan.recovering_ranks:
+        assert rec.results[r] == res.results[r], f"rank {r} diverged"
+
+
+def test_rework_not_slower_than_failure_free():
+    """Recovery skips inter-cluster sends and gets logged messages early:
+    rework <= failure-free (paper Figure 5: all bars < 1)."""
+    app = get_app("halo2d").factory(iters=5, msg_bytes=16 * 1024, compute_ns=100_000)
+    nranks = 16
+    clusters = ClusterMap.block(nranks, 4)
+    native = run_native(app, nranks, ranks_per_node=4)
+    _res, plan = phase1(app, nranks, clusters, ranks_per_node=4)
+    rec = run_emulated_recovery(
+        app, nranks, clusters, plan, reference_ns=native.makespan_ns, ranks_per_node=4
+    )
+    assert rec.normalized <= 1.001
+
+
+def test_replayers_send_everything():
+    app = ring_app(iters=4, msg_bytes=512, compute_ns=10_000)
+    clusters = ClusterMap.block(8, 4)
+    _res, plan = phase1(app, 8, clusters, ranks_per_node=2)
+    rec = run_emulated_recovery(app, 8, clusters, plan, ranks_per_node=2)
+    # replayer result = number of records re-sent
+    for sender, recs in plan.records_by_sender.items():
+        assert rec.results[sender] == len(recs)
+
+
+def test_prepost_window_respected():
+    """A window of 1 forces fully serial replay and still terminates."""
+    app = ring_app(iters=6, msg_bytes=1024, compute_ns=5_000)
+    clusters = ClusterMap.block(4, 2)
+    res, plan = phase1(app, 4, clusters, ranks_per_node=2)
+    rec1 = run_emulated_recovery(app, 4, clusters, plan, window=1, ranks_per_node=2)
+    rec50 = run_emulated_recovery(app, 4, clusters, plan, window=50, ranks_per_node=2)
+    for r in plan.recovering_ranks:
+        assert rec1.results[r] == rec50.results[r] == res.results[r]
+
+
+def test_invalid_window_rejected():
+    app = ring_app(iters=2)
+    clusters = ClusterMap.block(4, 2)
+    _res, plan = phase1(app, 4, clusters, ranks_per_node=2)
+    with pytest.raises(ValueError, match="window"):
+        run_emulated_recovery(app, 4, clusters, plan, window=0, ranks_per_node=2)
+
+
+def test_recovery_with_rendezvous_messages():
+    """Large logged messages replay through the rendezvous protocol."""
+    app = ring_app(iters=3, msg_bytes=200_000, compute_ns=50_000)
+    clusters = ClusterMap.block(4, 2)
+    res, plan = phase1(app, 4, clusters, ranks_per_node=2)
+    assert plan.total_bytes >= 3 * 200_000
+    rec = run_emulated_recovery(app, 4, clusters, plan, ranks_per_node=2)
+    for r in plan.recovering_ranks:
+        assert rec.results[r] == res.results[r]
+
+
+def test_specific_cluster_recovery():
+    app = ring_app(iters=3, msg_bytes=512, compute_ns=10_000)
+    clusters = ClusterMap.block(8, 4)
+    res = run_spbc(app, 8, clusters, ranks_per_node=2)
+    from repro.core.emulated import ReplayPlan
+
+    plan = ReplayPlan.from_run(res.hooks, res.makespan_ns, cluster_id=2)
+    assert plan.recovering_ranks == {4, 5}
+    rec = run_emulated_recovery(app, 8, clusters, plan, ranks_per_node=2)
+    for r in (4, 5):
+        assert rec.results[r] == res.results[r]

@@ -1,0 +1,113 @@
+"""Regression tests for the failure-notification path.
+
+Scenario that motivated it: a rank that only *receives* on its
+inter-cluster channels, restored from a checkpoint taken before any
+communication, knows no peers.  Without the survivor-side ping
+(peer_hello) the survivor would never be asked to replay its log and the
+restarted rank would wait forever.
+"""
+
+import pytest
+
+from repro.core.clusters import ClusterMap
+from repro.core.protocol import SPBC, SPBCConfig
+from repro.harness.runner import run_native, run_online_failure
+from repro.apps.synthetic import ring_app
+from repro.apps.base import get_app
+
+
+def test_recovery_from_precommunication_checkpoint():
+    """checkpoint_every=1 takes round 1 before any message flows; the
+    ring receives-only channel (left neighbor) must still be replayed."""
+    app = ring_app(iters=3, compute_ns=10_000)
+    nranks = 4
+    clusters = ClusterMap.block(nranks, 2)
+    ref = run_native(app, nranks, ranks_per_node=4)
+    out = run_online_failure(
+        app, nranks, clusters,
+        fail_at_ns=int(ref.makespan_ns * 0.55),
+        fail_rank=0,
+        config=SPBCConfig(clusters=clusters, checkpoint_every=1),
+        ranks_per_node=4,
+    )
+    assert out.results == ref.results
+
+
+@pytest.mark.parametrize("frac", [0.2, 0.5, 0.8])
+def test_every_checkpoint_cadence_recovers(frac):
+    """Sweep failure times against an aggressive checkpoint cadence."""
+    app = get_app("halo2d").factory(iters=5, msg_bytes=2048, compute_ns=50_000)
+    nranks = 8
+    clusters = ClusterMap.block(nranks, 4)
+    ref = run_native(app, nranks, ranks_per_node=4)
+    out = run_online_failure(
+        app, nranks, clusters,
+        fail_at_ns=int(ref.makespan_ns * frac),
+        fail_rank=3,
+        config=SPBCConfig(clusters=clusters, checkpoint_every=1),
+        ranks_per_node=4,
+    )
+    assert out.results == ref.results
+
+
+def test_one_directional_channel_replay():
+    """A pure producer->consumer pair across clusters: the consumer's
+    cluster fails; the producer must replay even though the consumer
+    never sent anything to it."""
+
+    def app(ctx, state=None):
+        start = 0 if state is None else state["iter"]
+        acc = 0 if state is None else state["acc"]
+        for i in range(start, 6):
+            yield from ctx.maybe_checkpoint(lambda i=i, acc=acc: {"iter": i, "acc": acc})
+            yield from ctx.compute(50_000)
+            if ctx.rank == 0:  # producer, cluster 0
+                yield from ctx.send(1, i * 7, nbytes=256, tag=1)
+            elif ctx.rank == 1:  # consumer, cluster 1
+                s = yield from ctx.recv(src=0, tag=1)
+                acc = acc * 31 + s.payload
+        return acc
+
+    clusters = ClusterMap([0, 1])
+    ref = run_native(app, 2, ranks_per_node=1)
+    out = run_online_failure(
+        app, 2, clusters,
+        fail_at_ns=int(ref.makespan_ns * 0.6),
+        fail_rank=1,  # the consumer fails; it never sent to rank 0
+        config=SPBCConfig(clusters=clusters, checkpoint_every=2),
+        ranks_per_node=1,
+    )
+    assert out.results == ref.results
+
+
+def test_peer_hello_is_idempotent():
+    """Duplicate hellos / rollbacks must not double-replay (dedup by
+    seqnum keeps delivery exactly-once)."""
+    app = ring_app(iters=4, compute_ns=20_000)
+    nranks = 4
+    clusters = ClusterMap.block(nranks, 2)
+    ref = run_native(app, nranks, ranks_per_node=2)
+
+    from repro.core.recovery import RecoveryManager
+    from repro.mpi.context import RankContext
+    from repro.mpi.runtime import World
+
+    hooks = SPBC(SPBCConfig(clusters=clusters, checkpoint_every=1))
+    world = World(nranks, ranks_per_node=2, hooks=hooks)
+    mgr = RecoveryManager(world, hooks, app)
+    for r in range(nranks):
+        world.launch(r, app(RankContext(world, r), None))
+    mgr.inject_failure(int(ref.makespan_ns * 0.5), 0)
+
+    # extra hellos from every survivor, injected right after restart
+    def extra_hellos():
+        for s in (2, 3):
+            if world.runtimes[s].alive:
+                hooks.notify_failure(world.runtimes[s], {0, 1})
+
+    world.engine.schedule(
+        int(ref.makespan_ns * 0.5) + mgr.restart_delay_ns + 1000, extra_hellos
+    )
+    world.run()
+    results = {r: p.result for r, p in world.processes.items()}
+    assert results == ref.results

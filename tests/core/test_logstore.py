@@ -1,0 +1,98 @@
+"""Unit tests for the sender-side message log."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.logstore import LogRecord, LogStore
+from repro.util.units import MB, SEC
+
+
+def rec(dst=1, seq=1, nbytes=100, comm=0, t=0, tag=0, ident=(0, 0)):
+    return LogRecord(
+        comm_id=comm,
+        dst=dst,
+        seqnum=seq,
+        tag=tag,
+        nbytes=nbytes,
+        ident=ident,
+        payload=None,
+        send_time_ns=t,
+    )
+
+
+def test_append_and_accounting():
+    log = LogStore(0)
+    log.append(rec(seq=1, nbytes=100))
+    log.append(rec(seq=2, nbytes=50))
+    assert log.bytes_logged == 150
+    assert log.records_logged == 2
+    assert log.last_seq(0, 1) == 2
+    assert log.last_seq(0, 9) == 0
+
+
+def test_nonmonotonic_seq_rejected():
+    log = LogStore(0)
+    log.append(rec(seq=2))
+    with pytest.raises(ValueError):
+        log.append(rec(seq=2))
+    with pytest.raises(ValueError):
+        log.append(rec(seq=1))
+
+
+def test_replay_after_filters_and_orders():
+    log = LogStore(0)
+    for s in range(1, 6):
+        log.append(rec(seq=s))
+    out = log.replay_after(0, 1, 3)
+    assert [r.seqnum for r in out] == [4, 5]
+    assert log.replay_after(0, 1, 10) == []
+    assert [r.seqnum for r in log.replay_after(0, 1, 0)] == [1, 2, 3, 4, 5]
+
+
+def test_records_to_merges_comms_in_send_order():
+    log = LogStore(0)
+    log.append(rec(comm=0, seq=1, t=10))
+    log.append(rec(comm=1, seq=1, t=5))
+    log.append(rec(comm=0, seq=2, t=20))
+    out = log.records_to(1)
+    assert [(r.comm_id, r.seqnum) for r in out] == [(1, 1), (0, 1), (0, 2)]
+
+
+def test_growth_rate():
+    log = LogStore(0)
+    log.append(rec(seq=1, nbytes=2 * MB))
+    assert log.growth_rate_mb_s(2 * SEC) == pytest.approx(1.0)
+    assert log.growth_rate_mb_s(0) == 0.0
+
+
+def test_snapshot_restore_roundtrip():
+    log = LogStore(0)
+    log.append(rec(seq=1))
+    snap = log.snapshot()
+    log.append(rec(seq=2))
+    log.restore(snap)
+    assert log.last_seq(0, 1) == 1
+    assert log.records_logged == 1
+
+
+def test_truncate_frees_but_keeps_counters():
+    log = LogStore(0)
+    log.append(rec(seq=1, nbytes=77))
+    log.truncate()
+    assert log.replay_after(0, 1, 0) == []
+    assert log.bytes_logged == 77  # cumulative accounting (Table 1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seqs=st.lists(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=60, unique=True),
+    cut=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_replay_after_is_sorted_suffix(seqs, cut):
+    log = LogStore(0)
+    for s in sorted(seqs):
+        log.append(rec(seq=s, nbytes=s))
+    out = log.replay_after(0, 1, cut)
+    assert [r.seqnum for r in out] == sorted(s for s in seqs if s > cut)
+    assert log.bytes_logged == sum(seqs)

@@ -1,0 +1,179 @@
+"""Online failure injection with true partial restart (Algorithm 1 lines
+16-26 end to end) — the capability the paper's prototype lacked."""
+
+import pytest
+
+from repro.core.clusters import ClusterMap
+from repro.core.protocol import SPBCConfig
+from repro.harness.runner import run_native, run_online_failure
+from repro.apps.base import get_app
+from repro.apps.synthetic import halo2d_app, ring_app
+from repro.util.units import MS
+
+
+def reference(app, nranks, rpn=2):
+    return run_native(app, nranks, ranks_per_node=rpn)
+
+
+def test_failure_before_any_checkpoint_recovers_from_start():
+    app = ring_app(iters=6, msg_bytes=1024, compute_ns=100_000)
+    nranks = 8
+    clusters = ClusterMap.block(nranks, 4)
+    ref = reference(app, nranks)
+    out = run_online_failure(
+        app, nranks, clusters, fail_at_ns=ref.makespan_ns // 2, fail_rank=0,
+        ranks_per_node=2,
+    )
+    assert out.results == ref.results
+    assert out.restarted_ranks == {0, 1}
+    assert out.makespan_ns > ref.makespan_ns  # rework took extra time
+
+
+def test_failure_containment_only_failed_cluster_restarts():
+    app = ring_app(iters=6, msg_bytes=1024, compute_ns=100_000)
+    nranks = 8
+    clusters = ClusterMap.block(nranks, 4)
+    ref = reference(app, nranks)
+    out = run_online_failure(
+        app, nranks, clusters, fail_at_ns=ref.makespan_ns // 2, fail_rank=5,
+        ranks_per_node=2,
+    )
+    assert out.restarted_ranks == {4, 5}
+    assert out.results == ref.results
+    # non-failed processes were never replaced
+    mgr = out.manager
+    assert all(r in (4, 5) for r in mgr.restarts)
+    assert len(mgr.failures) == 1 and mgr.failures[0].cluster == 2
+
+
+def test_recovery_from_checkpoint_resumes_iteration():
+    app = ring_app(iters=8, msg_bytes=2048, compute_ns=200_000)
+    nranks = 8
+    clusters = ClusterMap.block(nranks, 2)
+    ref = reference(app, nranks)
+    cfg = SPBCConfig(clusters=clusters, checkpoint_every=2)
+    out = run_online_failure(
+        app, nranks, clusters,
+        fail_at_ns=int(ref.makespan_ns * 0.8),
+        fail_rank=0,
+        config=cfg,
+        ranks_per_node=2,
+    )
+    assert out.results == ref.results
+    ckpt = out.world.hooks.storage.load_latest(0)
+    assert ckpt is not None and ckpt.app_state["iter"] >= 2
+    assert out.manager.failures[0].restarted_from_round >= 1
+
+
+@pytest.mark.parametrize("appname,params,nranks", [
+    ("halo2d", dict(iters=6, msg_bytes=4096, compute_ns=150_000), 8),
+    ("minife", dict(iters=5, compute_ns=300_000), 8),
+    ("milc", dict(iters=4, compute_ns=200_000), 8),
+    ("gtc", dict(iters=4, compute_ns=300_000, npartdom=2), 8),
+])
+def test_online_recovery_matches_reference_across_apps(appname, params, nranks):
+    app = get_app(appname).factory(**params)
+    clusters = ClusterMap.block(nranks, 2)
+    ref = reference(app, nranks)
+    cfg = SPBCConfig(clusters=clusters, checkpoint_every=2)
+    out = run_online_failure(
+        app, nranks, clusters,
+        fail_at_ns=int(ref.makespan_ns * 0.6),
+        fail_rank=0,
+        config=cfg,
+        ranks_per_node=4,
+    )
+    assert out.results == ref.results
+
+
+def test_failure_during_large_rendezvous_transfer():
+    """Crash while 200KB messages are in flight: purge + replay must
+    still converge to the reference results."""
+    app = ring_app(iters=5, msg_bytes=200_000, compute_ns=100_000)
+    nranks = 4
+    clusters = ClusterMap.block(nranks, 2)
+    ref = reference(app, nranks)
+    for frac in (0.3, 0.5, 0.7):
+        out = run_online_failure(
+            app, nranks, clusters,
+            fail_at_ns=int(ref.makespan_ns * frac),
+            fail_rank=0,
+            ranks_per_node=2,
+        )
+        assert out.results == ref.results, f"diverged at failure fraction {frac}"
+
+
+def test_two_failures_in_sequence():
+    """A second crash of the same cluster during/after recovery."""
+    app = ring_app(iters=8, msg_bytes=1024, compute_ns=200_000)
+    nranks = 8
+    clusters = ClusterMap.block(nranks, 4)
+    ref = reference(app, nranks)
+    cfg = SPBCConfig(clusters=clusters, checkpoint_every=3)
+    out = run_online_failure(
+        app, nranks, clusters,
+        fail_at_ns=int(ref.makespan_ns * 0.4),
+        fail_rank=0,
+        config=cfg,
+        ranks_per_node=2,
+    )
+    # inject a second failure via the manager on a fresh run
+    from repro.core.protocol import SPBC
+    from repro.core.recovery import RecoveryManager
+    from repro.mpi.context import RankContext
+    from repro.mpi.runtime import World
+
+    hooks = SPBC(SPBCConfig(clusters=clusters, checkpoint_every=3))
+    world = World(nranks, ranks_per_node=2, hooks=hooks)
+    mgr = RecoveryManager(world, hooks, app)
+    for r in range(nranks):
+        world.launch(r, app(RankContext(world, r), None))
+    mgr.inject_failure(int(ref.makespan_ns * 0.4), 0)
+    mgr.inject_failure(int(ref.makespan_ns * 0.9), 1)
+    world.run()
+    results = {r: p.result for r, p in world.processes.items()}
+    assert results == ref.results
+    assert len(mgr.failures) == 2
+
+
+def test_concurrent_failures_of_two_clusters():
+    """Multiple concurrent failures (the paper's model allows them)."""
+    app = ring_app(iters=8, msg_bytes=1024, compute_ns=200_000)
+    nranks = 8
+    clusters = ClusterMap.block(nranks, 4)
+    ref = reference(app, nranks)
+
+    from repro.core.protocol import SPBC
+    from repro.core.recovery import RecoveryManager
+    from repro.mpi.context import RankContext
+    from repro.mpi.runtime import World
+
+    hooks = SPBC(SPBCConfig(clusters=clusters, checkpoint_every=2))
+    world = World(nranks, ranks_per_node=2, hooks=hooks)
+    mgr = RecoveryManager(world, hooks, app)
+    for r in range(nranks):
+        world.launch(r, app(RankContext(world, r), None))
+    t = int(ref.makespan_ns * 0.5)
+    mgr.inject_failure(t, 0)  # cluster 0
+    mgr.inject_failure(t, 4)  # cluster 2, same instant
+    world.run()
+    results = {r: p.result for r, p in world.processes.items()}
+    assert results == ref.results
+    assert {f.cluster for f in mgr.failures} == {0, 2}
+
+
+def test_restart_delay_shows_in_makespan():
+    app = ring_app(iters=4, msg_bytes=512, compute_ns=100_000)
+    nranks = 4
+    clusters = ClusterMap.block(nranks, 2)
+    ref = reference(app, nranks)
+    slow = run_online_failure(
+        app, nranks, clusters, fail_at_ns=ref.makespan_ns // 2,
+        restart_delay_ns=20 * MS, ranks_per_node=2,
+    )
+    fast = run_online_failure(
+        app, nranks, clusters, fail_at_ns=ref.makespan_ns // 2,
+        restart_delay_ns=1 * MS, ranks_per_node=2,
+    )
+    assert slow.results == fast.results == ref.results
+    assert slow.makespan_ns > fast.makespan_ns

@@ -1,0 +1,141 @@
+"""The paper's motivating scenarios, end to end.
+
+* Figure 2: without identifiers, recovery mismatches an ``ANY_SOURCE``
+  request with a replayed message from the "future"; with the section
+  5.1 pattern API the mismatch is impossible (Theorem 1 conditions).
+* Figure 4 / section 3.4: the AMG-style exchange is channel-
+  deterministic but not send-deterministic, yet SPBC recovers it.
+* Section 3.5: deliver(m0) always-happens-before deliver(m2) in the
+  Figure 2 program — verified with the AHB toolkit over several seeds.
+"""
+
+import pytest
+
+from repro.core.clusters import ClusterMap
+from repro.core.determinism import (
+    always_happens_before,
+    build_hb_index,
+    check_channel_determinism,
+    check_send_determinism,
+)
+from repro.core.emulated import ReplayPlan
+from repro.core.protocol import SPBC, SPBCConfig
+from repro.harness.runner import run_emulated_recovery, run_spbc
+from repro.apps.synthetic import fig2_app, probe_reply_app
+from repro.sim.network import NetworkParams
+
+CLUSTERS3 = ClusterMap([0, 0, 1])  # p0,p1 | p2 (paper Figure 2)
+
+
+def fig2_phase1(use_pattern_api):
+    app = fig2_app(use_pattern_api=use_pattern_api)
+    res = run_spbc(app, 3, CLUSTERS3, ranks_per_node=2)
+    assert res.results[1] == ["m0", "m2"]  # failure-free is always valid
+    plan = ReplayPlan.from_run(res.hooks, res.makespan_ns)
+    assert plan.recovering_ranks == {0, 1}
+    # p2 logged m2 (the only inter-cluster message into cluster 0 is m2;
+    # m1 goes the other way and is logged by p1)
+    assert [r.nbytes for r in plan.records_by_sender[2]] == [64]
+    return app, res, plan
+
+
+def test_fig2_mismatch_without_identifiers():
+    """Replayed m2 overtakes re-executed m0 and is delivered first —
+    the invalid execution of section 4.2.1."""
+    app, _res, plan = fig2_phase1(use_pattern_api=False)
+    hooks = SPBC(
+        SPBCConfig(
+            clusters=CLUSTERS3,
+            ident_matching=False,  # stock matching, no SPBC identifiers
+            emulated_recovering=set(plan.recovering_ranks),
+        )
+    )
+    rec = run_emulated_recovery(app, 3, CLUSTERS3, plan, hooks=hooks, ranks_per_node=2)
+    assert rec.results[1] == ["m2", "m0"]  # mismatched: invalid execution
+
+
+def test_fig2_correct_with_pattern_api():
+    """With (pattern, iteration) identifiers the replayed m2 cannot match
+    iteration 1's anonymous request: delivery order is preserved."""
+    app, res, plan = fig2_phase1(use_pattern_api=True)
+    rec = run_emulated_recovery(app, 3, CLUSTERS3, plan, ranks_per_node=2)
+    assert rec.results[1] == ["m0", "m2"] == res.results[1]
+
+
+def test_fig2_identifiers_never_block_failure_free_matching():
+    """Condition 1 of section 4.3: in failure-free runs the identifier
+    filter must be invisible."""
+    app = fig2_app(use_pattern_api=True)
+    for seed in range(3):
+        res = run_spbc(
+            app,
+            3,
+            CLUSTERS3,
+            ranks_per_node=2,
+            seed=seed,
+            net_params=NetworkParams(jitter_max_ns=30_000),
+        )
+        assert res.results[1] == ["m0", "m2"]
+
+
+def test_fig2_ahb_relation_holds():
+    """deliver(m0) AHB deliver(m2) across executions (section 3.5)."""
+    app = fig2_app(use_pattern_api=False)
+    indices = []
+    m0 = m2 = None
+    for seed in range(4):
+        res = run_spbc(
+            app,
+            3,
+            CLUSTERS3,
+            ranks_per_node=2,
+            seed=seed,
+            net_params=NetworkParams(jitter_max_ns=20_000),
+        )
+        wcid = res.world.comm_world.comm_id
+        m0 = (0, 1, wcid, 1)  # first message on channel 0->1
+        m2 = (2, 1, wcid, 1)  # first message on channel 2->1
+        indices.append(build_hb_index(res.trace, 3))
+    assert always_happens_before(indices, "deliver", m0, "deliver", m2)
+    # and the converse never holds
+    assert not always_happens_before(indices, "deliver", m2, "deliver", m0)
+
+
+def _traces(app, nranks, seeds, ranks_per_node=2):
+    out = []
+    for seed in seeds:
+        res = run_spbc(
+            app,
+            nranks,
+            ClusterMap.block(nranks, 2),
+            ranks_per_node=ranks_per_node,
+            seed=seed,
+            net_params=NetworkParams(jitter_max_ns=40_000),
+        )
+        out.append(res.trace)
+    return out
+
+
+def test_fig4_pattern_channel_but_not_send_deterministic():
+    """The paper's key observation about AMG (section 3.4)."""
+    app = probe_reply_app(iters=2, contacts_per_rank=3, use_pattern_api=True)
+    traces = _traces(app, 8, seeds=range(4))
+    assert check_channel_determinism(traces).deterministic
+    report = check_send_determinism(traces)
+    assert not report.deterministic, (
+        "expected the probe/reply pattern to violate send-determinism "
+        "(replies follow arrival order)"
+    )
+
+
+def test_fig4_recovery_correct_despite_send_nondeterminism():
+    """Protocols based on per-process send order (HydEE's assumption)
+    would infer wrong dependencies here; SPBC's per-channel replay does
+    not care (section 3.4's motivation for channel-determinism)."""
+    app = probe_reply_app(iters=3, contacts_per_rank=3, use_pattern_api=True)
+    clusters = ClusterMap.block(8, 4)
+    res = run_spbc(app, 8, clusters, ranks_per_node=2)
+    plan = ReplayPlan.from_run(res.hooks, res.makespan_ns)
+    rec = run_emulated_recovery(app, 8, clusters, plan, ranks_per_node=2)
+    for r in plan.recovering_ranks:
+        assert rec.results[r] == res.results[r]

@@ -1,0 +1,118 @@
+"""Property-based recovery testing: for ANY failure time, failed rank,
+checkpoint cadence and cluster shape, online recovery must reproduce the
+failure-free results and restart only the failed cluster.
+
+This is the strongest correctness statement the library makes, so it is
+driven by hypothesis rather than hand-picked scenarios.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.clusters import ClusterMap
+from repro.core.protocol import SPBCConfig
+from repro.harness.runner import run_native, run_online_failure
+from repro.apps.synthetic import halo2d_app, ring_app
+from repro.apps.base import get_app
+
+# Reference runs are deterministic; compute them once per app shape.
+_REF_CACHE = {}
+
+
+def reference(app_key, factory, nranks, rpn):
+    if app_key not in _REF_CACHE:
+        _REF_CACHE[app_key] = run_native(factory, nranks, ranks_per_node=rpn)
+    return _REF_CACHE[app_key]
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    frac=st.floats(min_value=0.05, max_value=0.95),
+    fail_rank=st.integers(min_value=0, max_value=7),
+    every=st.sampled_from([1, 2, 3, None]),
+    k=st.sampled_from([2, 4]),
+)
+def test_property_ring_recovers_from_any_failure(frac, fail_rank, every, k):
+    nranks = 8
+    factory = ring_app(iters=5, msg_bytes=1024, compute_ns=60_000)
+    ref = reference(("ring", nranks), factory, nranks, 4)
+    clusters = ClusterMap.block(nranks, k)
+    out = run_online_failure(
+        factory,
+        nranks,
+        clusters,
+        fail_at_ns=max(1, int(ref.makespan_ns * frac)),
+        fail_rank=fail_rank,
+        config=SPBCConfig(clusters=clusters, checkpoint_every=every),
+        ranks_per_node=4,
+    )
+    assert out.results == ref.results
+    assert out.restarted_ranks == set(clusters.members(clusters.cluster(fail_rank)))
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    frac=st.floats(min_value=0.1, max_value=0.9),
+    fail_rank=st.integers(min_value=0, max_value=7),
+)
+def test_property_anysource_app_recovers_from_any_failure(frac, fail_rank):
+    """MiniFE uses ANY_SOURCE halos: identifier matching must hold for
+    every failure point."""
+    nranks = 8
+    factory = get_app("minife").factory(iters=4, compute_ns=150_000)
+    ref = reference(("minife", nranks), factory, nranks, 4)
+    clusters = ClusterMap.block(nranks, 4)
+    out = run_online_failure(
+        factory,
+        nranks,
+        clusters,
+        fail_at_ns=max(1, int(ref.makespan_ns * frac)),
+        fail_rank=fail_rank,
+        config=SPBCConfig(clusters=clusters, checkpoint_every=2),
+        ranks_per_node=4,
+    )
+    assert out.results == ref.results
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    frac1=st.floats(min_value=0.1, max_value=0.45),
+    frac2=st.floats(min_value=0.55, max_value=0.9),
+    ranks=st.tuples(
+        st.integers(min_value=0, max_value=7), st.integers(min_value=0, max_value=7)
+    ),
+)
+def test_property_two_failures_recover(frac1, frac2, ranks):
+    """Two failures at different times, any clusters (possibly the same)."""
+    from repro.core.protocol import SPBC
+    from repro.core.recovery import RecoveryManager
+    from repro.mpi.context import RankContext
+    from repro.mpi.runtime import World
+
+    nranks = 8
+    factory = halo2d_app(iters=5, msg_bytes=2048, compute_ns=80_000)
+    ref = reference(("halo2d", nranks), factory, nranks, 4)
+    clusters = ClusterMap.block(nranks, 4)
+    hooks = SPBC(SPBCConfig(clusters=clusters, checkpoint_every=2))
+    world = World(nranks, ranks_per_node=4, hooks=hooks)
+    mgr = RecoveryManager(world, hooks, factory)
+    for r in range(nranks):
+        world.launch(r, factory(RankContext(world, r), None))
+    mgr.inject_failure(max(1, int(ref.makespan_ns * frac1)), ranks[0])
+    mgr.inject_failure(max(2, int(ref.makespan_ns * frac2)), ranks[1])
+    world.run()
+    results = {r: p.result for r, p in world.processes.items()}
+    assert results == ref.results

@@ -1,0 +1,179 @@
+"""Collectives built on point-to-point: correctness on several sizes
+(including non-powers of two) and synchronization semantics."""
+
+import pytest
+
+from tests.conftest import results_of, run_world
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 13])
+def test_barrier_synchronizes(n):
+    """No rank leaves the barrier before the slowest rank entered it."""
+
+    def app(ctx):
+        def gen():
+            yield from ctx.compute(1000 * (ctx.rank + 1))
+            entered = ctx.now
+            yield from ctx.barrier()
+            return (entered, ctx.now)
+
+        return gen()
+
+    world = run_world(n, app)
+    res = results_of(world)
+    slowest_entry = max(v[0] for v in res.values())
+    for entered, left in res.values():
+        assert left >= slowest_entry
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 7, 8])
+@pytest.mark.parametrize("root", [0, "last"])
+def test_bcast_delivers_root_value(n, root):
+    root_rank = n - 1 if root == "last" else 0
+
+    def app(ctx):
+        def gen():
+            value = f"root-data" if ctx.rank == root_rank else None
+            got = yield from ctx.bcast(value, nbytes=256, root=root_rank)
+            return got
+
+        return gen()
+
+    world = run_world(n, app)
+    assert all(v == "root-data" for v in results_of(world).values())
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 6, 8])
+def test_reduce_sum(n):
+    def app(ctx):
+        def gen():
+            result = yield from ctx.reduce(ctx.rank + 1, lambda a, b: a + b, nbytes=8)
+            return result
+
+        return gen()
+
+    world = run_world(n, app)
+    res = results_of(world)
+    expected = n * (n + 1) // 2
+    assert res[0] == expected
+    assert all(v is None for r, v in res.items() if r != 0)
+
+
+@pytest.mark.parametrize("n", [1, 2, 5, 8])
+def test_allreduce_max(n):
+    def app(ctx):
+        def gen():
+            result = yield from ctx.allreduce(ctx.rank * 10, max, nbytes=8)
+            return result
+
+        return gen()
+
+    world = run_world(n, app)
+    assert all(v == (n - 1) * 10 for v in results_of(world).values())
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 8])
+def test_allgather_collects_in_rank_order(n):
+    def app(ctx):
+        def gen():
+            result = yield from ctx.allgather(f"r{ctx.rank}", nbytes=32)
+            return result
+
+        return gen()
+
+    world = run_world(n, app)
+    expected = [f"r{i}" for i in range(n)]
+    assert all(v == expected for v in results_of(world).values())
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 7])
+def test_alltoall_transpose(n):
+    def app(ctx):
+        def gen():
+            values = [f"{ctx.rank}->{d}" for d in range(n)]
+            result = yield from ctx.alltoall(values, nbytes_each=16)
+            return result
+
+        return gen()
+
+    world = run_world(n, app)
+    res = results_of(world)
+    for r in range(n):
+        assert res[r] == [f"{s}->{r}" for s in range(n)]
+
+
+def test_alltoall_wrong_arity_rejected():
+    def app(ctx):
+        def gen():
+            yield from ctx.alltoall([1, 2, 3], nbytes_each=8)  # size is 2
+
+        return gen()
+
+    with pytest.raises(AssertionError):
+        run_world(2, app)
+
+
+@pytest.mark.parametrize("n", [2, 5, 8])
+def test_gather_and_scatter_roundtrip(n):
+    def app(ctx):
+        def gen():
+            gathered = yield from ctx.gather(ctx.rank**2, nbytes=8, root=0)
+            if ctx.rank == 0:
+                assert gathered == [i**2 for i in range(n)]
+                outs = [v * 2 for v in gathered]
+            else:
+                assert gathered is None
+                outs = None
+            mine = yield from ctx.scatter(outs, nbytes_each=8, root=0)
+            return mine
+
+        return gen()
+
+    world = run_world(n, app)
+    assert results_of(world) == {r: 2 * r**2 for r in range(n)}
+
+
+def test_consecutive_collectives_do_not_interfere():
+    def app(ctx):
+        def gen():
+            a = yield from ctx.allreduce(1, lambda x, y: x + y, nbytes=8)
+            b = yield from ctx.allreduce(2, lambda x, y: x + y, nbytes=8)
+            yield from ctx.barrier()
+            c = yield from ctx.allgather(ctx.rank, nbytes=8)
+            return (a, b, c)
+
+        return gen()
+
+    world = run_world(4, app)
+    for a, b, c in results_of(world).values():
+        assert (a, b, c) == (4, 8, [0, 1, 2, 3])
+
+
+def test_collectives_use_no_anysource():
+    """All collective receives are named — they never need the pattern API."""
+
+    def app(ctx):
+        def gen():
+            yield from ctx.allreduce(ctx.rank, max, nbytes=8)
+            yield from ctx.barrier()
+
+        return gen()
+
+    world = run_world(4, app)
+    from repro.mpi.constants import ANY_SOURCE
+
+    posts = [e for e in world.trace.events if e.kind == "post"]
+    assert posts and all(e.channel[0] != ANY_SOURCE for e in posts)
+
+
+def test_bcast_large_payload_rendezvous():
+    def app(ctx):
+        def gen():
+            value = "blob" if ctx.rank == 2 else None
+            got = yield from ctx.bcast(value, nbytes=300_000, root=2)
+            return got
+
+        return gen()
+
+    world = run_world(5, app)
+    assert all(v == "blob" for v in results_of(world).values())

@@ -1,0 +1,144 @@
+"""Extended collectives (scan/exscan/reduce_scatter) and completion
+functions (testany/waitsome)."""
+
+import pytest
+
+from tests.conftest import results_of, run_world
+
+
+@pytest.mark.parametrize("n", [1, 2, 5, 8])
+def test_scan_inclusive_prefix_sum(n):
+    def app(ctx):
+        def gen():
+            result = yield from ctx.scan(ctx.rank + 1, lambda a, b: a + b, nbytes=8)
+            return result
+
+        return gen()
+
+    world = run_world(n, app)
+    res = results_of(world)
+    for r in range(n):
+        assert res[r] == (r + 1) * (r + 2) // 2  # sum of 1..r+1
+
+
+@pytest.mark.parametrize("n", [1, 2, 6])
+def test_exscan_exclusive_prefix(n):
+    def app(ctx):
+        def gen():
+            result = yield from ctx.exscan(ctx.rank + 1, lambda a, b: a + b, nbytes=8)
+            return result
+
+        return gen()
+
+    world = run_world(n, app)
+    res = results_of(world)
+    assert res[0] is None
+    for r in range(1, n):
+        assert res[r] == r * (r + 1) // 2  # sum of 1..r
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 7])
+def test_reduce_scatter_block(n):
+    def app(ctx):
+        def gen():
+            # rank s contributes value s*10 + d for destination d
+            values = [ctx.rank * 10 + d for d in range(n)]
+            result = yield from ctx.reduce_scatter_block(
+                values, lambda a, b: a + b, nbytes_each=8
+            )
+            return result
+
+        return gen()
+
+    world = run_world(n, app)
+    res = results_of(world)
+    for d in range(n):
+        expected = sum(s * 10 + d for s in range(n))
+        assert res[d] == expected
+
+
+def test_reduce_scatter_arity_checked():
+    def app(ctx):
+        def gen():
+            yield from ctx.reduce_scatter_block([1], lambda a, b: a + b)
+
+        return gen()
+
+    with pytest.raises(AssertionError):
+        run_world(2, app)
+
+
+def test_testany_finds_first_completed():
+    def app(ctx):
+        def gen():
+            if ctx.rank == 0:
+                yield from ctx.send(2, "fast", nbytes=8, tag=1)
+                return None
+            if ctx.rank == 1:
+                yield from ctx.compute(5_000_000)
+                yield from ctx.send(2, "slow", nbytes=8, tag=2)
+                return None
+            r_slow = ctx.irecv(src=1, tag=2)
+            r_fast = ctx.irecv(src=0, tag=1)
+            flag0, idx0, _ = ctx.testany([r_slow, r_fast])
+            yield from ctx.compute(2_000_000)  # fast one arrives meanwhile
+            flag1, idx1, status = ctx.testany([r_slow, r_fast])
+            yield from ctx.wait(r_slow)
+            return (flag0, flag1, idx1, status.payload)
+
+        return gen()
+
+    world = run_world(3, app)
+    assert results_of(world)[2] == (False, True, 1, "fast")
+
+
+def test_waitsome_returns_all_completed():
+    def app(ctx):
+        def gen():
+            if ctx.rank in (0, 1):
+                yield from ctx.send(3, f"m{ctx.rank}", nbytes=8, tag=ctx.rank)
+                return None
+            if ctx.rank == 2:
+                yield from ctx.compute(10_000_000)
+                yield from ctx.send(3, "late", nbytes=8, tag=2)
+                return None
+            reqs = [ctx.irecv(src=i, tag=i) for i in range(3)]
+            yield from ctx.compute(5_000_000)  # let 0 and 1 arrive
+            done = yield from ctx.waitsome(reqs)
+            first_batch = sorted(i for i, _s in done)
+            rest = yield from ctx.wait(reqs[2])
+            return (first_batch, rest.payload)
+
+        return gen()
+
+    world = run_world(4, app)
+    batch, late = results_of(world)[3]
+    assert batch == [0, 1]
+    assert late == "late"
+
+
+def test_waitsome_empty_rejected():
+    def app(ctx):
+        def gen():
+            yield from ctx.waitsome([])
+
+        return gen()
+
+    with pytest.raises(AssertionError):
+        run_world(1, app)
+
+
+def test_scan_composes_with_other_collectives():
+    def app(ctx):
+        def gen():
+            pre = yield from ctx.scan(ctx.rank + 1, lambda a, b: a + b, nbytes=8)
+            total = yield from ctx.allreduce(pre, lambda a, b: a + b, nbytes=8)
+            return total
+
+        return gen()
+
+    n = 4
+    world = run_world(n, app)
+    # rank r's prefix is the (r+1)-th triangular number; allreduce sums them
+    expected = sum(r * (r + 1) // 2 for r in range(1, n + 1))
+    assert all(v == expected for v in results_of(world).values())

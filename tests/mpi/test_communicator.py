@@ -1,0 +1,123 @@
+"""Communicator and comm_split semantics."""
+
+import pytest
+
+from repro.mpi.communicator import Communicator, CommunicatorRegistry
+from tests.conftest import results_of, run_world
+
+
+def test_world_comm_identity():
+    reg = CommunicatorRegistry(4)
+    assert reg.world.size == 4
+    assert reg.world.world_rank(2) == 2
+    assert reg.world.comm_rank(3) == 3
+
+
+def test_duplicate_ranks_rejected():
+    with pytest.raises(ValueError):
+        Communicator(1, [0, 1, 1])
+
+
+def test_comm_rank_of_nonmember_rejected():
+    c = Communicator(1, [2, 4])
+    with pytest.raises(ValueError):
+        c.comm_rank(3)
+    assert c.contains(4) and not c.contains(3)
+
+
+def test_split_by_parity():
+    reg = CommunicatorRegistry(6)
+    colors = [r % 2 for r in range(6)]
+    subs = reg.split(reg.world, colors)
+    assert sorted(subs) == [0, 1]
+    assert subs[0].world_ranks == [0, 2, 4]
+    assert subs[1].world_ranks == [1, 3, 5]
+    assert subs[0].comm_rank(4) == 2
+
+
+def test_split_with_keys_reorders():
+    reg = CommunicatorRegistry(4)
+    subs = reg.split(reg.world, [0, 0, 0, 0], keys=[3, 2, 1, 0])
+    assert subs[0].world_ranks == [3, 2, 1, 0]
+
+
+def test_split_undefined_color_excluded():
+    reg = CommunicatorRegistry(4)
+    subs = reg.split(reg.world, [0, -1, 0, -1])
+    assert subs[0].world_ranks == [0, 2]
+
+
+def test_split_wrong_length_rejected():
+    reg = CommunicatorRegistry(4)
+    with pytest.raises(ValueError):
+        reg.split(reg.world, [0, 1])
+
+
+def test_distinct_comm_ids():
+    reg = CommunicatorRegistry(4)
+    a = reg.create([0, 1])
+    b = reg.create([0, 1])
+    assert a.comm_id != b.comm_id
+
+
+def test_messaging_within_subcommunicator():
+    """Ranks address each other by comm-local rank inside a split comm."""
+
+    def app(ctx):
+        def gen():
+            reg = ctx.world.comms
+            # split once, deterministically, on every rank (SPMD)
+            colors = [r % 2 for r in range(ctx.size)]
+            key = (ctx.world_rank, "parity")
+            cache = getattr(ctx.world, "_test_split_cache", None)
+            if cache is None:
+                ctx.world._test_split_cache = reg.split(ctx.comm, colors)
+            subs = ctx.world._test_split_cache
+            sub = subs[ctx.world_rank % 2]
+            sctx = ctx.with_comm(sub)
+            # ring shift inside the sub-communicator
+            right = (sctx.rank + 1) % sctx.size
+            left = (sctx.rank - 1) % sctx.size
+            status = yield from sctx.sendrecv(
+                right, f"w{ctx.world_rank}", nbytes=16, src=left
+            )
+            return status.payload
+
+        return gen()
+
+    world = run_world(6, app)
+    res = results_of(world)
+    # even comm: 0,2,4 in a ring; odd comm: 1,3,5
+    assert res[2] == "w0" and res[4] == "w2" and res[0] == "w4"
+    assert res[3] == "w1" and res[5] == "w3" and res[1] == "w5"
+
+
+def test_same_peers_different_comms_are_different_channels():
+    """Per-comm seqnums: the same (src,dst) pair has one channel per comm
+    (paper section 3.2)."""
+
+    def app(ctx):
+        def gen():
+            reg = ctx.world.comms
+            if not hasattr(ctx.world, "_dup"):
+                ctx.world._dup = reg.create([0, 1], name="dup")
+            dup = ctx.world._dup
+            if ctx.rank == 0:
+                ctx.isend(1, "w", nbytes=8, tag=1)
+                ctx.isend(1, "d", nbytes=8, tag=1, comm=dup)
+                yield from ctx.compute(0)
+                return None
+            s1 = yield from ctx.recv(0, tag=1, comm=dup)
+            s2 = yield from ctx.recv(0, tag=1)
+            return [s1.payload, s2.payload]
+
+        return gen()
+
+    world = run_world(2, app)
+    assert results_of(world)[1] == ["d", "w"]
+    seqs = world.trace.per_channel_send_sequences()
+    # two distinct channels, each with its own seqnum sequence starting at 1
+    chans = [c for c in seqs if c[0] == 0 and c[1] == 1]
+    assert len(chans) == 2
+    for c in chans:
+        assert seqs[c][0][0] == 1

@@ -1,0 +1,154 @@
+"""Unit tests of the matching engine (posted/unexpected queues, wildcards,
+identifier filter — the heart of SPBC's MPICH modification)."""
+
+import pytest
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.matching import MatchingEngine
+from repro.mpi.message import Envelope
+from repro.mpi.request import RecvRequest
+
+
+def env(src=0, dst=1, tag=0, comm=0, seq=1, ident=(0, 0), nbytes=8):
+    return Envelope(
+        src=src, dst=dst, tag=tag, comm_id=comm, seqnum=seq, nbytes=nbytes,
+        ident=ident,
+    )
+
+
+def req(src=0, tag=0, comm=0, rseq=1, ident=(0, 0)):
+    return RecvRequest(src=src, tag=tag, comm_id=comm, req_seq=rseq, ident=ident)
+
+
+def engine(match_allowed=None):
+    return MatchingEngine(match_allowed or (lambda r, e: True))
+
+
+def test_post_then_arrive_matches():
+    m = engine()
+    r = req()
+    assert m.post(r) is None
+    matched = m.arrive(env())
+    assert matched is r
+    assert r.matched_env is not None
+
+
+def test_arrive_then_post_matches():
+    m = engine()
+    e = env()
+    assert m.arrive(e) is None
+    r = req()
+    assert m.post(r) is e
+
+
+def test_named_request_ignores_other_source():
+    m = engine()
+    m.arrive(env(src=5))
+    r = req(src=3)
+    assert m.post(r) is None
+    assert m.unexpected_count == 1
+
+
+def test_tag_mismatch_not_matched():
+    m = engine()
+    m.arrive(env(tag=7))
+    assert m.post(req(tag=8)) is None
+
+
+def test_any_source_matches_first_arrival():
+    m = engine()
+    e1, e2 = env(src=4, seq=1), env(src=2, seq=1)
+    m.arrive(e1)
+    m.arrive(e2)
+    r = req(src=ANY_SOURCE)
+    assert m.post(r) is e1  # arrival order wins
+
+
+def test_any_tag_matches():
+    m = engine()
+    m.arrive(env(tag=42))
+    assert m.post(req(tag=ANY_TAG)) is not None
+
+
+def test_comm_separation():
+    m = engine()
+    m.arrive(env(comm=1))
+    assert m.post(req(comm=2)) is None
+    assert m.post(req(comm=1, rseq=2)) is not None
+
+
+def test_posted_requests_matched_in_post_order():
+    m = engine()
+    r1, r2 = req(rseq=1, src=ANY_SOURCE), req(rseq=2, src=ANY_SOURCE)
+    m.post(r1)
+    m.post(r2)
+    assert m.arrive(env(seq=1)) is r1
+    assert m.arrive(env(seq=2)) is r2
+
+
+def test_message_matched_at_most_once():
+    m = engine()
+    e = env()
+    m.arrive(e)
+    assert m.post(req(rseq=1)) is e
+    assert m.post(req(rseq=2)) is None  # e consumed
+
+
+def test_request_posted_twice_rejected():
+    m = engine()
+    r = req()
+    m.arrive(env())
+    m.post(r)
+    with pytest.raises(AssertionError):
+        m.post(r)
+
+
+def test_ident_filter_blocks_mismatched_message():
+    """SPBC's modified matching: equal identifiers required (section 5.2.1)."""
+    def ident_rule(r, e):
+        return r.ident == e.ident
+
+    m = engine(ident_rule)
+    e_next_iter = env(src=2, ident=(1, 2), seq=1)
+    m.arrive(e_next_iter)
+    r_this_iter = req(src=ANY_SOURCE, ident=(1, 1))
+    assert m.post(r_this_iter) is None  # blocked: would be a mismatch
+    e_this_iter = env(src=3, ident=(1, 1), seq=1)
+    assert m.arrive(e_this_iter) is r_this_iter
+    # next iteration's request picks up the earlier message
+    r_next = req(src=ANY_SOURCE, rseq=2, ident=(1, 2))
+    assert m.post(r_next) is e_next_iter
+
+
+def test_probe_does_not_consume():
+    m = engine()
+    e = env(tag=9)
+    m.arrive(e)
+    p = req(src=ANY_SOURCE, tag=9)
+    assert m.probe(p) is e
+    assert m.unexpected_count == 1
+    assert m.post(req(tag=9)) is e
+
+
+def test_probe_respects_ident_filter():
+    m = engine(lambda r, e: r.ident == e.ident)
+    m.arrive(env(ident=(1, 2)))
+    assert m.probe(req(src=ANY_SOURCE, ident=(1, 1))) is None
+    assert m.probe(req(src=ANY_SOURCE, ident=(1, 2))) is not None
+
+
+def test_cancel_removes_posted_request():
+    m = engine()
+    r = req()
+    m.post(r)
+    assert m.cancel(r)
+    assert m.arrive(env()) is None  # nothing posted anymore
+    assert not m.cancel(r)
+
+
+def test_clear_drops_everything():
+    m = engine()
+    m.post(req())
+    m.arrive(env(src=9))
+    m.clear()
+    assert m.posted_count == 0 and m.unexpected_count == 0

@@ -1,0 +1,320 @@
+"""Point-to-point semantics: blocking/nonblocking ops, eager vs rendezvous,
+wildcards, probe, FIFO ordering — the MPI behaviours SPBC builds on."""
+
+import pytest
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from tests.conftest import results_of, run_world
+
+
+def test_blocking_send_recv_pair():
+    def app(ctx):
+        def gen():
+            if ctx.rank == 0:
+                yield from ctx.send(1, {"x": 42}, nbytes=64)
+                return "sent"
+            status = yield from ctx.recv(0)
+            return status.payload["x"]
+
+        return gen()
+
+    world = run_world(2, app)
+    assert results_of(world) == {0: "sent", 1: 42}
+
+
+def test_isend_irecv_wait():
+    def app(ctx):
+        def gen():
+            if ctx.rank == 0:
+                req = ctx.isend(1, "payload", nbytes=128, tag=5)
+                yield from ctx.wait(req)
+                return req.done
+            req = ctx.irecv(src=0, tag=5)
+            status = yield from ctx.wait(req)
+            return status.payload
+
+        return gen()
+
+    world = run_world(2, app)
+    assert results_of(world) == {0: True, 1: "payload"}
+
+
+def test_rendezvous_large_message():
+    def app(ctx):
+        def gen():
+            if ctx.rank == 0:
+                req = ctx.isend(1, b"big", nbytes=1_000_000)
+                assert not req.done  # rendezvous: not complete before CTS
+                yield from ctx.wait(req)
+                return ctx.now
+            status = yield from ctx.recv(0)
+            return (status.payload, ctx.now)
+
+        return gen()
+
+    world = run_world(2, app)
+    res = results_of(world)
+    assert res[1][0] == b"big"
+    # data transfer takes ~1MB * beta; check time is nontrivial
+    assert res[1][1] > 100_000
+
+
+def test_eager_send_completes_locally_without_receiver_wait():
+    """Eager sends are buffered: the sender may complete before the
+    receiver even posts (MPI buffered semantics)."""
+
+    def app(ctx):
+        def gen():
+            if ctx.rank == 0:
+                req = ctx.isend(1, "x", nbytes=100)
+                yield from ctx.wait(req)
+                return ctx.now
+            yield from ctx.compute(5_000_000)  # receiver shows up late
+            status = yield from ctx.recv(0)
+            return status.payload
+
+        return gen()
+
+    world = run_world(2, app)
+    res = results_of(world)
+    assert res[0] < 5_000_000  # sender done long before receiver posted
+    assert res[1] == "x"
+
+
+def test_any_source_receives_from_both():
+    def app(ctx):
+        def gen():
+            if ctx.rank in (0, 1):
+                yield from ctx.send(2, f"from{ctx.rank}", nbytes=32, tag=3)
+                return None
+            got = set()
+            for _ in range(2):
+                status = yield from ctx.recv(src=ANY_SOURCE, tag=3)
+                got.add(status.payload)
+            return got
+
+        return gen()
+
+    world = run_world(3, app)
+    assert results_of(world)[2] == {"from0", "from1"}
+
+
+def test_fifo_order_on_channel():
+    def app(ctx):
+        def gen():
+            n = 20
+            if ctx.rank == 0:
+                for i in range(n):
+                    ctx.isend(1, i, nbytes=16 + i)
+                yield from ctx.compute(0)
+                return None
+            out = []
+            for _ in range(n):
+                status = yield from ctx.recv(0)
+                out.append(status.payload)
+            return out
+
+        return gen()
+
+    world = run_world(2, app)
+    assert results_of(world)[1] == list(range(20))
+
+
+def test_fifo_matching_preserved_across_eager_rendezvous_mix():
+    """A big rendezvous message followed by a small eager one on the same
+    channel must still be *matched* in send order (MPI non-overtaking)."""
+
+    def app(ctx):
+        def gen():
+            if ctx.rank == 0:
+                ctx.isend(1, "big-first", nbytes=500_000, tag=1)
+                ctx.isend(1, "small-second", nbytes=8, tag=1)
+                yield from ctx.compute(0)
+                return None
+            s1 = yield from ctx.recv(0, tag=1)
+            s2 = yield from ctx.recv(0, tag=1)
+            return [s1.payload, s2.payload]
+
+        return gen()
+
+    world = run_world(2, app)
+    assert results_of(world)[1] == ["big-first", "small-second"]
+
+
+def test_waitany_returns_earliest_arrival():
+    def app(ctx):
+        def gen():
+            if ctx.rank == 0:
+                yield from ctx.compute(1_000_000)
+                yield from ctx.send(2, "slow", nbytes=8, tag=1)
+                return None
+            if ctx.rank == 1:
+                yield from ctx.send(2, "fast", nbytes=8, tag=2)
+                return None
+            r_slow = ctx.irecv(src=0, tag=1)
+            r_fast = ctx.irecv(src=1, tag=2)
+            idx, status = yield from ctx.waitany([r_slow, r_fast])
+            rest = yield from ctx.wait(r_slow)
+            return (idx, status.payload, rest.payload)
+
+        return gen()
+
+    world = run_world(3, app)
+    assert results_of(world)[2] == (1, "fast", "slow")
+
+
+def test_test_nonblocking():
+    def app(ctx):
+        def gen():
+            if ctx.rank == 0:
+                yield from ctx.compute(100_000)
+                yield from ctx.send(1, "x", nbytes=8)
+                return None
+            req = ctx.irecv(src=0)
+            flag0, _ = ctx.test(req)
+            yield from ctx.compute(10_000_000)
+            flag1, status = ctx.test(req)
+            return (flag0, flag1, status.payload)
+
+        return gen()
+
+    world = run_world(2, app)
+    assert results_of(world)[1] == (False, True, "x")
+
+
+def test_iprobe_then_recv():
+    def app(ctx):
+        def gen():
+            if ctx.rank == 0:
+                yield from ctx.send(1, "probed", nbytes=64, tag=9)
+                return None
+            flag = False
+            while not flag:
+                flag, status = ctx.iprobe(src=ANY_SOURCE, tag=9)
+                if not flag:
+                    yield from ctx.compute(10_000)
+            s = yield from ctx.recv(src=status.source, tag=9)
+            return (status.source, s.payload)
+
+        return gen()
+
+    world = run_world(2, app)
+    assert results_of(world)[1] == (0, "probed")
+
+
+def test_blocking_probe():
+    def app(ctx):
+        def gen():
+            if ctx.rank == 0:
+                yield from ctx.compute(500_000)
+                yield from ctx.send(1, "late", nbytes=8, tag=2)
+                return None
+            status = yield from ctx.probe(src=ANY_SOURCE, tag=2)
+            s = yield from ctx.recv(src=status.source, tag=2)
+            return s.payload
+
+        return gen()
+
+    world = run_world(2, app)
+    assert results_of(world)[1] == "late"
+
+
+def test_self_send_loopback():
+    def app(ctx):
+        def gen():
+            req = ctx.isend(ctx.rank, "self", nbytes=8, tag=1)
+            status = yield from ctx.recv(src=ctx.rank, tag=1)
+            yield from ctx.wait(req)
+            return status.payload
+
+        return gen()
+
+    world = run_world(2, app)
+    assert results_of(world) == {0: "self", 1: "self"}
+
+
+def test_sendrecv_exchange():
+    def app(ctx):
+        def gen():
+            peer = 1 - ctx.rank
+            status = yield from ctx.sendrecv(peer, f"r{ctx.rank}", nbytes=64, src=peer)
+            return status.payload
+
+        return gen()
+
+    world = run_world(2, app)
+    assert results_of(world) == {0: "r1", 1: "r0"}
+
+
+def test_per_channel_seqnums_are_gapless():
+    def app(ctx):
+        def gen():
+            if ctx.rank == 0:
+                for _ in range(5):
+                    ctx.isend(1, None, nbytes=8, tag=1)
+                for _ in range(3):
+                    ctx.isend(2, None, nbytes=8, tag=1)
+                yield from ctx.compute(0)
+            elif ctx.rank == 1:
+                for _ in range(5):
+                    yield from ctx.recv(0)
+            else:
+                for _ in range(3):
+                    yield from ctx.recv(0)
+
+        return gen()
+
+    world = run_world(3, app)
+    seqs = world.trace.per_channel_send_sequences()
+    cid = world.comm_world.comm_id
+    assert [s for s, _t, _b in seqs[(0, 1, cid)]] == [1, 2, 3, 4, 5]
+    assert [s for s, _t, _b in seqs[(0, 2, cid)]] == [1, 2, 3]
+
+
+def test_trace_records_all_event_kinds():
+    def app(ctx):
+        def gen():
+            if ctx.rank == 0:
+                yield from ctx.send(1, "x", nbytes=8)
+            else:
+                yield from ctx.recv(0)
+
+        return gen()
+
+    world = run_world(2, app)
+    kinds = {e.kind for e in world.trace.events}
+    assert kinds == {"send", "post", "match", "deliver"}
+
+
+def test_compute_advances_virtual_time():
+    def app(ctx):
+        def gen():
+            yield from ctx.compute(123_456)
+            return ctx.now
+
+        return gen()
+
+    world = run_world(1, app)
+    assert results_of(world)[0] == 123_456
+
+
+def test_unexpected_messages_buffered_until_posted():
+    def app(ctx):
+        def gen():
+            if ctx.rank == 0:
+                for i in range(4):
+                    ctx.isend(1, i, nbytes=8, tag=i)
+                yield from ctx.compute(0)
+                return None
+            yield from ctx.compute(2_000_000)  # let everything arrive
+            # receive in reverse tag order: matching must pick by tag
+            out = []
+            for tag in (3, 2, 1, 0):
+                status = yield from ctx.recv(0, tag=tag)
+                out.append(status.payload)
+            return out
+
+        return gen()
+
+    world = run_world(2, app)
+    assert results_of(world)[1] == [3, 2, 1, 0]

@@ -1,0 +1,204 @@
+"""Unit tests for generator-backed simulated processes."""
+
+import pytest
+
+from repro.sim.engine import Engine, Trigger
+from repro.sim.process import ProcessKilled, ProcessStatus, SimProcess
+
+
+def run_app(gen, until=None):
+    eng = Engine()
+    proc = SimProcess(eng, "p", gen)
+    proc.start()
+    eng.run(until_ns=until, detect_deadlock=False)
+    return eng, proc
+
+
+def test_process_runs_to_completion_and_returns_value():
+    def app():
+        yield Engine().timeout(0)  # fired immediately by its own engine
+        return 123
+
+    # use a shared engine properly:
+    eng = Engine()
+
+    def app2():
+        yield eng.timeout(5)
+        return 123
+
+    proc = SimProcess(eng, "p", app2())
+    proc.start()
+    eng.run()
+    assert proc.status is ProcessStatus.DONE
+    assert proc.result == 123
+    assert proc.finish_time == 5
+
+
+def test_process_blocks_and_resumes_with_trigger_value():
+    eng = Engine()
+    trig = Trigger()
+    got = []
+
+    def app():
+        v = yield trig
+        got.append(v)
+
+    SimProcess(eng, "p", app()).start()
+    eng.schedule(10, trig.fire, "hello")
+    eng.run()
+    assert got == ["hello"]
+
+
+def test_virtual_time_advances_only_on_yield():
+    eng = Engine()
+    times = []
+
+    def app():
+        times.append(eng.now)
+        yield eng.timeout(100)
+        times.append(eng.now)
+        yield eng.timeout(50)
+        times.append(eng.now)
+
+    SimProcess(eng, "p", app()).start()
+    eng.run()
+    assert times == [0, 100, 150]
+
+
+def test_exception_in_app_marks_process_failed():
+    eng = Engine()
+
+    def app():
+        yield eng.timeout(1)
+        raise RuntimeError("boom")
+
+    proc = SimProcess(eng, "p", app())
+    proc.start()
+    eng.run()
+    assert proc.status is ProcessStatus.FAILED
+    assert isinstance(proc.exception, RuntimeError)
+
+
+def test_yielding_non_trigger_fails_process():
+    eng = Engine()
+
+    def app():
+        yield 42
+
+    proc = SimProcess(eng, "p", app())
+    proc.start()
+    eng.run()
+    assert proc.status is ProcessStatus.FAILED
+
+
+def test_kill_runs_finally_blocks():
+    eng = Engine()
+    cleaned = []
+
+    def app():
+        try:
+            yield eng.timeout(1000)
+        finally:
+            cleaned.append(True)
+
+    proc = SimProcess(eng, "p", app())
+    proc.start()
+    eng.schedule(10, proc.kill)
+    eng.run(detect_deadlock=False)
+    assert proc.status is ProcessStatus.KILLED
+    assert cleaned == [True]
+
+
+def test_killed_process_ignores_stale_wakeups():
+    eng = Engine()
+    trig = Trigger()
+    resumed = []
+
+    def app():
+        v = yield trig
+        resumed.append(v)
+
+    proc = SimProcess(eng, "p", app())
+    proc.start()
+    eng.schedule(5, proc.kill)
+    eng.schedule(10, trig.fire, "late")
+    eng.run(detect_deadlock=False)
+    assert resumed == []
+    assert proc.status is ProcessStatus.KILLED
+
+
+def test_kill_before_first_step():
+    eng = Engine()
+
+    def app():
+        yield eng.timeout(1)
+
+    proc = SimProcess(eng, "p", app())
+    proc.start()
+    proc.kill()  # killed at t=0 before _first_step runs
+    eng.run(detect_deadlock=False)
+    assert proc.status is ProcessStatus.KILLED
+
+
+def test_exit_trigger_fires_on_done():
+    eng = Engine()
+
+    def worker():
+        yield eng.timeout(7)
+        return "w"
+
+    proc = SimProcess(eng, "w", worker())
+    proc.start()
+    seen = []
+
+    def watcher():
+        v = yield proc.exit_trigger
+        seen.append((eng.now, v))
+
+    SimProcess(eng, "watch", watcher()).start()
+    eng.run()
+    assert seen == [(7, "w")]
+
+
+def test_on_exit_callback_invoked():
+    eng = Engine()
+    exited = []
+
+    def app():
+        yield eng.timeout(3)
+
+    proc = SimProcess(eng, "p", app(), on_exit=exited.append)
+    proc.start()
+    eng.run()
+    assert exited == [proc]
+
+
+def test_subgenerator_blocking_with_yield_from():
+    eng = Engine()
+
+    def blocking_op(ns):
+        yield eng.timeout(ns)
+        return ns * 2
+
+    def app():
+        a = yield from blocking_op(10)
+        b = yield from blocking_op(20)
+        return a + b
+
+    proc = SimProcess(eng, "p", app())
+    proc.start()
+    eng.run()
+    assert proc.result == 60
+    assert eng.now == 30
+
+
+def test_double_start_rejected():
+    eng = Engine()
+
+    def app():
+        yield eng.timeout(1)
+
+    proc = SimProcess(eng, "p", app())
+    proc.start()
+    with pytest.raises(Exception):
+        proc.start()

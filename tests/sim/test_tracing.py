@@ -1,0 +1,74 @@
+"""Unit tests for the communication trace (the determinism checkers' and
+clustering tool's data source)."""
+
+import numpy as np
+
+from repro.sim.tracing import CommEvent, Trace
+
+
+def ev(kind="send", rank=0, t=0, chan=(0, 1, 0), seq=1, tag=0, nbytes=10):
+    return CommEvent(
+        kind=kind, rank=rank, time_ns=t, channel=chan, seqnum=seq, tag=tag,
+        nbytes=nbytes,
+    )
+
+
+def test_disabled_trace_records_nothing():
+    t = Trace(enabled=False)
+    t.record(ev())
+    assert len(t) == 0
+
+
+def test_event_views_filter_by_kind():
+    t = Trace()
+    t.record(ev(kind="send"))
+    t.record(ev(kind="deliver"))
+    t.record(ev(kind="post"))
+    t.record(ev(kind="match"))
+    assert len(list(t.sends())) == 1
+    assert len(list(t.delivers())) == 1
+
+
+def test_message_key_identity():
+    e = ev(chan=(2, 3, 1), seq=9)
+    assert e.message_key == (2, 3, 1, 9)
+
+
+def test_per_channel_send_sequences_ordered():
+    t = Trace()
+    t.record(ev(chan=(0, 1, 0), seq=1, tag=5, nbytes=100))
+    t.record(ev(chan=(0, 2, 0), seq=1, tag=6, nbytes=200))
+    t.record(ev(chan=(0, 1, 0), seq=2, tag=5, nbytes=150))
+    seqs = t.per_channel_send_sequences()
+    assert seqs[(0, 1, 0)] == [(1, 5, 100), (2, 5, 150)]
+    assert seqs[(0, 2, 0)] == [(1, 6, 200)]
+
+
+def test_per_process_send_sequences_cross_channel_order():
+    t = Trace()
+    t.record(ev(rank=0, chan=(0, 1, 0), seq=1))
+    t.record(ev(rank=0, chan=(0, 2, 0), seq=1))
+    t.record(ev(rank=1, chan=(1, 0, 0), seq=1))
+    per_proc = t.per_process_send_sequences()
+    assert [d for d, *_ in per_proc[0]] == [1, 2]  # order across channels kept
+    assert len(per_proc[1]) == 1
+
+
+def test_deliveries_of_rank():
+    t = Trace()
+    t.record(ev(kind="deliver", rank=2))
+    t.record(ev(kind="deliver", rank=3))
+    assert len(t.deliveries_of_rank(2)) == 1
+    assert t.deliveries_of_rank(9) == []
+
+
+def test_comm_bytes_matrix():
+    t = Trace()
+    t.record(ev(chan=(0, 1, 0), nbytes=100))
+    t.record(ev(chan=(0, 1, 0), seq=2, nbytes=50))
+    t.record(ev(chan=(1, 0, 0), nbytes=25))
+    m = t.comm_bytes_matrix(3)
+    assert m.shape == (3, 3)
+    assert m[0, 1] == 150 and m[1, 0] == 25
+    assert m[2].sum() == 0
+    assert m.dtype == np.int64

@@ -1,0 +1,38 @@
+"""CLI entry point (`python -m repro ...`)."""
+
+import os
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture(autouse=True)
+def clean_env(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_RANKS", raising=False)
+    monkeypatch.delenv("REPRO_BENCH_RPN", raising=False)
+
+
+def test_apps_listing(capsys):
+    assert main(["apps"]) == 0
+    out = capsys.readouterr().out
+    for name in ("amg", "minighost", "bt", "ring"):
+        assert name in out
+    assert "ANY_SOURCE" in out
+
+
+def test_table1_small_scale(capsys):
+    assert main(["table1", "--ranks", "8", "--rpn", "2", "--apps", "milc"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "milc.max" in out
+
+
+def test_env_propagation(capsys, monkeypatch):
+    main(["table1", "--ranks", "8", "--rpn", "4", "--apps", "minife"])
+    assert os.environ["REPRO_BENCH_RANKS"] == "8"
+    assert os.environ["REPRO_BENCH_RPN"] == "4"
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["tableX"])

@@ -1,0 +1,56 @@
+"""Utility module tests (units, stats, tables)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.stats import summarize
+from repro.util.table import format_table
+from repro.util.units import MB, SEC, mb_per_s, ns_to_s
+
+
+def test_ns_to_s():
+    assert ns_to_s(SEC) == 1.0
+    assert ns_to_s(1_500_000_000) == 1.5
+
+
+def test_mb_per_s():
+    assert mb_per_s(MB, SEC) == pytest.approx(1.0)
+    assert mb_per_s(10 * MB, 2 * SEC) == pytest.approx(5.0)
+    assert mb_per_s(MB, 0) == 0.0
+
+
+def test_summarize_basic():
+    s = summarize([1.0, 2.0, 3.0])
+    assert s.count == 3
+    assert s.mean == 2.0
+    assert s.minimum == 1.0 and s.maximum == 3.0
+    assert s.total == 6.0
+    assert s.stddev == pytest.approx((2 / 3) ** 0.5)
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1, max_size=100))
+def test_property_summarize_bounds(values):
+    s = summarize(values)
+    assert s.minimum <= s.mean <= s.maximum
+    assert s.stddev >= 0.0
+    assert s.count == len(values)
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bee"], [[1, 2.5], [10, 3.25]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "bee" in lines[1]
+    assert "2.50" in out and "3.25" in out  # default float format
+
+
+def test_format_table_row_arity_checked():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
