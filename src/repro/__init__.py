@@ -40,6 +40,13 @@ from repro.harness import (
     run_online_failure,
 )
 from repro.mpi import ANY_SOURCE, ANY_TAG, RankContext, World
+from repro.storage import (
+    InMemoryBackend,
+    MultiLevelPlan,
+    StorageBackend,
+    TieredBackend,
+    make_backend,
+)
 
 __version__ = "1.0.0"
 
@@ -60,5 +67,10 @@ __all__ = [
     "ANY_TAG",
     "RankContext",
     "World",
+    "StorageBackend",
+    "InMemoryBackend",
+    "TieredBackend",
+    "MultiLevelPlan",
+    "make_backend",
     "__version__",
 ]

@@ -6,6 +6,7 @@ Usage::
     python -m repro table2
     python -m repro fig5
     python -m repro fig6
+    python -m repro ckptcost [--storage tiered:ram@1,pfs@4]
     python -m repro apps            # list registered workloads
 
 Equivalent to the pytest benchmarks but without the harness — handy for
@@ -26,13 +27,20 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=["table1", "table2", "fig5", "fig6", "apps"],
+        choices=["table1", "table2", "fig5", "fig6", "ckptcost", "apps"],
         help="which artifact to regenerate",
     )
     parser.add_argument("--ranks", type=int, default=None, help="simulated ranks")
     parser.add_argument("--rpn", type=int, default=None, help="ranks per node")
     parser.add_argument(
         "--apps", type=str, default=None, help="comma-separated app subset"
+    )
+    parser.add_argument(
+        "--storage",
+        type=str,
+        default=None,
+        help="storage backend spec for ckptcost: memory, tiered, or "
+        "tiered:ram@1,ssd@4,pfs@16 (default: the built-in plan sweep)",
     )
     args = parser.parse_args(argv)
 
@@ -71,6 +79,19 @@ def main(argv=None) -> int:
     elif args.experiment == "fig6":
         rows = ex.fig6_hydee_vs_spbc(apps=subset or ex.NAS_APPS)
         print(ex.format_fig6(rows))
+    elif args.experiment == "ckptcost":
+        plans = None
+        if args.storage:
+            from repro.storage.backend import make_backend
+
+            try:
+                make_backend(args.storage)
+            except ValueError as e:
+                print(f"error: --storage {args.storage!r}: {e}", file=sys.stderr)
+                return 2
+            plans = {"memory": "memory", args.storage: args.storage}
+        rows = ex.checkpoint_cost(apps=subset or ("minighost",), plans=plans)
+        print(ex.format_checkpoint_cost(rows))
     return 0
 
 

@@ -180,7 +180,7 @@ class HydEEPlan:
                 tracked.add((sender, r.dst, r.comm_id, r.seqnum))
         for rank in base.recovering_ranks:
             st = spbc.state[rank]
-            for (cid, dst), chan in st.log.channels.items():
+            for (cid, dst), chan in st.log.merged_channels().items():
                 if dst in base.recovering_ranks or not cmap.is_intercluster(rank, dst):
                     continue
                 for r in chan:

@@ -9,16 +9,20 @@ A checkpoint of one rank bundles (Algorithm 1 line 15):
   counters, the unexpected-message queue, pattern-API counters;
 * the sender-side message ``Logs``.
 
-``StableStorage`` is the reliable medium: an in-memory map (indexed by
-rank, versioned per checkpoint round) with an optional write/read cost
-model from :mod:`repro.storage` — the paper's experiments exclude
-checkpoint I/O time and so do ours by default.
+Where checkpoints *live* is pluggable: :mod:`repro.storage.backend`
+defines the ``StorageBackend`` layer.  ``StableStorage`` — the free
+in-memory medium the paper's experiments assume — is an alias of
+:class:`~repro.storage.backend.InMemoryBackend` and remains the default;
+``TieredBackend`` executes a multi-level plan with modeled write/read
+costs and per-tier survivability.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
+
+from repro.storage.backend import InMemoryBackend
 
 
 @dataclass
@@ -43,26 +47,6 @@ class Checkpoint:
     nbytes: int = 0  # modeled size (app state + logs), for storage costs
 
 
-class StableStorage:
-    """Reliable checkpoint store (survives any process failure)."""
-
-    def __init__(self) -> None:
-        self._latest: Dict[int, Checkpoint] = {}
-        self._history: Dict[int, List[Checkpoint]] = {}
-        self.writes = 0
-        self.bytes_written = 0
-
-    def save(self, ckpt: Checkpoint) -> None:
-        self._latest[ckpt.rank] = ckpt
-        self._history.setdefault(ckpt.rank, []).append(ckpt)
-        self.writes += 1
-        self.bytes_written += ckpt.nbytes
-
-    def load_latest(self, rank: int) -> Optional[Checkpoint]:
-        return self._latest.get(rank)
-
-    def rounds_of(self, rank: int) -> List[int]:
-        return [c.round_no for c in self._history.get(rank, [])]
-
-    def has_checkpoint(self, rank: int) -> bool:
-        return rank in self._latest
+# Reliable, cost-free checkpoint store (survives any failure) — the
+# historical name for the in-memory backend, kept as the public alias.
+StableStorage = InMemoryBackend

@@ -83,7 +83,7 @@ class ReplayPlan:
             if rank in recovering:
                 continue
             recs: List[LogRecord] = []
-            for (comm_id, dst), channel in st.log.channels.items():
+            for (comm_id, dst), channel in st.log.merged_channels().items():
                 if dst in recovering:
                     recs.extend(channel)
             if recs:

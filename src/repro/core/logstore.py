@@ -5,12 +5,28 @@ metadata — including the per-channel sequence number and the SPBC
 ``(pattern_id, iteration_id)`` identifier — so it can be re-sent verbatim
 during recovery.  The store also keeps the accounting the paper's Table 1
 reports: logged bytes over time per process (growth rate in MB/s).
+
+The log has two areas per channel:
+
+* ``channels`` — *resident* records, held in the sender's memory since
+  the last checkpoint commit;
+* a *stable* area — records already covered by a committed checkpoint
+  (the snapshot saved with (State, Logs) at line 15).  ``truncate()``
+  moves the resident records there, freeing the sender's memory without
+  losing replayability: peers replaying for a rolled-back cluster read
+  the union (``include_stable=True``), since the failed side's restored
+  LR may predate the sender's own checkpoint.
+
+``bytes_logged``/``records_logged`` stay cumulative (Table 1 reports
+growth over the whole run); ``resident_bytes``/``resident_records``
+track live memory and drop back at every truncation.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Tuple
+from typing import Any, Dict, Iterator, List, Set, Tuple
 
 from repro.util.units import mb_per_s
 
@@ -32,52 +48,91 @@ class LogRecord:
 ChannelKey = Tuple[int, int]  # (comm_id, dst)
 
 
+def _suffix_after(chan: List[LogRecord], seqnum: int) -> List[LogRecord]:
+    """Records with seqnum strictly greater than ``seqnum``; ``chan`` is
+    seq-sorted, so this is a bisect, not a scan (replay is no longer
+    once-per-run when multi-failure scenarios re-trigger it)."""
+    return chan[bisect_right(chan, seqnum, key=lambda r: r.seqnum):]
+
+
 class LogStore:
     """Per-rank append-only log, organized by outgoing channel."""
 
     def __init__(self, rank: int) -> None:
         self.rank = rank
-        self.channels: Dict[ChannelKey, List[LogRecord]] = {}
-        self.bytes_logged = 0
+        self.channels: Dict[ChannelKey, List[LogRecord]] = {}  # resident
+        self._stable: Dict[ChannelKey, List[LogRecord]] = {}
+        self.bytes_logged = 0  # cumulative (Table 1)
         self.records_logged = 0
+        self.resident_bytes = 0  # live memory held by the log
+        self.resident_records = 0
 
     def append(self, rec: LogRecord) -> None:
-        chan = self.channels.setdefault((rec.comm_id, rec.dst), [])
-        if chan and rec.seqnum <= chan[-1].seqnum:
+        key = (rec.comm_id, rec.dst)
+        if rec.seqnum <= self.last_seq(rec.comm_id, rec.dst):
             raise ValueError(
                 f"log seqnums must increase per channel: {rec.seqnum} after "
-                f"{chan[-1].seqnum} on {(rec.comm_id, rec.dst)}"
+                f"{self.last_seq(rec.comm_id, rec.dst)} on {key}"
             )
-        chan.append(rec)
+        self.channels.setdefault(key, []).append(rec)
         self.bytes_logged += rec.nbytes
         self.records_logged += 1
+        self.resident_bytes += rec.nbytes
+        self.resident_records += 1
 
     def last_seq(self, comm_id: int, dst: int) -> int:
-        """Highest logged seqnum on a channel (0 if nothing logged)."""
-        chan = self.channels.get((comm_id, dst))
-        return chan[-1].seqnum if chan else 0
+        """Highest logged seqnum on a channel (0 if nothing logged),
+        across both the resident and the stable area."""
+        key = (comm_id, dst)
+        chan = self.channels.get(key)
+        if chan:
+            return chan[-1].seqnum  # resident extends the stable prefix
+        stable = self._stable.get(key)
+        return stable[-1].seqnum if stable else 0
 
-    def replay_after(self, comm_id: int, dst: int, seqnum: int) -> List[LogRecord]:
+    def replay_after(
+        self, comm_id: int, dst: int, seqnum: int, include_stable: bool = False
+    ) -> List[LogRecord]:
         """Records on (comm_id, dst) with seqnum strictly greater than
-        ``seqnum``, in sequence order (Algorithm 1 lines 23-24)."""
-        chan = self.channels.get((comm_id, dst), [])
-        # Logs are appended in seq order; binary search would be fine but
-        # replay happens once per failure — keep it simple.
-        return [r for r in chan if r.seqnum > seqnum]
+        ``seqnum``, in sequence order (Algorithm 1 lines 23-24).
+
+        Recovery passes ``include_stable=True``: a rolled-back peer's LR
+        can predate this sender's last checkpoint, so replay must also
+        cover records truncated out of resident memory."""
+        key = (comm_id, dst)
+        out: List[LogRecord] = []
+        if include_stable:
+            out.extend(_suffix_after(self._stable.get(key, []), seqnum))
+        out.extend(_suffix_after(self.channels.get(key, []), seqnum))
+        return out
+
+    def channel_keys(self) -> Set[ChannelKey]:
+        """Every channel with logged traffic, resident or stable."""
+        return set(self.channels) | set(self._stable)
 
     def records_to(self, dst: int) -> List[LogRecord]:
         """All records destined to ``dst``, across communicators, in send
         order (send_time then seqnum keeps cross-comm order sensible)."""
         out: List[LogRecord] = []
-        for (cid, d), recs in self.channels.items():
-            if d == dst:
-                out.extend(recs)
+        for area in (self._stable, self.channels):
+            for (cid, d), recs in area.items():
+                if d == dst:
+                    out.extend(recs)
         out.sort(key=lambda r: (r.send_time_ns, r.comm_id, r.seqnum))
         return out
 
     def all_records(self) -> Iterator[LogRecord]:
-        for recs in self.channels.values():
-            yield from recs
+        for area in (self._stable, self.channels):
+            for recs in area.values():
+                yield from recs
+
+    def merged_channels(self) -> Dict[ChannelKey, List[LogRecord]]:
+        """Per-channel stable + resident records, in sequence order."""
+        out: Dict[ChannelKey, List[LogRecord]] = {}
+        for area in (self._stable, self.channels):
+            for key, recs in area.items():
+                out.setdefault(key, []).extend(recs)
+        return out
 
     # ------------------------------------------------------------------
     def growth_rate_mb_s(self, duration_ns: int) -> float:
@@ -91,19 +146,30 @@ class LogStore:
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         return {
-            "channels": {k: list(v) for k, v in self.channels.items()},
+            "channels": {k: list(v) for k, v in self.merged_channels().items()},
             "bytes_logged": self.bytes_logged,
             "records_logged": self.records_logged,
         }
 
     def restore(self, snap: dict) -> None:
-        self.channels = {k: list(v) for k, v in snap["channels"].items()}
+        # Everything in the snapshot was covered by the checkpoint that
+        # carried it, so it restores into the stable area.
+        self._stable = {k: list(v) for k, v in snap["channels"].items()}
+        self.channels = {}
         self.bytes_logged = snap["bytes_logged"]
         self.records_logged = snap["records_logged"]
+        self.resident_bytes = 0
+        self.resident_records = 0
 
     def truncate(self) -> None:
-        """Free the log memory (legal right after a checkpoint: the saved
-        snapshot now covers everything up to the checkpoint)."""
+        """Free the resident log memory (legal right after a checkpoint
+        commits to a surviving tier: the saved snapshot now covers
+        everything up to the checkpoint).  Records stay replayable via
+        ``include_stable=True``."""
+        for key, recs in self.channels.items():
+            self._stable.setdefault(key, []).extend(recs)
         self.channels = {}
-        # accounting counters are cumulative on purpose: Table 1 reports
-        # growth over the whole run, not log residency.
+        self.resident_bytes = 0
+        self.resident_records = 0
+        # bytes_logged/records_logged are cumulative on purpose: Table 1
+        # reports growth over the whole run, not log residency.

@@ -35,7 +35,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
 
-from repro.core.checkpoint import Checkpoint, StableStorage
+from repro.core.checkpoint import Checkpoint
+from repro.storage.backend import InMemoryBackend, StorageBackend
 from repro.core.clusters import ClusterMap
 from repro.core.logstore import LogRecord, LogStore
 from repro.mpi import collectives as coll
@@ -88,7 +89,11 @@ class SPBCConfig:
     # iterations); None disables checkpointing (the paper's benchmark
     # configuration: "none of our experiments include checkpointing").
     checkpoint_every: Optional[int] = None
-    storage: Optional[StableStorage] = None
+    # Where checkpoints are persisted and what that costs.  The default
+    # InMemoryBackend charges nothing (the paper's configuration); a
+    # TieredBackend executes a multi-level plan and its write time is
+    # charged to the simulation clock inside the coordinated checkpoint.
+    storage: Optional[StorageBackend] = None
     # "known" sends Rollback only on channels with recorded traffic;
     # "all" broadcasts to every inter-cluster rank (safe for apps whose
     # communication graph changes between checkpoint and failure).
@@ -156,7 +161,7 @@ class SPBC(ProtocolHooks):
         self.state: Dict[int, _RankState] = {}
         self._world = None
         self._cluster_comms: Dict[int, Any] = {}
-        self.storage = config.storage or StableStorage()
+        self.storage: StorageBackend = config.storage or InMemoryBackend()
         self._emulated = config.emulated_recovering
 
     # ------------------------------------------------------------------
@@ -345,7 +350,25 @@ class SPBC(ProtocolHooks):
             )
 
         st.ckpt_round += 1
-        self._save_checkpoint(runtime, st, state_fn())
+        ckpt = self._build_checkpoint(runtime, st, state_fn())
+        write_ns = self.storage.write_cost_ns(
+            ckpt, concurrent_writers=self._world.nranks
+        )
+        if write_ns > 0:
+            # Charge the storage backend's modeled write time to the
+            # simulation clock (every cluster checkpoints on the same
+            # cadence, so the whole world contends for shared tiers).
+            yield from runtime.compute(write_ns)
+        # Commit only after the write time has elapsed: a failure during
+        # the write burst must fall back to the previous round, not find
+        # a copy whose write never finished.
+        receipt = self.storage.save(ckpt, concurrent_writers=self._world.nranks)
+        if receipt.durable:
+            # The commit reached a tier that survives node failure: the
+            # snapshot now covers every resident record, so the sender's
+            # log memory can be freed (bounded log residency).  Replay
+            # still reaches the records via include_stable=True.
+            st.log.truncate()
         yield from coll.barrier(runtime, ccomm)
 
     @staticmethod
@@ -360,7 +383,9 @@ class SPBC(ProtocolHooks):
                     return False
         return True
 
-    def _save_checkpoint(self, runtime, st: _RankState, app_state: dict) -> None:
+    def _build_checkpoint(
+        self, runtime, st: _RankState, app_state: dict
+    ) -> Checkpoint:
         # Snapshot the unexpected queue: intra-cluster envelopes are part
         # of the library state; inter-cluster ones are *excluded* — after
         # a rollback they come back through log replay (their seqnums are
@@ -395,7 +420,11 @@ class SPBC(ProtocolHooks):
             ):
                 unexpected.append(env)
 
-        nbytes = app_state.get("nbytes", 0) + st.log.bytes_logged
+        # Checkpoint size: application state plus the log records not yet
+        # carried by an earlier commit (resident bytes — an incremental-
+        # log model: each record is charged to exactly one checkpoint
+        # write, the first one after it was logged or restored).
+        nbytes = app_state.get("nbytes", 0) + st.log.resident_bytes
         ckpt = Checkpoint(
             rank=runtime.rank,
             round_no=st.ckpt_round,
@@ -411,7 +440,7 @@ class SPBC(ProtocolHooks):
             coll_seq=dict(runtime._coll_seq),
             nbytes=nbytes,
         )
-        self.storage.save(ckpt)
+        return ckpt
 
     # ------------------------------------------------------------------
     # Restart side (lines 16-20) — called by the RecoveryManager
@@ -454,7 +483,7 @@ class SPBC(ProtocolHooks):
                 if self.clusters.is_intercluster(runtime.rank, r):
                     out.add((wcid, r))
             return out
-        keys = set(runtime.chan_seq) | set(st.log.channels) | set(st.ls)
+        keys = set(runtime.chan_seq) | st.log.channel_keys() | set(st.ls)
         return {
             (cid, dst)
             for cid, dst in keys
@@ -500,9 +529,9 @@ class SPBC(ProtocolHooks):
         the survivor's log replay is never skipped."""
         st = self.state[runtime.rank]
         known: Set[int] = set()
-        for cid, peer in list(st.lr) + list(st.inbound) + list(st.log.channels) + list(
-            runtime.chan_seq
-        ):
+        for cid, peer in list(st.lr) + list(st.inbound) + list(
+            st.log.channel_keys()
+        ) + list(runtime.chan_seq):
             if peer in failed_ranks:
                 known.add(peer)
         for peer in sorted(known):
@@ -511,7 +540,7 @@ class SPBC(ProtocolHooks):
     def _comm_ids_with(self, st: _RankState, peer: int) -> Set[int]:
         cids = {cid for cid, p in st.lr if p == peer}
         cids |= {cid for cid, p in st.inbound if p == peer}
-        cids |= {cid for cid, p in st.log.channels if p == peer}
+        cids |= {cid for cid, p in st.log.channel_keys() if p == peer}
         cids |= {cid for cid, p in st.ls if p == peer}
         cids |= {cid for cid, p in st.gated if p == peer}
         cids.add(self._world.comm_world.comm_id)
@@ -564,7 +593,7 @@ class SPBC(ProtocolHooks):
         # 3. Replay logged messages the peer is missing (lines 23-24),
         #    in sequence-number order, independently per channel.
         for cid, lr_val in peer_lr.items():
-            for rec in st.log.replay_after(cid, peer, lr_val):
+            for rec in st.log.replay_after(cid, peer, lr_val, include_stable=True):
                 runtime.isend_raw(self._record_to_env(rec, runtime.rank, peer))
                 st.replayed_records += 1
 
@@ -619,7 +648,7 @@ class SPBC(ProtocolHooks):
         st.ls[key] = value
         if key in st.gated:
             st.gated.discard(key)
-            for rec in st.log.replay_after(cid, peer, value):
+            for rec in st.log.replay_after(cid, peer, value, include_stable=True):
                 runtime.isend_raw(self._record_to_env(rec, runtime.rank, peer))
                 st.replayed_records += 1
             runtime.release_deferred(cid, peer)

@@ -19,6 +19,22 @@ Algorithm 1's recovery lines (16-26) can be exercised end-to-end:
 Failure containment is observable: processes outside the failed cluster
 are never restarted (their SimProcess objects survive), which the test
 suite asserts.
+
+Two failure kinds are modeled (they differ only in what stable storage
+survives):
+
+* ``"process"`` — the cluster's processes die; every checkpoint copy
+  survives (RAM partner copies and node-local SSDs outlive a crash);
+* ``"node"`` — the machines hosting the cluster die with it; copies in
+  tiers with ``survives_node_failure=False`` are invalidated, and the
+  restart falls back to the deepest surviving tier — or to the synthetic
+  round-0 checkpoint when nothing survives.
+
+A cluster restarts from one *consistent* round: the latest round every
+member still holds a copy of (a coordinated cut is only consistent when
+all members resume from the same round).  Reading the copies back is
+charged via the tier's ``read_time_ns`` — the paper's "IO burst when
+retrieving the last checkpoint" — and surfaced in :class:`FailureEvent`.
 """
 
 from __future__ import annotations
@@ -32,9 +48,12 @@ from repro.core.protocol import SPBC
 from repro.mpi.context import RankContext
 from repro.mpi.runtime import World
 from repro.sim.process import SimProcess
+from repro.storage.backend import RestoreReceipt
 from repro.util.units import MS
 
 AppFactory = Callable[[RankContext, Optional[dict]], Generator]
+
+FAILURE_KINDS = ("process", "node")
 
 
 @dataclass
@@ -44,6 +63,13 @@ class FailureEvent:
     cluster: int
     restarted_from_round: int
     purged_packets: int = 0
+    kind: str = "process"
+    # Checkpoint copies lost with the node(s) (node failures only).
+    invalidated_copies: int = 0
+    # Tier the surviving copy was read from (None: restart from scratch).
+    restored_tier: Optional[str] = None
+    # Modeled restart-read time added before the cluster comes back.
+    restore_read_ns: int = 0
 
 
 class RecoveryManager:
@@ -66,14 +92,22 @@ class RecoveryManager:
         # that is still down supersedes the queued restart instead of
         # stacking a duplicate incarnation on top of it.
         self._pending_restart: Dict[int, object] = {}
+        self._last_event: Dict[int, FailureEvent] = {}
 
     # ------------------------------------------------------------------
-    def inject_failure(self, at_ns: int, rank: int) -> None:
+    def inject_failure(self, at_ns: int, rank: int, kind: str = "process") -> None:
         """Schedule a crash of ``rank`` (and, per the model, of its whole
-        cluster — the paper clusters never split a node) at ``at_ns``."""
-        self.world.engine.schedule_at(at_ns, self._fail, rank)
+        cluster — the paper clusters never split a node) at ``at_ns``.
+        ``kind="node"`` additionally loses the machines hosting the
+        cluster, invalidating checkpoint copies in non-surviving tiers."""
+        if kind not in FAILURE_KINDS:
+            raise ValueError(f"unknown failure kind {kind!r} ({FAILURE_KINDS})")
+        self.world.engine.schedule_at(at_ns, self._fail, rank, kind)
 
-    def _fail(self, rank: int) -> None:
+    def inject_node_failure(self, at_ns: int, rank: int) -> None:
+        self.inject_failure(at_ns, rank, kind="node")
+
+    def _fail(self, rank: int, kind: str = "process") -> None:
         cluster = self.spbc.clusters.cluster(rank)
         members = self.spbc.clusters.members(cluster)
         for r in members:
@@ -82,16 +116,21 @@ class RecoveryManager:
                 proc.kill()
             self.world.runtimes[r].kill()
         purged = self.world.network.purge_involving(set(members))
+        invalidated = 0
+        if kind == "node":
+            invalidated = self.spbc.storage.invalidate_node_copies(members)
         ckpt = self.spbc.storage.load_latest(rank)
-        self.failures.append(
-            FailureEvent(
-                time_ns=self.world.engine.now,
-                rank=rank,
-                cluster=cluster,
-                restarted_from_round=ckpt.round_no if ckpt else 0,
-                purged_packets=purged,
-            )
+        event = FailureEvent(
+            time_ns=self.world.engine.now,
+            rank=rank,
+            cluster=cluster,
+            restarted_from_round=ckpt.round_no if ckpt else 0,
+            purged_packets=purged,
+            kind=kind,
+            invalidated_copies=invalidated,
         )
+        self.failures.append(event)
+        self._last_event[cluster] = event
         pending = self._pending_restart.get(cluster)
         if pending is not None:
             pending.cancel()
@@ -111,6 +150,48 @@ class RecoveryManager:
                 proc.kill()
             if self.world.runtimes[r].alive:
                 self.world.runtimes[r].kill()
+        # Consistent restart round: the latest round every member still
+        # holds a surviving copy of (mixing rounds across members would
+        # splice two different coordinated cuts).
+        common = None
+        for r in members:
+            rounds = set(self.spbc.storage.surviving_rounds(r))
+            common = rounds if common is None else common & rounds
+        round_no = max(common) if common else 0
+        restores: Dict[int, Optional[RestoreReceipt]] = {}
+        read_ns = 0
+        for r in members:
+            rec = (
+                self.spbc.storage.retrieve(
+                    r, round_no, concurrent_readers=len(members)
+                )
+                if round_no > 0
+                else None
+            )
+            restores[r] = rec
+            if rec is not None:
+                read_ns = max(read_ns, rec.read_ns)
+        event = self._last_event.get(cluster)
+        if event is not None:
+            event.restarted_from_round = round_no
+            event.restore_read_ns = read_ns
+            event.restored_tier = next(
+                (rec.tier for rec in restores.values() if rec is not None), None
+            )
+        if read_ns > 0:
+            # The restart-time read burst: the cluster only comes back
+            # once every member has its copy off stable storage.
+            self._pending_restart[cluster] = self.world.engine.schedule(
+                read_ns, self._complete_restart, cluster, restores
+            )
+        else:
+            self._complete_restart(cluster, restores)
+
+    def _complete_restart(
+        self, cluster: int, restores: Dict[int, Optional[RestoreReceipt]]
+    ) -> None:
+        self._pending_restart.pop(cluster, None)
+        members = self.spbc.clusters.members(cluster)
         # Bring every member's library back first, then restore protocol
         # state, then send Rollbacks, then start the apps: Rollbacks must
         # not race a half-restored cluster.
@@ -118,13 +199,13 @@ class RecoveryManager:
             self.world.runtimes[r].restart()
         for r in members:
             rt = self.world.runtimes[r]
-            ckpt = self.spbc.storage.load_latest(r)
-            if ckpt is None:
+            rec = restores[r]
+            if rec is None:
                 # Restarting from the initial state: announce the rollback
                 # to every inter-cluster rank (no channels known yet).
                 self.spbc.restore_rank(rt, self._initial_checkpoint(r), broadcast=True)
             else:
-                self.spbc.restore_rank(rt, ckpt)
+                self.spbc.restore_rank(rt, rec.ckpt)
         for r in members:
             self.spbc.send_rollbacks(self.world.runtimes[r])
         # Failure notification to every survivor (paper line 16 reaches
@@ -136,9 +217,8 @@ class RecoveryManager:
             if r not in failed and rt.alive:
                 self.spbc.notify_failure(rt, failed)
         for r in members:
-            rt = self.world.runtimes[r]
-            ckpt = self.spbc.storage.load_latest(r)
-            state = ckpt.app_state if ckpt else None
+            rec = restores[r]
+            state = rec.ckpt.app_state if rec is not None else None
             ctx = RankContext(self.world, r)
             self.restarts[r] = self.restarts.get(r, 0) + 1
             gen = self.app_factory(ctx, state)

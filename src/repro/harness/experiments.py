@@ -35,6 +35,7 @@ from repro.harness.runner import (
     run_spbc,
 )
 from repro.sim.network import Topology
+from repro.storage.backend import StorageBackend, TieredBackend, make_backend
 from repro.util.stats import summarize
 from repro.util.table import format_table
 from repro.util.units import SEC, mb_per_s
@@ -271,6 +272,120 @@ def format_table2(rows: List[Table2Row]) -> str:
             for r in rows
         ],
         title="Table 2: failure-free overhead of SPBC",
+        float_fmt="{:.3f}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Checkpoint cost — what the paper excludes: write time per tier plan
+# ----------------------------------------------------------------------
+
+#: Tier plans swept by the checkpoint-cost experiment.  "memory" is the
+#: paper's free store; the others execute multi-level plans with modeled
+#: costs (the PFS's aggregate bandwidth is shared by every writer).
+CKPT_PLANS: Dict[str, str] = {
+    "memory": "memory",
+    "local": "tiered:ram@1,ssd@2",
+    "multilevel": "tiered:ram@1,ssd@2,pfs@4",
+    "pfs-only": "tiered:pfs@1",
+}
+
+
+@dataclass
+class CkptCostRow:
+    app: str
+    k: int
+    plan: str
+    nranks: int
+    rounds: int
+    ckpt_mb_avg: float  # modeled checkpoint size per rank (state + logs)
+    write_ms_per_rank: float  # modeled write time charged per rank
+    makespan_ns: int
+    baseline_ns: int  # same run on the free in-memory backend
+
+    @property
+    def slowdown_pct(self) -> float:
+        return 100.0 * (self.makespan_ns - self.baseline_ns) / self.baseline_ns
+
+
+def checkpoint_cost(
+    apps: Sequence[str] = ("minighost",),
+    ks: Sequence[int] = (4, 16),
+    plans: Optional[Dict[str, str]] = None,
+    checkpoint_every: int = 2,
+    nranks: Optional[int] = None,
+    ranks_per_node: Optional[int] = None,
+    overrides: Optional[Dict[str, dict]] = None,
+) -> List[CkptCostRow]:
+    """Sweep tier plans × cluster counts with checkpointing enabled.
+
+    Every configuration runs the same app; the in-memory backend is the
+    per-k baseline (identical to a run without any storage model), so a
+    row's slowdown is purely the modeled checkpoint write time."""
+    n = nranks or bench_nranks()
+    rpn = ranks_per_node or bench_ranks_per_node()
+    plans = plans or CKPT_PLANS
+    rows: List[CkptCostRow] = []
+    for name in apps:
+        app = app_factory(name, (overrides or {}).get(name))
+        for k in ks:
+            if k > n:
+                continue
+            cm = ClusterMap.block(n, k)
+            results: Dict[str, Tuple[RunResult, StorageBackend]] = {}
+            for plan_name, spec in plans.items():
+                backend = make_backend(spec)
+                cfg = SPBCConfig(
+                    clusters=cm,
+                    checkpoint_every=checkpoint_every,
+                    storage=backend,
+                )
+                res = run_spbc(
+                    app, n, cm, config=cfg,
+                    ranks_per_node=rpn, net_params=PAPER_NET, trace=False,
+                )
+                results[plan_name] = (res, backend)
+            free = [
+                res.makespan_ns
+                for res, b in results.values()
+                if not isinstance(b, TieredBackend)
+            ]
+            base_ns = min(free) if free else min(
+                res.makespan_ns for res, _ in results.values()
+            )
+            for plan_name, (res, backend) in results.items():
+                rounds = max(
+                    (len(backend.rounds_of(r)) for r in range(n)), default=0
+                )
+                rows.append(
+                    CkptCostRow(
+                        app=name,
+                        k=k,
+                        plan=plan_name,
+                        nranks=n,
+                        rounds=rounds,
+                        ckpt_mb_avg=(
+                            backend.bytes_written / max(1, backend.writes) / 1e6
+                        ),
+                        write_ms_per_rank=backend.write_ns_total / n / 1e6,
+                        makespan_ns=res.makespan_ns,
+                        baseline_ns=base_ns,
+                    )
+                )
+    return rows
+
+
+def format_checkpoint_cost(rows: List[CkptCostRow]) -> str:
+    return format_table(
+        ["app", "clusters", "plan", "rounds", "ckpt MB (avg)",
+         "write ms/rank", "makespan (ms)", "slowdown %"],
+        [
+            [r.app, r.k, r.plan, r.rounds, r.ckpt_mb_avg,
+             r.write_ms_per_rank, r.makespan_ns / 1e6, r.slowdown_pct]
+            for r in rows
+        ],
+        title="Checkpoint cost: tier plans x cluster counts "
+        "(write time charged to the simulation clock)",
         float_fmt="{:.3f}",
     )
 

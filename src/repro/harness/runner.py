@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Generator, List, Optional, Set
 
+from typing import Union
+
 from repro.core.clusters import ClusterMap
 from repro.core.emulated import ReplayPlan, replayer_process, DEFAULT_PREPOST_WINDOW
 from repro.core.protocol import SPBC, SPBCConfig
@@ -23,8 +25,24 @@ from repro.mpi.hooks import NativeHooks, ProtocolHooks
 from repro.mpi.runtime import World
 from repro.sim.network import NetworkParams
 from repro.sim.process import ProcessStatus
+from repro.storage.backend import StorageBackend, make_backend
 
 AppFactory = Callable[[RankContext, Optional[dict]], Generator]
+
+StorageSpec = Union[str, StorageBackend, None]
+
+
+def _resolve_storage(cfg: SPBCConfig, storage: StorageSpec) -> None:
+    """Install a storage backend into ``cfg`` (spec strings go through
+    the registry)."""
+    if storage is None:
+        return
+    if cfg.storage is not None:
+        raise ValueError(
+            "storage backend supplied both via config.storage and the "
+            "storage argument"
+        )
+    cfg.storage = make_backend(storage) if isinstance(storage, str) else storage
 
 
 @dataclass
@@ -112,12 +130,18 @@ def run_spbc(
     nranks: int,
     clusters: ClusterMap,
     config: Optional[SPBCConfig] = None,
+    storage: StorageSpec = None,
     **kw,
 ) -> RunResult:
-    """Failure-free run under SPBC (logging + identifiers active)."""
+    """Failure-free run under SPBC (logging + identifiers active).
+
+    ``storage`` selects the checkpoint backend (a spec string like
+    ``"tiered:ram@1,pfs@4"`` or a ``StorageBackend``); it only matters
+    when ``config.checkpoint_every`` is set."""
     cfg = config or SPBCConfig(clusters=clusters)
     if cfg.clusters is not clusters and cfg.clusters != clusters:
         raise ValueError("config.clusters disagrees with the clusters argument")
+    _resolve_storage(cfg, storage)
     return run_app(app_factory, nranks, hooks=SPBC(cfg), **kw)
 
 
@@ -198,10 +222,18 @@ def run_online_failure(
     seed: int = 0,
     net_params: Optional[NetworkParams] = None,
     trace: bool = True,
+    failure_kind: str = "process",
+    storage: StorageSpec = None,
 ) -> OnlineResult:
     """Run with a crash of ``fail_rank``'s cluster at ``fail_at_ns`` and
-    full online recovery (Algorithm 1 lines 16-26)."""
+    full online recovery (Algorithm 1 lines 16-26).
+
+    ``failure_kind="node"`` loses the machines with the processes:
+    checkpoint copies on non-surviving tiers are invalidated and the
+    restart falls back to the deepest surviving tier (see
+    :class:`~repro.core.recovery.RecoveryManager`)."""
     cfg = config or SPBCConfig(clusters=clusters)
+    _resolve_storage(cfg, storage)
     hooks = SPBC(cfg)
     world = World(
         nranks,
@@ -216,7 +248,7 @@ def run_online_failure(
     )
     for r in range(nranks):
         world.launch(r, app_factory(RankContext(world, r), None))
-    manager.inject_failure(fail_at_ns, fail_rank)
+    manager.inject_failure(fail_at_ns, fail_rank, kind=failure_kind)
     world.run()
     _check_world(world)
     finish = {r: p.finish_time for r, p in world.processes.items()}

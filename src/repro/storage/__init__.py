@@ -1,12 +1,25 @@
-"""Checkpoint storage cost models (PFS, node-local, multi-level).
+"""Checkpoint storage: tier cost models and pluggable backends.
 
 The paper excludes checkpoint-writing time from its measurements and
 cites multi-level checkpointing work (FTI [3], SCR [27]) for that side
-of the problem; this package provides the corresponding cost models so
-examples and ablations can reason about end-to-end checkpoint budgets
-(e.g. why logs-to-local-storage beats everything-to-PFS).
+of the problem; this package provides the corresponding cost models
+(PFS, node-local SSD, RAM) *and* the backends that execute them inside
+the protocol: the free :class:`InMemoryBackend` default and the
+:class:`TieredBackend` that runs a :class:`MultiLevelPlan` with write
+and restart-read time charged to the simulation clock (see
+``docs/storage.md``).
 """
 
+from repro.storage.backend import (
+    InMemoryBackend,
+    RestoreReceipt,
+    SaveReceipt,
+    StorageBackend,
+    TieredBackend,
+    default_plan,
+    make_backend,
+    parse_plan,
+)
 from repro.storage.model import StorageTier, pfs_tier, local_ssd_tier, ram_tier
 from repro.storage.multilevel import MultiLevelPlan, optimal_interval_ns
 
@@ -17,4 +30,12 @@ __all__ = [
     "ram_tier",
     "MultiLevelPlan",
     "optimal_interval_ns",
+    "StorageBackend",
+    "InMemoryBackend",
+    "TieredBackend",
+    "SaveReceipt",
+    "RestoreReceipt",
+    "make_backend",
+    "parse_plan",
+    "default_plan",
 ]

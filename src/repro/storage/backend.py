@@ -1,0 +1,317 @@
+"""Pluggable checkpoint storage backends.
+
+The protocol's stable-storage abstraction ("save (State, Logs), read it
+back at restart") is decoupled here from *where* the bytes live and what
+that costs.  Two implementations:
+
+* :class:`InMemoryBackend` — the paper's experimental configuration:
+  writes are free and every copy survives any failure.  This is the
+  default, so failure-free benchmark numbers are identical to a world
+  without any storage model.
+* :class:`TieredBackend` — executes a :class:`~repro.storage.multilevel.
+  MultiLevelPlan`: each checkpoint round writes to the tiers the plan
+  schedules, write/read time comes from the :class:`~repro.storage.model.
+  StorageTier` cost models (including shared-PFS contention), and every
+  copy remembers which tier holds it so a node failure can invalidate
+  the copies that died with the node.
+
+Backends return receipts instead of charging time themselves: the
+protocol charges ``SaveReceipt.write_ns`` to the simulation clock inside
+the coordinated checkpoint, and the recovery manager delays the restart
+by ``RestoreReceipt.read_ns`` (the paper's "IO burst when retrieving the
+last checkpoint").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from bisect import insort
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+from repro.storage.model import StorageTier, local_ssd_tier, pfs_tier, ram_tier
+from repro.storage.multilevel import MultiLevelPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a core<->storage cycle)
+    from repro.core.checkpoint import Checkpoint
+
+
+@dataclass(frozen=True)
+class SaveReceipt:
+    """Outcome of persisting one checkpoint."""
+
+    round_no: int
+    write_ns: int  # modeled time, charged to the writer's simulation clock
+    tiers: Tuple[str, ...]  # tiers that received a copy this round
+    durable: bool  # True when some copy this round survives node failure
+
+
+@dataclass(frozen=True)
+class RestoreReceipt:
+    """Outcome of reading one checkpoint back at restart."""
+
+    ckpt: "Checkpoint"
+    tier: str  # tier the copy was read from
+    read_ns: int  # modeled restart-read time
+
+
+class StorageBackend(ABC):
+    """Where checkpoints live and what writing/reading them costs."""
+
+    def __init__(self) -> None:
+        self.writes = 0  # save() calls (checkpoint commits)
+        self.bytes_written = 0  # modeled bytes across all copies
+        self.write_ns_total = 0
+        self.read_ns_total = 0
+
+    # -- write path ----------------------------------------------------
+    def write_cost_ns(self, ckpt: "Checkpoint", concurrent_writers: int = 1) -> int:
+        """Modeled time to persist ``ckpt``, without committing it.
+
+        The protocol charges this to the simulation clock *before*
+        calling :meth:`save`: a copy must not become restorable until
+        its write has finished (a failure mid-write falls back to the
+        previous round)."""
+        return 0
+
+    @abstractmethod
+    def save(self, ckpt: "Checkpoint", concurrent_writers: int = 1) -> SaveReceipt:
+        """Persist ``ckpt`` and return the modeled cost receipt."""
+
+    # -- failure model -------------------------------------------------
+    @abstractmethod
+    def invalidate_node_copies(self, ranks: Iterable[int]) -> int:
+        """A node hosting ``ranks`` was lost: drop their checkpoint
+        copies held in tiers that do not survive node failure.  Returns
+        the number of copies invalidated."""
+
+    # -- read path -----------------------------------------------------
+    @abstractmethod
+    def surviving_rounds(self, rank: int) -> List[int]:
+        """Rounds of ``rank`` with at least one surviving copy, ascending."""
+
+    @abstractmethod
+    def retrieve(
+        self, rank: int, round_no: int, concurrent_readers: int = 1
+    ) -> Optional[RestoreReceipt]:
+        """Read back ``rank``'s checkpoint of ``round_no`` from the
+        cheapest surviving copy."""
+
+    # -- cost-free inspection (tests, reporting, failure events) -------
+    @abstractmethod
+    def load_latest(self, rank: int) -> Optional["Checkpoint"]:
+        """Latest *surviving* checkpoint of ``rank`` (no cost charged)."""
+
+    @abstractmethod
+    def rounds_of(self, rank: int) -> List[int]:
+        """Every round ever saved for ``rank`` (including copies that
+        were later invalidated), ascending."""
+
+    def has_checkpoint(self, rank: int) -> bool:
+        return self.load_latest(rank) is not None
+
+
+class InMemoryBackend(StorageBackend):
+    """Free, indestructible checkpoint store (the paper's configuration:
+    "none of our experiments include checkpointing [I/O]")."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._latest: Dict[int, "Checkpoint"] = {}
+        self._history: Dict[int, List["Checkpoint"]] = {}
+
+    def save(self, ckpt: "Checkpoint", concurrent_writers: int = 1) -> SaveReceipt:
+        self._latest[ckpt.rank] = ckpt
+        self._history.setdefault(ckpt.rank, []).append(ckpt)
+        self.writes += 1
+        self.bytes_written += ckpt.nbytes
+        return SaveReceipt(
+            round_no=ckpt.round_no, write_ns=0, tiers=("memory",), durable=True
+        )
+
+    def invalidate_node_copies(self, ranks: Iterable[int]) -> int:
+        return 0  # survives everything, by definition
+
+    def surviving_rounds(self, rank: int) -> List[int]:
+        return self.rounds_of(rank)
+
+    def retrieve(
+        self, rank: int, round_no: int, concurrent_readers: int = 1
+    ) -> Optional[RestoreReceipt]:
+        for c in reversed(self._history.get(rank, [])):
+            if c.round_no == round_no:
+                return RestoreReceipt(ckpt=c, tier="memory", read_ns=0)
+        return None
+
+    def load_latest(self, rank: int) -> Optional["Checkpoint"]:
+        return self._latest.get(rank)
+
+    def rounds_of(self, rank: int) -> List[int]:
+        return [c.round_no for c in self._history.get(rank, [])]
+
+
+class TieredBackend(StorageBackend):
+    """Executes a :class:`MultiLevelPlan` with per-tier cost accounting."""
+
+    def __init__(self, plan: MultiLevelPlan) -> None:
+        super().__init__()
+        self.plan = plan
+        names = [t.name for t in plan.tiers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tier names in plan: {names}")
+        # rank -> round -> tier name -> checkpoint copy
+        self._copies: Dict[int, Dict[int, Dict[str, "Checkpoint"]]] = {}
+        self._all_rounds: Dict[int, List[int]] = {}
+        self.tier_writes: Dict[str, int] = {t.name: 0 for t in plan.tiers}
+        self.tier_bytes: Dict[str, int] = {t.name: 0 for t in plan.tiers}
+        self.invalidated_copies = 0
+
+    def _tier(self, name: str) -> StorageTier:
+        for t in self.plan.tiers:
+            if t.name == name:
+                return t
+        raise KeyError(name)
+
+    def scheduled_tiers(self, round_no: int) -> List[StorageTier]:
+        """Tiers the plan writes on checkpoint round ``round_no``."""
+        return [
+            t
+            for t, period in zip(self.plan.tiers, self.plan.periods)
+            if round_no % period == 0
+        ]
+
+    def write_cost_ns(self, ckpt: "Checkpoint", concurrent_writers: int = 1) -> int:
+        return sum(
+            t.write_time_ns(ckpt.nbytes, concurrent_writers)
+            for t in self.scheduled_tiers(ckpt.round_no)
+        )
+
+    def save(self, ckpt: "Checkpoint", concurrent_writers: int = 1) -> SaveReceipt:
+        tiers = self.scheduled_tiers(ckpt.round_no)
+        write_ns = 0
+        per_round = self._copies.setdefault(ckpt.rank, {}).setdefault(
+            ckpt.round_no, {}
+        )
+        for t in tiers:
+            write_ns += t.write_time_ns(ckpt.nbytes, concurrent_writers)
+            per_round[t.name] = ckpt
+            self.tier_writes[t.name] += 1
+            self.tier_bytes[t.name] += ckpt.nbytes
+            self.bytes_written += ckpt.nbytes
+        self.writes += 1
+        self.write_ns_total += write_ns
+        rounds = self._all_rounds.setdefault(ckpt.rank, [])
+        if ckpt.round_no not in rounds:
+            # A rolled-back cluster re-takes rounds it already saved;
+            # keep the history sorted and duplicate-free.
+            insort(rounds, ckpt.round_no)
+        return SaveReceipt(
+            round_no=ckpt.round_no,
+            write_ns=write_ns,
+            tiers=tuple(t.name for t in tiers),
+            durable=any(t.survives_node_failure for t in tiers),
+        )
+
+    def invalidate_node_copies(self, ranks: Iterable[int]) -> int:
+        dropped = 0
+        for rank in ranks:
+            for per_round in self._copies.get(rank, {}).values():
+                for name in [
+                    n
+                    for n in per_round
+                    if not self._tier(n).survives_node_failure
+                ]:
+                    del per_round[name]
+                    dropped += 1
+        self.invalidated_copies += dropped
+        return dropped
+
+    def surviving_rounds(self, rank: int) -> List[int]:
+        return sorted(
+            rnd for rnd, copies in self._copies.get(rank, {}).items() if copies
+        )
+
+    def retrieve(
+        self, rank: int, round_no: int, concurrent_readers: int = 1
+    ) -> Optional[RestoreReceipt]:
+        copies = self._copies.get(rank, {}).get(round_no) or {}
+        if not copies:
+            return None
+        best_name = min(
+            copies,
+            key=lambda n: self._tier(n).read_time_ns(
+                copies[n].nbytes, concurrent_readers
+            ),
+        )
+        ckpt = copies[best_name]
+        read_ns = self._tier(best_name).read_time_ns(ckpt.nbytes, concurrent_readers)
+        self.read_ns_total += read_ns
+        return RestoreReceipt(ckpt=ckpt, tier=best_name, read_ns=read_ns)
+
+    def load_latest(self, rank: int) -> Optional["Checkpoint"]:
+        rounds = self.surviving_rounds(rank)
+        if not rounds:
+            return None
+        receipt = self.retrieve(rank, rounds[-1])
+        self.read_ns_total -= receipt.read_ns  # inspection is cost-free
+        return receipt.ckpt
+
+    def rounds_of(self, rank: int) -> List[int]:
+        return list(self._all_rounds.get(rank, []))
+
+
+# ----------------------------------------------------------------------
+# Registry: build a backend from a CLI-friendly spec string
+# ----------------------------------------------------------------------
+
+_TIER_FACTORIES = {
+    "ram": ram_tier,
+    "ssd": local_ssd_tier,
+    "pfs": pfs_tier,
+}
+
+
+def default_plan() -> MultiLevelPlan:
+    """SCR/FTI-flavoured default: RAM every round, local SSD every 4th,
+    the parallel file system every 16th."""
+    return MultiLevelPlan(
+        tiers=[ram_tier(), local_ssd_tier(), pfs_tier()], periods=[1, 4, 16]
+    )
+
+
+def parse_plan(spec: str) -> MultiLevelPlan:
+    """Parse ``"ram@1,ssd@4,pfs@16"`` into a :class:`MultiLevelPlan`."""
+    tiers: List[StorageTier] = []
+    periods: List[int] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, period = part.partition("@")
+        factory = _TIER_FACTORIES.get(name.strip())
+        if factory is None:
+            raise ValueError(
+                f"unknown tier {name!r} (choose from {sorted(_TIER_FACTORIES)})"
+            )
+        tiers.append(factory())
+        periods.append(int(period) if period else 1)
+    if not tiers:
+        raise ValueError(f"empty tier plan: {spec!r}")
+    return MultiLevelPlan(tiers=tiers, periods=periods)
+
+
+def make_backend(spec: str) -> StorageBackend:
+    """Build a backend from a spec string.
+
+    * ``"memory"`` — the free in-memory default;
+    * ``"tiered"`` — :func:`default_plan` (ram@1, ssd@4, pfs@16);
+    * ``"tiered:ram@1,pfs@4"`` — an explicit tier plan.
+    """
+    name, _, rest = spec.partition(":")
+    if name == "memory":
+        if rest:
+            raise ValueError("the memory backend takes no arguments")
+        return InMemoryBackend()
+    if name == "tiered":
+        return TieredBackend(parse_plan(rest) if rest else default_plan())
+    raise ValueError(f"unknown storage backend {name!r} (memory, tiered)")

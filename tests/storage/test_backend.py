@@ -1,0 +1,149 @@
+"""Storage backend layer: receipts, tier scheduling, survivability."""
+
+import pytest
+
+from repro.core.checkpoint import Checkpoint, StableStorage
+from repro.storage.backend import (
+    InMemoryBackend,
+    TieredBackend,
+    default_plan,
+    make_backend,
+    parse_plan,
+)
+from repro.storage.model import local_ssd_tier, pfs_tier, ram_tier
+from repro.storage.multilevel import MultiLevelPlan
+from repro.util.units import MB
+
+
+def ckpt(rank=0, round_no=1, nbytes=10 * MB):
+    return Checkpoint(
+        rank=rank,
+        round_no=round_no,
+        taken_at_ns=0,
+        app_state={},
+        chan_seq={},
+        lr={},
+        arrived={},
+        ls={},
+        pattern_state={},
+        unexpected=[],
+        log_snapshot={},
+        nbytes=nbytes,
+    )
+
+
+def two_level():
+    return TieredBackend(
+        MultiLevelPlan(tiers=[ram_tier(), pfs_tier()], periods=[1, 2])
+    )
+
+
+# ----------------------------------------------------------------------
+# InMemoryBackend: the free, indestructible default
+# ----------------------------------------------------------------------
+
+def test_stable_storage_is_the_in_memory_backend():
+    assert StableStorage is InMemoryBackend
+
+
+def test_in_memory_is_free_and_durable():
+    b = InMemoryBackend()
+    r = b.save(ckpt(round_no=1), concurrent_writers=512)
+    assert r.write_ns == 0 and r.durable and r.tiers == ("memory",)
+    assert b.invalidate_node_copies([0]) == 0
+    assert b.surviving_rounds(0) == [1]
+    rec = b.retrieve(0, 1)
+    assert rec.read_ns == 0 and rec.tier == "memory"
+    assert b.load_latest(0).round_no == 1
+    assert b.has_checkpoint(0) and not b.has_checkpoint(1)
+
+
+# ----------------------------------------------------------------------
+# TieredBackend: plan execution and cost accounting
+# ----------------------------------------------------------------------
+
+def test_tiered_writes_follow_the_plan_schedule():
+    b = two_level()
+    r1 = b.save(ckpt(round_no=1))
+    r2 = b.save(ckpt(round_no=2))
+    assert r1.tiers == ("ram",) and not r1.durable
+    assert r2.tiers == ("ram", "pfs") and r2.durable
+    assert r1.write_ns > 0
+    # the PFS round pays both tiers
+    assert r2.write_ns > r1.write_ns
+    assert b.tier_writes == {"ram": 2, "pfs": 1}
+    assert b.writes == 2
+
+
+def test_shared_tier_contention_scales_write_receipts():
+    alone = two_level().save(ckpt(round_no=2), concurrent_writers=1)
+    crowded = two_level().save(ckpt(round_no=2), concurrent_writers=512)
+    assert crowded.write_ns > alone.write_ns
+
+
+def test_node_failure_invalidates_volatile_copies():
+    b = two_level()
+    for rnd in (1, 2, 3):
+        b.save(ckpt(round_no=rnd))
+    assert b.surviving_rounds(0) == [1, 2, 3]
+    dropped = b.invalidate_node_copies([0])
+    assert dropped == 3  # the three RAM copies
+    assert b.surviving_rounds(0) == [2]  # only the PFS round survives
+    assert b.rounds_of(0) == [1, 2, 3]  # history remembers everything
+    assert b.load_latest(0).round_no == 2
+    # a second invalidation is a no-op
+    assert b.invalidate_node_copies([0]) == 0
+
+
+def test_retrieve_prefers_the_fastest_surviving_copy():
+    b = two_level()
+    b.save(ckpt(round_no=2))  # ram + pfs
+    rec = b.retrieve(0, 2, concurrent_readers=8)
+    assert rec.tier == "ram" and rec.read_ns > 0
+    b.invalidate_node_copies([0])
+    rec = b.retrieve(0, 2, concurrent_readers=8)
+    assert rec.tier == "pfs"
+    assert rec.read_ns > 0
+    assert b.retrieve(0, 1) is None
+    assert b.retrieve(1, 2) is None
+
+
+def test_restart_read_burst_contends_on_shared_tier():
+    b = two_level()
+    b.save(ckpt(round_no=2))
+    b.invalidate_node_copies([0])
+    quiet = b.retrieve(0, 2, concurrent_readers=1).read_ns
+    burst = b.retrieve(0, 2, concurrent_readers=512).read_ns
+    assert burst > quiet
+
+
+def test_duplicate_tier_names_rejected():
+    with pytest.raises(ValueError):
+        TieredBackend(MultiLevelPlan(tiers=[ram_tier(), ram_tier()], periods=[1, 2]))
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+def test_make_backend_specs():
+    assert isinstance(make_backend("memory"), InMemoryBackend)
+    t = make_backend("tiered")
+    assert isinstance(t, TieredBackend)
+    assert [x.name for x in t.plan.tiers] == [x.name for x in default_plan().tiers]
+    custom = make_backend("tiered:ram@1,pfs@4")
+    assert [x.name for x in custom.plan.tiers] == ["ram", "pfs"]
+    assert list(custom.plan.periods) == [1, 4]
+
+
+def test_parse_plan_defaults_and_errors():
+    plan = parse_plan("ssd")
+    assert plan.periods[0] == 1 and plan.tiers[0].name == "local-ssd"
+    with pytest.raises(ValueError):
+        parse_plan("floppy@1")
+    with pytest.raises(ValueError):
+        parse_plan("")
+    with pytest.raises(ValueError):
+        make_backend("tape")
+    with pytest.raises(ValueError):
+        make_backend("memory:ram@1")

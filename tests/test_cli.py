@@ -11,6 +11,11 @@ from repro.__main__ import main
 def clean_env(monkeypatch):
     monkeypatch.delenv("REPRO_BENCH_RANKS", raising=False)
     monkeypatch.delenv("REPRO_BENCH_RPN", raising=False)
+    yield
+    # main() writes these into os.environ; scrub them so later-collected
+    # tests (the benchmarks) don't inherit this test's tiny scale.
+    os.environ.pop("REPRO_BENCH_RANKS", None)
+    os.environ.pop("REPRO_BENCH_RPN", None)
 
 
 def test_apps_listing(capsys):
@@ -36,3 +41,20 @@ def test_env_propagation(capsys, monkeypatch):
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         main(["tableX"])
+
+
+def test_ckptcost_small_scale(capsys):
+    assert main(["ckptcost", "--ranks", "8", "--rpn", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Checkpoint cost" in out
+    for plan in ("memory", "local", "multilevel", "pfs-only"):
+        assert plan in out
+
+
+def test_ckptcost_explicit_storage_spec(capsys):
+    assert main(
+        ["ckptcost", "--ranks", "8", "--rpn", "2",
+         "--storage", "tiered:ram@1,pfs@2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "tiered:ram@1,pfs@2" in out
