@@ -7,6 +7,8 @@ Usage::
     python -m repro fig5
     python -m repro fig6
     python -m repro ckptcost [--storage tiered:ram@1,pfs@4]
+    python -m repro blastradius [--storage partner:ram@1,partner@1,pfs@4]
+                                [--checkpoint-every 2|auto] [--mtbf 0.5]
     python -m repro apps            # list registered workloads
 
 Equivalent to the pytest benchmarks but without the harness — handy for
@@ -27,7 +29,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=["table1", "table2", "fig5", "fig6", "ckptcost", "apps"],
+        choices=[
+            "table1", "table2", "fig5", "fig6", "ckptcost", "blastradius",
+            "apps",
+        ],
         help="which artifact to regenerate",
     )
     parser.add_argument("--ranks", type=int, default=None, help="simulated ranks")
@@ -39,8 +44,23 @@ def main(argv=None) -> int:
         "--storage",
         type=str,
         default=None,
-        help="storage backend spec for ckptcost: memory, tiered, or "
-        "tiered:ram@1,ssd@4,pfs@16 (default: the built-in plan sweep)",
+        help="storage backend spec for ckptcost/blastradius: memory, "
+        "tiered, partner, or tiered:ram@1,ssd@4,pfs@16 "
+        "(default: the built-in plan sweep)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=str,
+        default=None,
+        help="blastradius: iterations between coordinated checkpoints "
+        "(a positive integer, or 'auto' for the Young/Daly cadence)",
+    )
+    parser.add_argument(
+        "--mtbf",
+        type=float,
+        default=0.5,
+        help="blastradius: node MTBF in (simulated) seconds driving the "
+        "'auto' cadence (default 0.5)",
     )
     args = parser.parse_args(argv)
 
@@ -92,6 +112,77 @@ def main(argv=None) -> int:
             plans = {"memory": "memory", args.storage: args.storage}
         rows = ex.checkpoint_cost(apps=subset or ("minighost",), plans=plans)
         print(ex.format_checkpoint_cost(rows))
+    elif args.experiment == "blastradius":
+        from repro.storage.backend import make_backend
+        from repro.util.units import SEC
+
+        plans = None
+        if args.storage:
+            try:
+                make_backend(args.storage)
+            except ValueError as e:
+                print(f"error: --storage {args.storage!r}: {e}", file=sys.stderr)
+                return 2
+            plans = {args.storage: args.storage}
+        every = 2
+        if args.checkpoint_every == "auto":
+            every = "auto"
+        elif args.checkpoint_every:
+            try:
+                every = int(args.checkpoint_every)
+            except ValueError:
+                print(
+                    f"error: --checkpoint-every {args.checkpoint_every!r}: "
+                    "expected a positive integer or 'auto'",
+                    file=sys.stderr,
+                )
+                return 2
+            if every < 1:
+                print(
+                    f"error: --checkpoint-every {every}: must be >= 1",
+                    file=sys.stderr,
+                )
+                return 2
+        if args.mtbf <= 0:
+            print(
+                f"error: --mtbf {args.mtbf}: MTBF must be positive seconds",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            rows = ex.blastradius(
+                apps=subset or ("minighost",),
+                plans=plans,
+                checkpoint_every=every,
+                mtbf_ns=int(args.mtbf * SEC),
+            )
+        except ValueError as e:
+            # e.g. --storage memory with --checkpoint-every auto
+            print(f"error: blastradius: {e}", file=sys.stderr)
+            return 2
+        print(ex.format_blastradius(rows))
+        # The Young/Daly cadence report rides along: it shares the
+        # failure model's tier costs and shows the 'auto' interval next
+        # to the analytic optimum.
+        auto_plan = (
+            args.storage if args.storage else ex.BLAST_PLANS["no-partner"]
+        )
+        try:
+            arows = ex.auto_interval(
+                apps=subset or ("minighost",),
+                plan=auto_plan,
+                mtbf_ns=int(args.mtbf * SEC),
+            )
+        except ValueError as e:
+            # e.g. --storage memory: the free store has no write cost for
+            # the Young/Daly controller to optimize against.  The blast
+            # table above is still the requested artifact — skip the
+            # ride-along report instead of failing the command.
+            print()
+            print(f"(auto-interval report skipped for {auto_plan!r}: {e})")
+        else:
+            print()
+            print(ex.format_auto_interval(arows))
     return 0
 
 

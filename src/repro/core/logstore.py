@@ -66,6 +66,13 @@ class LogStore:
         self.records_logged = 0
         self.resident_bytes = 0  # live memory held by the log
         self.resident_records = 0
+        # Receiver-certified GC floors: seq <= floor on a channel will
+        # never be requested again (the receiver saved its delivery in a
+        # checkpoint it can never roll back past).  Forever-true facts:
+        # they survive this sender's own rollbacks.
+        self._collected: Dict[ChannelKey, int] = {}
+        self.collected_records = 0  # cumulative, freed by receiver GC
+        self.collected_bytes = 0
 
     def append(self, rec: LogRecord) -> None:
         key = (rec.comm_id, rec.dst)
@@ -82,13 +89,17 @@ class LogStore:
 
     def last_seq(self, comm_id: int, dst: int) -> int:
         """Highest logged seqnum on a channel (0 if nothing logged),
-        across both the resident and the stable area."""
+        across both the resident and the stable area.  A channel whose
+        records were all garbage-collected reports its GC floor, so
+        re-sends of collected messages are never re-logged."""
         key = (comm_id, dst)
         chan = self.channels.get(key)
         if chan:
             return chan[-1].seqnum  # resident extends the stable prefix
         stable = self._stable.get(key)
-        return stable[-1].seqnum if stable else 0
+        if stable:
+            return stable[-1].seqnum
+        return self._collected.get(key, 0)
 
     def replay_after(
         self, comm_id: int, dst: int, seqnum: int, include_stable: bool = False
@@ -107,8 +118,10 @@ class LogStore:
         return out
 
     def channel_keys(self) -> Set[ChannelKey]:
-        """Every channel with logged traffic, resident or stable."""
-        return set(self.channels) | set(self._stable)
+        """Every channel with logged traffic — resident, stable, or
+        fully garbage-collected (the channel existed; recovery handshakes
+        must still cover it)."""
+        return set(self.channels) | set(self._stable) | set(self._collected)
 
     def records_to(self, dst: int) -> List[LogRecord]:
         """All records destined to ``dst``, across communicators, in send
@@ -160,6 +173,62 @@ class LogStore:
         self.records_logged = snap["records_logged"]
         self.resident_bytes = 0
         self.resident_records = 0
+        # Receiver GC floors outlive our own rollback (the receiver's
+        # guarantee is about *its* restart floor, not ours): re-collect
+        # records the snapshot carries from before the floors.  Pruning
+        # restored *copies* of already-collected records is not new GC,
+        # so the cumulative collected counters are left untouched.
+        floors = dict(self._collected)
+        self._collected = {}
+        saved = (self.collected_records, self.collected_bytes)
+        for (cid, dst), floor in floors.items():
+            self.collect(cid, dst, floor)
+        self.collected_records, self.collected_bytes = saved
+
+    def inherit_floors(self, prev: "LogStore") -> None:
+        """Carry receiver-certified GC floors over from a dead
+        incarnation's log.  The floors are facts about the *receivers*'
+        restart guarantees, so they outlive this sender's own crash;
+        a subsequent :meth:`restore` re-collects any records the
+        checkpoint snapshot carries from below them."""
+        for (cid, dst), floor in prev._collected.items():
+            if floor > self._collected.get((cid, dst), 0):
+                self._collected[(cid, dst)] = floor
+
+    def collect(self, comm_id: int, dst: int, upto_seq: int) -> int:
+        """Receiver-driven garbage collection (Johnson/Zwaenepoel-style):
+        delete records with ``seqnum <= upto_seq`` from *both* log areas.
+
+        Legal only when the receiver certified it can never again request
+        them — it delivered them and saved that delivery (the LR) in a
+        checkpoint it is guaranteed never to roll back past (see
+        ``StorageBackend.guaranteed_round``).  Unlike :meth:`truncate`,
+        which moves records into the checkpointed stable area, this frees
+        them everywhere: the resident memory *and* every future snapshot
+        shrink.  Returns the number of records deleted."""
+        key = (comm_id, dst)
+        if upto_seq <= self._collected.get(key, 0):
+            return 0
+        self._collected[key] = upto_seq
+        deleted = 0
+        for area, resident in ((self._stable, False), (self.channels, True)):
+            chan = area.get(key)
+            if not chan:
+                continue
+            cut = bisect_right(chan, upto_seq, key=lambda r: r.seqnum)
+            if cut == 0:
+                continue
+            for rec in chan[:cut]:
+                self.collected_bytes += rec.nbytes
+                if resident:
+                    self.resident_bytes -= rec.nbytes
+                    self.resident_records -= 1
+            deleted += cut
+            del chan[:cut]
+            if not chan:
+                del area[key]
+        self.collected_records += deleted
+        return deleted
 
     def truncate(self) -> None:
         """Free the resident log memory (legal right after a checkpoint

@@ -33,10 +33,11 @@ DESIGN.md section 4):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple, Union
 
 from repro.core.checkpoint import Checkpoint
-from repro.storage.backend import InMemoryBackend, StorageBackend
+from repro.storage.backend import InMemoryBackend, SaveReceipt, StorageBackend
+from repro.storage.multilevel import optimal_interval_ns, optimal_interval_rounds
 from repro.core.clusters import ClusterMap
 from repro.core.logstore import LogRecord, LogStore
 from repro.mpi import collectives as coll
@@ -44,7 +45,7 @@ from repro.mpi.constants import DEFAULT_IDENT
 from repro.mpi.hooks import ProtocolHooks
 from repro.mpi.message import ControlMsg, Envelope
 from repro.mpi.request import RecvRequest
-from repro.util.units import US
+from repro.util.units import SEC, US
 
 ChannelIn = Tuple[int, int]  # (comm_id, src world rank)
 ChannelOut = Tuple[int, int]  # (comm_id, dst world rank)
@@ -52,6 +53,7 @@ ChannelOut = Tuple[int, int]  # (comm_id, dst world rank)
 ROLLBACK = "spbc.rollback"
 LASTMESSAGE = "spbc.lastmessage"
 PEER_HELLO = "spbc.peer_hello"
+LOG_GC = "spbc.log_gc"
 
 _DRAIN_RETRY_NS = 20 * US
 _DRAIN_MAX_TRIES = 10_000
@@ -88,7 +90,13 @@ class SPBCConfig:
     # Coordinated checkpoint every N maybe_checkpoint() calls (app
     # iterations); None disables checkpointing (the paper's benchmark
     # configuration: "none of our experiments include checkpointing").
-    checkpoint_every: Optional[int] = None
+    # "auto" derives the cadence per cluster from the Young/Daly optimal
+    # interval over the storage backend's modeled write cost, the
+    # configured MTBF, and the measured iteration time — it needs a
+    # cost-modeled backend (TieredBackend/PartnerCopyBackend).
+    checkpoint_every: Union[int, str, None] = None
+    # Node MTBF driving the "auto" cadence (Young: sqrt(2*C*MTBF)).
+    mtbf_ns: int = 60 * SEC
     # Where checkpoints are persisted and what that costs.  The default
     # InMemoryBackend charges nothing (the paper's configuration); a
     # TieredBackend executes a multi-level plan and its write time is
@@ -152,6 +160,67 @@ class _RankState:
         return ch
 
 
+class _AutoCadence:
+    """Young/Daly-driven checkpoint cadence, shared by a cluster's ranks.
+
+    The interval is recomputed at every commit from cluster-consistent
+    inputs: the first member to reach a due boundary stamps the epoch's
+    end, the first member out of the closing barrier fixes the next
+    epoch's interval from the measured iteration time and the receipt's
+    write cost.  All members consult the same object, so every rank of a
+    cluster agrees on which ``maybe_checkpoint`` call checkpoints — the
+    coordinated barrier never splits.
+
+    The first epoch runs with ``every=1``: the initial checkpoint is the
+    calibration round that reveals the checkpoint size and write cost.
+    """
+
+    MAX_EVERY = 1_000_000
+
+    def __init__(self, anchor_ns: int = 0) -> None:
+        self.every = 1  # calibration round
+        self.last_ckpt_call = 0
+        self.anchor_ns = anchor_ns  # epoch start (app start / last commit)
+        self.first_due_ns: Optional[int] = None
+        self.iter_ns_est = 0.0
+        self.ckpt_cost_ns = 0
+        self.t_opt_ns = 0
+        self.commits = 0
+
+    def due(self, call_idx: int, now: int) -> bool:
+        if call_idx - self.last_ckpt_call < self.every:
+            return False
+        if self.first_due_ns is None:
+            self.first_due_ns = now  # first member at the due boundary
+        return True
+
+    def note_commit(
+        self, call_idx: int, now: int, receipt: SaveReceipt, mtbf_ns: int
+    ) -> None:
+        if call_idx == self.last_ckpt_call:
+            return  # a later member of the same round; already applied
+        iters = call_idx - self.last_ckpt_call
+        busy = max(0, (self.first_due_ns or now) - self.anchor_ns)
+        if busy > 0:
+            self.iter_ns_est = busy / iters
+        self.ckpt_cost_ns = receipt.write_ns
+        if receipt.write_ns <= 0:
+            raise ValueError(
+                "checkpoint_every='auto' needs a cost-modeled storage "
+                "backend: this round's write cost was 0 ns, so Young's "
+                "interval is undefined (use e.g. --storage tiered)"
+            )
+        self.t_opt_ns = optimal_interval_ns(receipt.write_ns, mtbf_ns)
+        if self.iter_ns_est > 0:
+            self.every = optimal_interval_rounds(
+                receipt.write_ns, mtbf_ns, self.iter_ns_est, self.MAX_EVERY
+            )
+        self.last_ckpt_call = call_idx
+        self.anchor_ns = now
+        self.first_due_ns = None
+        self.commits += 1
+
+
 class SPBC(ProtocolHooks):
     """Scalable Pattern-Based Checkpointing."""
 
@@ -163,6 +232,34 @@ class SPBC(ProtocolHooks):
         self._cluster_comms: Dict[int, Any] = {}
         self.storage: StorageBackend = config.storage or InMemoryBackend()
         self._emulated = config.emulated_recovering
+        self._cadences: Dict[int, _AutoCadence] = {}  # cluster -> cadence
+        self._validate_checkpoint_every(config)
+
+    def _validate_checkpoint_every(self, config: SPBCConfig) -> None:
+        every = config.checkpoint_every
+        if every is None:
+            return
+        if isinstance(every, str):
+            if every != "auto":
+                raise ValueError(
+                    f"checkpoint_every accepts an int, None, or 'auto', "
+                    f"got {every!r}"
+                )
+            if isinstance(self.storage, InMemoryBackend):
+                raise ValueError(
+                    "checkpoint_every='auto' needs a cost-modeled storage "
+                    "backend (e.g. --storage tiered): the free in-memory "
+                    "store has no write cost to optimize against"
+                )
+            if config.mtbf_ns <= 0:
+                raise ValueError(
+                    f"checkpoint_every='auto' needs a positive MTBF, got "
+                    f"mtbf_ns={config.mtbf_ns}"
+                )
+        elif every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1 (or None/'auto'), got {every}"
+            )
 
     # ------------------------------------------------------------------
     def attach(self, runtime) -> None:
@@ -173,6 +270,8 @@ class SPBC(ProtocolHooks):
                     f"cluster map covers {self.clusters.nranks} ranks but the "
                     f"world has {runtime.world.nranks}"
                 )
+            # Partner copies and per-node blast radii need placement.
+            self.storage.bind_topology(runtime.world.topology)
         self.state[runtime.rank] = _RankState(
             runtime.rank, self.clusters.cluster(runtime.rank)
         )
@@ -310,11 +409,28 @@ class SPBC(ProtocolHooks):
     # ------------------------------------------------------------------
     # Coordinated checkpointing inside a cluster (lines 13-15)
     # ------------------------------------------------------------------
+    def _cadence(self, cluster: int) -> _AutoCadence:
+        cad = self._cadences.get(cluster)
+        if cad is None:
+            cad = self._cadences[cluster] = _AutoCadence()
+        return cad
+
     def maybe_checkpoint(self, runtime, state_fn: Callable[[], dict]) -> Generator:
         st = self.state[runtime.rank]
         st.ckpt_calls += 1
         every = self.config.checkpoint_every
-        if every is None or st.ckpt_calls % every != 0:
+        if every is None:
+            return None
+        if every == "auto":
+            cad = self._cadence(st.cluster)
+            if not cad.due(st.ckpt_calls, runtime.engine.now):
+                return None
+            receipt = yield from self._coordinated_checkpoint(runtime, state_fn)
+            cad.note_commit(
+                st.ckpt_calls, runtime.engine.now, receipt, self.config.mtbf_ns
+            )
+            return st.ckpt_round
+        if st.ckpt_calls % every != 0:
             return None
         yield from self._coordinated_checkpoint(runtime, state_fn)
         return st.ckpt_round
@@ -370,6 +486,26 @@ class SPBC(ProtocolHooks):
             # still reaches the records via include_stable=True.
             st.log.truncate()
         yield from coll.barrier(runtime, ccomm)
+        if self.storage.guaranteed_round(runtime.rank) >= st.ckpt_round:
+            # Receiver-driven log GC: the backend certifies this round
+            # can never be rolled back past (guaranteed_round), and the
+            # closing barrier proves every member of this cluster
+            # committed it — so our restart floor can never again drop
+            # below this round's LR and senders may delete the records
+            # it covers.  Announcing *before* the barrier would be
+            # unsound: a failure between one member's save and another's
+            # restarts the cluster from the previous round, whose LR the
+            # senders' logs must still serve.
+            self._send_gc_notices(runtime, st, ckpt)
+        return receipt
+
+    def _send_gc_notices(self, runtime, st: _RankState, ckpt: Checkpoint) -> None:
+        by_peer: Dict[int, Dict[int, int]] = {}
+        for (cid, src), lr_val in ckpt.lr.items():
+            if lr_val > 0 and self.clusters.is_intercluster(runtime.rank, src):
+                by_peer.setdefault(src, {})[cid] = lr_val
+        for peer, lr_map in sorted(by_peer.items()):
+            runtime.control_send(peer, LOG_GC, {"lr": lr_map}, nbytes=32)
 
     @staticmethod
     def _drained(ccomm, counters) -> bool:
@@ -454,9 +590,22 @@ class SPBC(ProtocolHooks):
         state knows no channels yet) and available via
         ``rollback_scope="all"`` for apps whose communication graph grows
         between checkpoint and failure."""
+        prev = self.state.get(runtime.rank)
         st = _RankState(runtime.rank, self.clusters.cluster(runtime.rank))
         self.state[runtime.rank] = st
         st.recovering = True
+        if prev is not None:
+            # Receiver-certified GC floors are facts about the peers'
+            # restart guarantees, not about this incarnation: keep them,
+            # so restore() re-collects snapshot records below them.
+            st.log.inherit_floors(prev.log)
+        # A restarted cluster recalibrates its auto cadence: its call
+        # counter restarts at 0, and the epoch anchor must be "now" or
+        # the first post-restart interval estimate would span the crash.
+        if self.config.checkpoint_every == "auto":
+            self._cadences[st.cluster] = _AutoCadence(
+                anchor_ns=runtime.engine.now
+            )
         st.broadcast_rollback = broadcast or self.config.rollback_scope == "all"
         runtime.chan_seq = dict(ckpt.chan_seq)
         runtime._coll_seq = dict(ckpt.coll_seq)
@@ -571,6 +720,13 @@ class SPBC(ProtocolHooks):
             st = self.state[runtime.rank]
             if st.recovering:
                 self._send_rollback_to(runtime, st, msg.src)
+        elif msg.kind == LOG_GC:
+            # The peer durably checkpointed its deliveries on these
+            # channels: records at or below its LR can never be replayed
+            # to it again — free them from both log areas.
+            st = self.state[runtime.rank]
+            for cid, lr_val in msg.data["lr"].items():
+                st.log.collect(cid, msg.src, lr_val)
 
     def _handle_rollback(self, runtime, peer: int, peer_lr: Dict[int, int]) -> None:
         st = self.state[runtime.rank]
@@ -665,6 +821,30 @@ class SPBC(ProtocolHooks):
 
     def total_bytes_logged(self) -> int:
         return sum(s.log.bytes_logged for s in self.state.values())
+
+    def total_resident_log_bytes(self) -> int:
+        """Live sender-log memory right now (bounded by truncation at
+        durable commits plus receiver-driven GC)."""
+        return sum(s.log.resident_bytes for s in self.state.values())
+
+    def total_collected_log_bytes(self) -> int:
+        """Bytes freed by receiver-driven GC across all ranks."""
+        return sum(s.log.collected_bytes for s in self.state.values())
+
+    def auto_cadence_report(self) -> Dict[int, dict]:
+        """Per-cluster view of the 'auto' checkpoint cadence: the chosen
+        interval, the measured iteration time, and the Young/Daly target
+        it was derived from."""
+        return {
+            cluster: {
+                "every": cad.every,
+                "iter_ns": cad.iter_ns_est,
+                "ckpt_cost_ns": cad.ckpt_cost_ns,
+                "t_opt_ns": cad.t_opt_ns,
+                "commits": cad.commits,
+            }
+            for cluster, cad in sorted(self._cadences.items())
+        }
 
     def total_overhead_ns(self) -> int:
         return sum(rt.overhead_total_ns for rt in self._world.runtimes)

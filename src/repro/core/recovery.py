@@ -20,15 +20,23 @@ Failure containment is observable: processes outside the failed cluster
 are never restarted (their SimProcess objects survive), which the test
 suite asserts.
 
-Two failure kinds are modeled (they differ only in what stable storage
-survives):
+Two failure kinds are modeled:
 
 * ``"process"`` — the cluster's processes die; every checkpoint copy
   survives (RAM partner copies and node-local SSDs outlive a crash);
-* ``"node"`` — the machines hosting the cluster die with it; copies in
-  tiers with ``survives_node_failure=False`` are invalidated, and the
-  restart falls back to the deepest surviving tier — or to the synthetic
-  round-0 checkpoint when nothing survives.
+* ``"node"`` — exactly the *physical node* hosting the target rank dies
+  (per-node blast radius, not the whole cluster's machines): every rank
+  on that node is killed, checkpoint copies **hosted on that node** in
+  tiers with ``survives_node_failure=False`` are invalidated (partner
+  copies placed on a buddy node survive), and every cluster with a
+  member on the node rolls back to its latest consistent surviving
+  round — or to the synthetic round-0 checkpoint when nothing survives.
+
+The node-failure blast radius comes from the world's
+:class:`~repro.sim.network.Topology` (node -> ranks mapping at the
+configured ranks-per-node).  Because the paper's cluster maps never
+split a node across clusters, a node failure usually rolls back exactly
+one cluster; with a node-splitting map, every touched cluster restarts.
 
 A cluster restarts from one *consistent* round: the latest round every
 member still holds a copy of (a coordinated cut is only consistent when
@@ -40,13 +48,14 @@ retrieving the last checkpoint" — and surfaced in :class:`FailureEvent`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Generator, List, Optional
+from typing import Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.core.checkpoint import Checkpoint
 from repro.core.logstore import LogStore
 from repro.core.protocol import SPBC
 from repro.mpi.context import RankContext
 from repro.mpi.runtime import World
+from repro.sim.network import Topology
 from repro.sim.process import SimProcess
 from repro.storage.backend import RestoreReceipt
 from repro.util.units import MS
@@ -58,6 +67,16 @@ FAILURE_KINDS = ("process", "node")
 
 @dataclass
 class FailureEvent:
+    """One cluster's view of one injected failure.
+
+    A node failure on a node-splitting cluster map emits one event per
+    rolled-back cluster.  ``purged_packets`` and ``invalidated_copies``
+    are totals for the *whole* injection, recorded on the primary
+    event (the cluster containing the injected rank); secondary events
+    carry 0 so summing over events never double-counts.  ``rank`` is
+    the injected target on the primary event and the cluster's first
+    member on secondary ones."""
+
     time_ns: int
     rank: int
     cluster: int
@@ -70,6 +89,14 @@ class FailureEvent:
     restored_tier: Optional[str] = None
     # Modeled restart-read time added before the cluster comes back.
     restore_read_ns: int = 0
+    # Physical node that died (node failures only).
+    node: Optional[int] = None
+    # Ranks killed by this event that belong to this event's cluster.
+    killed_ranks: Tuple[int, ...] = ()
+    # True when a later crash of the same cluster replaced this event's
+    # pending restart before it ran: restarted_from_round/restored_tier
+    # keep their preliminary values and describe no actual restart.
+    superseded: bool = False
 
 
 class RecoveryManager:
@@ -81,11 +108,19 @@ class RecoveryManager:
         spbc: SPBC,
         app_factory: AppFactory,
         restart_delay_ns: int = 2 * MS,
+        topology: Optional[Topology] = None,
     ) -> None:
         self.world = world
         self.spbc = spbc
         self.app_factory = app_factory
         self.restart_delay_ns = restart_delay_ns
+        # Node -> ranks placement defining the node-failure blast radius
+        # (defaults to the world's own topology).
+        self.topology = topology or world.topology
+        if topology is not None:
+            # An explicit override also governs where the backend thinks
+            # copies live (partner placement must match the blast radius).
+            spbc.storage.bind_topology(topology)
         self.failures: List[FailureEvent] = []
         self.restarts: Dict[int, int] = {}  # rank -> number of restarts
         # One pending restart per cluster: a second crash of a cluster
@@ -96,47 +131,76 @@ class RecoveryManager:
 
     # ------------------------------------------------------------------
     def inject_failure(self, at_ns: int, rank: int, kind: str = "process") -> None:
-        """Schedule a crash of ``rank`` (and, per the model, of its whole
-        cluster — the paper clusters never split a node) at ``at_ns``.
-        ``kind="node"`` additionally loses the machines hosting the
-        cluster, invalidating checkpoint copies in non-surviving tiers."""
+        """Schedule a crash at ``at_ns``.
+
+        ``kind="process"`` crashes ``rank``'s processes — the whole
+        cluster rolls back, since its checkpoint is a coordinated cut,
+        but every storage copy survives.  ``kind="node"`` kills exactly
+        the physical node hosting ``rank``: all ranks on that node die,
+        copies hosted there in non-surviving tiers are invalidated, and
+        every cluster with a member on the node rolls back."""
         if kind not in FAILURE_KINDS:
-            raise ValueError(f"unknown failure kind {kind!r} ({FAILURE_KINDS})")
+            raise ValueError(
+                f"unknown failure kind {kind!r} "
+                f"(valid kinds: {', '.join(FAILURE_KINDS)})"
+            )
         self.world.engine.schedule_at(at_ns, self._fail, rank, kind)
 
     def inject_node_failure(self, at_ns: int, rank: int) -> None:
+        """Fail the physical node hosting ``rank`` at ``at_ns``."""
         self.inject_failure(at_ns, rank, kind="node")
 
     def _fail(self, rank: int, kind: str = "process") -> None:
-        cluster = self.spbc.clusters.cluster(rank)
-        members = self.spbc.clusters.members(cluster)
-        for r in members:
+        clusters = self.spbc.clusters
+        if kind == "node":
+            node = self.topology.node_of(rank)
+            dead_ranks = set(self.topology.ranks_on_node(node))
+        else:
+            node = None
+            dead_ranks = set(clusters.members(clusters.cluster(rank)))
+        # Every cluster touched by the blast radius rolls back wholesale:
+        # its checkpoint is a coordinated cut, so partial membership
+        # cannot survive a member's loss.
+        affected = sorted({clusters.cluster(r) for r in dead_ranks})
+        members_all: set = set()
+        for c in affected:
+            members_all |= set(clusters.members(c))
+        for r in sorted(members_all):
             proc = self.world.processes.get(r)
             if proc is not None:
                 proc.kill()
             self.world.runtimes[r].kill()
-        purged = self.world.network.purge_involving(set(members))
+        purged = self.world.network.purge_involving(members_all)
         invalidated = 0
         if kind == "node":
-            invalidated = self.spbc.storage.invalidate_node_copies(members)
-        ckpt = self.spbc.storage.load_latest(rank)
-        event = FailureEvent(
-            time_ns=self.world.engine.now,
-            rank=rank,
-            cluster=cluster,
-            restarted_from_round=ckpt.round_no if ckpt else 0,
-            purged_packets=purged,
-            kind=kind,
-            invalidated_copies=invalidated,
-        )
-        self.failures.append(event)
-        self._last_event[cluster] = event
-        pending = self._pending_restart.get(cluster)
-        if pending is not None:
-            pending.cancel()
-        self._pending_restart[cluster] = self.world.engine.schedule(
-            self.restart_delay_ns, self._restart, cluster
-        )
+            # Per-node blast radius: only copies hosted on the dead node
+            # die (partner copies placed on a live buddy node survive).
+            invalidated = self.spbc.storage.invalidate_node_copies(dead_ranks)
+        primary = clusters.cluster(rank)
+        for c in affected:
+            ckpt = self.spbc.storage.load_latest(clusters.members(c)[0])
+            event = FailureEvent(
+                time_ns=self.world.engine.now,
+                rank=rank if c == primary else clusters.members(c)[0],
+                cluster=c,
+                restarted_from_round=ckpt.round_no if ckpt else 0,
+                purged_packets=purged if c == primary else 0,
+                kind=kind,
+                invalidated_copies=invalidated if c == primary else 0,
+                node=node,
+                killed_ranks=tuple(sorted(set(clusters.members(c)))),
+            )
+            self.failures.append(event)
+            prev = self._last_event.get(c)
+            if prev is not None and c in self._pending_restart:
+                prev.superseded = True
+            self._last_event[c] = event
+            pending = self._pending_restart.get(c)
+            if pending is not None:
+                pending.cancel()
+            self._pending_restart[c] = self.world.engine.schedule(
+                self.restart_delay_ns, self._restart, c
+            )
 
     # ------------------------------------------------------------------
     def _restart(self, cluster: int) -> None:

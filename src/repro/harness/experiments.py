@@ -32,10 +32,12 @@ from repro.harness.runner import (
     RunResult,
     run_emulated_recovery,
     run_native,
+    run_online_failure,
     run_spbc,
 )
 from repro.sim.network import Topology
 from repro.storage.backend import StorageBackend, TieredBackend, make_backend
+from repro.storage.multilevel import optimal_interval_rounds
 from repro.util.stats import summarize
 from repro.util.table import format_table
 from repro.util.units import SEC, mb_per_s
@@ -288,6 +290,7 @@ CKPT_PLANS: Dict[str, str] = {
     "local": "tiered:ram@1,ssd@2",
     "multilevel": "tiered:ram@1,ssd@2,pfs@4",
     "pfs-only": "tiered:pfs@1",
+    "partner": "partner:ram@1,partner@1,pfs@4",
 }
 
 
@@ -541,5 +544,230 @@ def format_fig6(rows: List[Fig6Row]) -> str:
         ],
         title="Figure 6: recovery time normalized to failure-free "
         "(8 clusters, NAS benchmarks)",
+        float_fmt="{:.3f}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Blast radius — per-node failures across storage plans (what PR 1's
+# whole-cluster model hid: partner copies survive a single-node loss)
+# ----------------------------------------------------------------------
+
+#: Storage plans compared by the blast-radius experiment.  Same levels
+#: and periods, with and without the buddy-node mirror, so the only
+#: difference is where the volatile copies live.
+BLAST_PLANS: Dict[str, str] = {
+    "no-partner": "tiered:ram@1,pfs@4",
+    "partner": "partner:ram@1,partner@1,pfs@4",
+}
+
+
+@dataclass
+class BlastRadiusRow:
+    app: str
+    plan: str
+    kind: str  # "process" | "node"
+    nranks: int
+    nnodes: int
+    failed_node: Optional[int]
+    restarted_ranks: int
+    rounds_at_failure: int  # rounds committed before the crash
+    restarted_from_round: int
+    restored_tier: Optional[str]
+    invalidated_copies: int
+    makespan_ns: int
+    baseline_ns: int  # failure-free run on the same plan
+
+    @property
+    def lost_rounds(self) -> int:
+        return self.rounds_at_failure - self.restarted_from_round
+
+    @property
+    def recovery_overhead_pct(self) -> float:
+        return 100.0 * (self.makespan_ns - self.baseline_ns) / self.baseline_ns
+
+
+def blastradius(
+    apps: Sequence[str] = ("minighost",),
+    k: Optional[int] = None,
+    plans: Optional[Dict[str, str]] = None,
+    checkpoint_every: "int | str" = 2,
+    frac: float = 0.6,
+    fail_rank: int = 0,
+    nranks: Optional[int] = None,
+    ranks_per_node: Optional[int] = None,
+    overrides: Optional[Dict[str, dict]] = None,
+    mtbf_ns: int = int(0.5 * SEC),
+) -> List[BlastRadiusRow]:
+    """Inject one process and one node failure per storage plan and
+    report how far each configuration rolls back.
+
+    The probe run (failure-free, same plan) times the injection at
+    ``frac`` of the makespan and tells us how many rounds had committed
+    by then; the failure runs report the restart round, the tier it was
+    read from, and the copies the node loss invalidated."""
+    n = nranks or bench_nranks()
+    rpn = ranks_per_node or bench_ranks_per_node()
+    k = k or max(2, n // rpn)
+    plans = plans or BLAST_PLANS
+    rows: List[BlastRadiusRow] = []
+    for name in apps:
+        app = app_factory(name, (overrides or {}).get(name))
+        cm = ClusterMap.block(n, k)
+        for plan_name, spec in plans.items():
+            cfg = lambda: SPBCConfig(
+                clusters=cm,
+                checkpoint_every=checkpoint_every,
+                mtbf_ns=mtbf_ns,
+                storage=make_backend(spec),
+            )
+            probe = run_spbc(
+                app, n, cm, config=cfg(),
+                ranks_per_node=rpn, net_params=PAPER_NET, trace=False,
+            )
+            fail_at = max(1, int(probe.makespan_ns * frac))
+            backend = probe.hooks.storage
+            # A round is committed only once its write burst finished
+            # (taken_at_ns stamps the burst's *start*): count rounds the
+            # failure run could actually have restored.
+            rounds_before = []
+            for rnd in backend.rounds_of(fail_rank):
+                ckpt = backend.retrieve(fail_rank, rnd).ckpt
+                committed_at = ckpt.taken_at_ns + backend.write_cost_ns(
+                    ckpt, concurrent_writers=n
+                )
+                if committed_at < fail_at:
+                    rounds_before.append(rnd)
+            rounds_at_failure = max(rounds_before, default=0)
+            for kind in ("process", "node"):
+                out = run_online_failure(
+                    app, n, cm,
+                    fail_at_ns=fail_at, fail_rank=fail_rank,
+                    config=cfg(), failure_kind=kind,
+                    ranks_per_node=rpn, net_params=PAPER_NET, trace=False,
+                )
+                ev = out.manager.failures[0]
+                rows.append(
+                    BlastRadiusRow(
+                        app=name,
+                        plan=plan_name,
+                        kind=kind,
+                        nranks=n,
+                        nnodes=out.world.topology.nnodes,
+                        failed_node=ev.node,
+                        restarted_ranks=len(out.restarted_ranks),
+                        rounds_at_failure=rounds_at_failure,
+                        restarted_from_round=ev.restarted_from_round,
+                        restored_tier=ev.restored_tier,
+                        invalidated_copies=ev.invalidated_copies,
+                        makespan_ns=out.makespan_ns,
+                        baseline_ns=probe.makespan_ns,
+                    )
+                )
+    return rows
+
+
+def format_blastradius(rows: List[BlastRadiusRow]) -> str:
+    return format_table(
+        ["app", "plan", "kind", "node", "restarted", "rounds", "from",
+         "lost", "tier", "invalidated", "recovery %"],
+        [
+            [r.app, r.plan, r.kind,
+             "-" if r.failed_node is None else r.failed_node,
+             r.restarted_ranks, r.rounds_at_failure,
+             r.restarted_from_round, r.lost_rounds,
+             r.restored_tier or "scratch", r.invalidated_copies,
+             r.recovery_overhead_pct]
+            for r in rows
+        ],
+        title="Blast radius: per-node failures vs storage plans "
+        "(partner copies survive a single-node loss)",
+        float_fmt="{:.2f}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Auto checkpoint interval — Young/Daly cadence vs the analytic optimum
+# ----------------------------------------------------------------------
+
+@dataclass
+class AutoIntervalRow:
+    app: str
+    plan: str
+    cluster: int
+    every: int  # interval the cadence settled on (iterations)
+    iter_ns: float  # measured iteration time
+    ckpt_cost_ns: int  # modeled write cost per checkpoint
+    t_opt_ns: int  # Young's sqrt(2*C*MTBF)
+    commits: int
+    mtbf_ns: int  # the MTBF the cadence was configured with
+
+    @property
+    def predicted_every(self) -> int:
+        """The analytic interval in iterations, for comparison."""
+        if self.iter_ns <= 0 or self.ckpt_cost_ns <= 0:
+            return 1
+        return optimal_interval_rounds(
+            self.ckpt_cost_ns, self.mtbf_ns, self.iter_ns
+        )
+
+
+def auto_interval(
+    apps: Sequence[str] = ("minighost",),
+    k: Optional[int] = None,
+    plan: str = "tiered:ram@1,pfs@4",
+    mtbf_ns: int = int(0.5 * SEC),
+    nranks: Optional[int] = None,
+    ranks_per_node: Optional[int] = None,
+    overrides: Optional[Dict[str, dict]] = None,
+) -> List[AutoIntervalRow]:
+    """Run with ``checkpoint_every="auto"`` and report, per cluster, the
+    cadence the Young/Daly controller settled on next to the analytic
+    optimum it was chasing."""
+    n = nranks or bench_nranks()
+    rpn = ranks_per_node or bench_ranks_per_node()
+    k = k or max(2, n // rpn)
+    rows: List[AutoIntervalRow] = []
+    for name in apps:
+        app = app_factory(name, (overrides or {}).get(name))
+        cm = ClusterMap.block(n, k)
+        cfg = SPBCConfig(
+            clusters=cm,
+            checkpoint_every="auto",
+            mtbf_ns=mtbf_ns,
+            storage=make_backend(plan),
+        )
+        res = run_spbc(
+            app, n, cm, config=cfg,
+            ranks_per_node=rpn, net_params=PAPER_NET, trace=False,
+        )
+        for cluster, rep in res.hooks.auto_cadence_report().items():
+            rows.append(
+                AutoIntervalRow(
+                    app=name,
+                    plan=plan,
+                    cluster=cluster,
+                    every=rep["every"],
+                    iter_ns=rep["iter_ns"],
+                    ckpt_cost_ns=rep["ckpt_cost_ns"],
+                    t_opt_ns=rep["t_opt_ns"],
+                    commits=rep["commits"],
+                    mtbf_ns=mtbf_ns,
+                )
+            )
+    return rows
+
+
+def format_auto_interval(rows: List[AutoIntervalRow]) -> str:
+    return format_table(
+        ["app", "cluster", "every", "predicted", "iter (ms)",
+         "ckpt cost (ms)", "T_opt (ms)", "commits"],
+        [
+            [r.app, r.cluster, r.every, r.predicted_every, r.iter_ns / 1e6,
+             r.ckpt_cost_ns / 1e6, r.t_opt_ns / 1e6, r.commits]
+            for r in rows
+        ],
+        title="Auto checkpoint interval: Young/Daly cadence vs the "
+        "analytic optimum (checkpoint_every='auto')",
         float_fmt="{:.3f}",
     )

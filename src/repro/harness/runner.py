@@ -12,7 +12,7 @@ state to resume from (online recovery path).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Generator, List, Optional, Set
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Set, Tuple
 
 from typing import Union
 
@@ -210,28 +210,29 @@ class OnlineResult:
     restarted_ranks: Set[int]
 
 
-def run_online_failure(
+#: One scheduled crash: (time_ns, target rank, failure kind).
+FailureSpec = Tuple[int, int, str]
+
+
+def run_failure_schedule(
     app_factory: AppFactory,
     nranks: int,
     clusters: ClusterMap,
-    fail_at_ns: int,
-    fail_rank: int = 0,
+    schedule: Sequence[FailureSpec],
     config: Optional[SPBCConfig] = None,
     restart_delay_ns: int = 2_000_000,
     ranks_per_node: int = 8,
     seed: int = 0,
     net_params: Optional[NetworkParams] = None,
     trace: bool = True,
-    failure_kind: str = "process",
     storage: StorageSpec = None,
 ) -> OnlineResult:
-    """Run with a crash of ``fail_rank``'s cluster at ``fail_at_ns`` and
-    full online recovery (Algorithm 1 lines 16-26).
+    """Run with an arbitrary schedule of process/node crashes and full
+    online recovery after each (the fuzz harness's entry point).
 
-    ``failure_kind="node"`` loses the machines with the processes:
-    checkpoint copies on non-surviving tiers are invalidated and the
-    restart falls back to the deepest surviving tier (see
-    :class:`~repro.core.recovery.RecoveryManager`)."""
+    ``schedule`` is a sequence of ``(at_ns, rank, kind)`` triples; kinds
+    are validated up front so a malformed schedule fails before the run
+    starts rather than mid-simulation."""
     cfg = config or SPBCConfig(clusters=clusters)
     _resolve_storage(cfg, storage)
     hooks = SPBC(cfg)
@@ -248,7 +249,8 @@ def run_online_failure(
     )
     for r in range(nranks):
         world.launch(r, app_factory(RankContext(world, r), None))
-    manager.inject_failure(fail_at_ns, fail_rank, kind=failure_kind)
+    for at_ns, rank, kind in schedule:
+        manager.inject_failure(at_ns, rank, kind=kind)
     world.run()
     _check_world(world)
     finish = {r: p.finish_time for r, p in world.processes.items()}
@@ -258,4 +260,41 @@ def run_online_failure(
         makespan_ns=max(finish.values()),
         results={r: p.result for r, p in world.processes.items()},
         restarted_ranks=set(manager.restarts),
+    )
+
+
+def run_online_failure(
+    app_factory: AppFactory,
+    nranks: int,
+    clusters: ClusterMap,
+    fail_at_ns: int,
+    fail_rank: int = 0,
+    config: Optional[SPBCConfig] = None,
+    restart_delay_ns: int = 2_000_000,
+    ranks_per_node: int = 8,
+    seed: int = 0,
+    net_params: Optional[NetworkParams] = None,
+    trace: bool = True,
+    failure_kind: str = "process",
+    storage: StorageSpec = None,
+) -> OnlineResult:
+    """Run with a single crash at ``fail_at_ns`` and full online recovery
+    (Algorithm 1 lines 16-26).
+
+    ``failure_kind="node"`` kills the physical node hosting
+    ``fail_rank``: checkpoint copies hosted there in non-surviving tiers
+    are invalidated and the restart falls back to the deepest surviving
+    tier (see :class:`~repro.core.recovery.RecoveryManager`)."""
+    return run_failure_schedule(
+        app_factory,
+        nranks,
+        clusters,
+        [(fail_at_ns, fail_rank, failure_kind)],
+        config=config,
+        restart_delay_ns=restart_delay_ns,
+        ranks_per_node=ranks_per_node,
+        seed=seed,
+        net_params=net_params,
+        trace=trace,
+        storage=storage,
     )

@@ -12,6 +12,7 @@ and restart-read time charged to the simulation clock (see
 
 from repro.storage.backend import (
     InMemoryBackend,
+    PartnerCopyBackend,
     RestoreReceipt,
     SaveReceipt,
     StorageBackend,
@@ -19,23 +20,40 @@ from repro.storage.backend import (
     default_plan,
     make_backend,
     parse_plan,
+    partner_default_plan,
 )
-from repro.storage.model import StorageTier, pfs_tier, local_ssd_tier, ram_tier
-from repro.storage.multilevel import MultiLevelPlan, optimal_interval_ns
+from repro.storage.model import (
+    StorageTier,
+    local_ssd_tier,
+    partner_tier,
+    pfs_tier,
+    ram_tier,
+)
+from repro.storage.multilevel import (
+    MultiLevelPlan,
+    optimal_interval,
+    optimal_interval_ns,
+    optimal_interval_rounds,
+)
 
 __all__ = [
     "StorageTier",
     "pfs_tier",
     "local_ssd_tier",
     "ram_tier",
+    "partner_tier",
     "MultiLevelPlan",
+    "optimal_interval",
     "optimal_interval_ns",
+    "optimal_interval_rounds",
     "StorageBackend",
     "InMemoryBackend",
     "TieredBackend",
+    "PartnerCopyBackend",
     "SaveReceipt",
     "RestoreReceipt",
     "make_backend",
     "parse_plan",
     "default_plan",
+    "partner_default_plan",
 ]

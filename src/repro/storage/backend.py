@@ -29,11 +29,18 @@ from bisect import insort
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
-from repro.storage.model import StorageTier, local_ssd_tier, pfs_tier, ram_tier
+from repro.storage.model import (
+    StorageTier,
+    local_ssd_tier,
+    partner_tier,
+    pfs_tier,
+    ram_tier,
+)
 from repro.storage.multilevel import MultiLevelPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a core<->storage cycle)
     from repro.core.checkpoint import Checkpoint
+    from repro.sim.network import Topology
 
 
 @dataclass(frozen=True)
@@ -78,12 +85,28 @@ class StorageBackend(ABC):
     def save(self, ckpt: "Checkpoint", concurrent_writers: int = 1) -> SaveReceipt:
         """Persist ``ckpt`` and return the modeled cost receipt."""
 
+    # -- topology ------------------------------------------------------
+    def bind_topology(self, topology: "Topology") -> None:
+        """Tell the backend where ranks physically live.  Called once
+        when the protocol attaches to a world; backends that place copies
+        by node (partner copies) need it, the rest ignore it."""
+
     # -- failure model -------------------------------------------------
     @abstractmethod
     def invalidate_node_copies(self, ranks: Iterable[int]) -> int:
-        """A node hosting ``ranks`` was lost: drop their checkpoint
-        copies held in tiers that do not survive node failure.  Returns
+        """The node(s) hosting ``ranks`` were lost: drop every checkpoint
+        copy *hosted on those nodes* whose tier does not survive node
+        failure.  With a bound topology this includes copies owned by
+        ranks on other nodes but placed here (partner copies).  Returns
         the number of copies invalidated."""
+
+    def guaranteed_round(self, rank: int) -> int:
+        """Latest round ``rank`` can never be forced to roll back past,
+        no matter what fails later (0 when only volatile copies exist).
+        Receiver-driven log GC keys off this: a sender may delete log
+        records a receiver has delivered and saved in a guaranteed
+        round."""
+        return 0
 
     # -- read path -----------------------------------------------------
     @abstractmethod
@@ -132,6 +155,10 @@ class InMemoryBackend(StorageBackend):
     def invalidate_node_copies(self, ranks: Iterable[int]) -> int:
         return 0  # survives everything, by definition
 
+    def guaranteed_round(self, rank: int) -> int:
+        rounds = self.rounds_of(rank)
+        return rounds[-1] if rounds else 0  # indestructible store
+
     def surviving_rounds(self, rank: int) -> List[int]:
         return self.rounds_of(rank)
 
@@ -151,7 +178,15 @@ class InMemoryBackend(StorageBackend):
 
 
 class TieredBackend(StorageBackend):
-    """Executes a :class:`MultiLevelPlan` with per-tier cost accounting."""
+    """Executes a :class:`MultiLevelPlan` with per-tier cost accounting.
+
+    With a bound :class:`~repro.sim.network.Topology`, copies are placed
+    by *node*: regular volatile tiers (ram, ssd) live on the owner's
+    node, the ``partner`` tier lives on the buddy node's RAM (ring
+    partner, SCR/FTI style).  A node failure then invalidates exactly
+    the copies hosted on the lost nodes — a partner copy survives the
+    owner's node dying and is lost only when the buddy dies.
+    """
 
     def __init__(self, plan: MultiLevelPlan) -> None:
         super().__init__()
@@ -165,12 +200,27 @@ class TieredBackend(StorageBackend):
         self.tier_writes: Dict[str, int] = {t.name: 0 for t in plan.tiers}
         self.tier_bytes: Dict[str, int] = {t.name: 0 for t in plan.tiers}
         self.invalidated_copies = 0
+        self._topology: Optional["Topology"] = None
+
+    def bind_topology(self, topology: "Topology") -> None:
+        self._topology = topology
 
     def _tier(self, name: str) -> StorageTier:
         for t in self.plan.tiers:
             if t.name == name:
                 return t
         raise KeyError(name)
+
+    def host_node(self, tier_name: str, rank: int) -> Optional[int]:
+        """Node a copy of ``rank`` in ``tier_name`` physically lives on
+        (None without a bound topology).  Partner copies live on the next
+        node around the ring; everything else on the owner's node."""
+        if self._topology is None:
+            return None
+        node = self._topology.node_of(rank)
+        if tier_name == "partner":
+            return (node + 1) % self._topology.nnodes
+        return node
 
     def scheduled_tiers(self, round_no: int) -> List[StorageTier]:
         """Tiers the plan writes on checkpoint round ``round_no``."""
@@ -214,17 +264,49 @@ class TieredBackend(StorageBackend):
 
     def invalidate_node_copies(self, ranks: Iterable[int]) -> int:
         dropped = 0
-        for rank in ranks:
-            for per_round in self._copies.get(rank, {}).values():
+        dead = set(ranks)
+        if self._topology is None:
+            # No placement information: conservatively drop every
+            # volatile copy owned by the dead ranks (pre-topology model).
+            for rank in dead:
+                for per_round in self._copies.get(rank, {}).values():
+                    for name in [
+                        n
+                        for n in per_round
+                        if not self._tier(n).survives_node_failure
+                    ]:
+                        del per_round[name]
+                        dropped += 1
+            self.invalidated_copies += dropped
+            return dropped
+        dead_nodes = {self._topology.node_of(r) for r in dead}
+        # Placement-aware blast radius: a copy dies when the node hosting
+        # it died — including partner copies owned by ranks on *live*
+        # nodes whose buddy was lost.
+        for rank, per_rank in self._copies.items():
+            for per_round in per_rank.values():
                 for name in [
                     n
                     for n in per_round
                     if not self._tier(n).survives_node_failure
+                    and self.host_node(n, rank) in dead_nodes
                 ]:
                     del per_round[name]
                     dropped += 1
         self.invalidated_copies += dropped
         return dropped
+
+    def guaranteed_round(self, rank: int) -> int:
+        """Latest round with a copy on a tier that survives node failure.
+        Partner copies do not qualify: they survive any *single* node
+        loss, but a later failure of the buddy can still take them."""
+        best = 0
+        for rnd, copies in self._copies.get(rank, {}).items():
+            if rnd > best and any(
+                self._tier(n).survives_node_failure for n in copies
+            ):
+                best = rnd
+        return best
 
     def surviving_rounds(self, rank: int) -> List[int]:
         return sorted(
@@ -260,6 +342,24 @@ class TieredBackend(StorageBackend):
         return list(self._all_rounds.get(rank, []))
 
 
+class PartnerCopyBackend(TieredBackend):
+    """A :class:`TieredBackend` whose plan mirrors checkpoints into a
+    buddy node's RAM (the ``partner`` tier).  The partner copy survives
+    the owner's node dying — a single-node failure restarts from the
+    latest round instead of falling back to the last durable round — and
+    is invalidated only when both partners' nodes are lost."""
+
+    def __init__(self, plan: Optional[MultiLevelPlan] = None) -> None:
+        plan = plan or partner_default_plan()
+        if not any(t.name == "partner" for t in plan.tiers):
+            raise ValueError(
+                "a PartnerCopyBackend plan must include the 'partner' "
+                f"tier, got {[t.name for t in plan.tiers]} "
+                "(e.g. 'partner:ram@1,partner@1,pfs@16')"
+            )
+        super().__init__(plan)
+
+
 # ----------------------------------------------------------------------
 # Registry: build a backend from a CLI-friendly spec string
 # ----------------------------------------------------------------------
@@ -268,7 +368,10 @@ _TIER_FACTORIES = {
     "ram": ram_tier,
     "ssd": local_ssd_tier,
     "pfs": pfs_tier,
+    "partner": partner_tier,
 }
+
+_BACKEND_NAMES = ("memory", "tiered", "partner")
 
 
 def default_plan() -> MultiLevelPlan:
@@ -276,6 +379,14 @@ def default_plan() -> MultiLevelPlan:
     the parallel file system every 16th."""
     return MultiLevelPlan(
         tiers=[ram_tier(), local_ssd_tier(), pfs_tier()], periods=[1, 4, 16]
+    )
+
+
+def partner_default_plan() -> MultiLevelPlan:
+    """Partner-copy default: RAM + buddy-node mirror every round, the
+    parallel file system every 16th."""
+    return MultiLevelPlan(
+        tiers=[ram_tier(), partner_tier(), pfs_tier()], periods=[1, 1, 16]
     )
 
 
@@ -291,12 +402,31 @@ def parse_plan(spec: str) -> MultiLevelPlan:
         factory = _TIER_FACTORIES.get(name.strip())
         if factory is None:
             raise ValueError(
-                f"unknown tier {name!r} (choose from {sorted(_TIER_FACTORIES)})"
+                f"unknown tier {name.strip()!r} in plan {spec!r} "
+                f"(valid tiers: {', '.join(sorted(_TIER_FACTORIES))})"
             )
+        if period:
+            try:
+                period_val = int(period)
+            except ValueError:
+                raise ValueError(
+                    f"bad tier period {part!r} in plan {spec!r}: "
+                    f"{period!r} is not an integer (write e.g. "
+                    f"'{name.strip()}@4')"
+                ) from None
+            if period_val < 1:
+                raise ValueError(
+                    f"bad tier period {part!r} in plan {spec!r}: "
+                    "periods must be >= 1"
+                )
+        else:
+            period_val = 1
         tiers.append(factory())
-        periods.append(int(period) if period else 1)
+        periods.append(period_val)
     if not tiers:
-        raise ValueError(f"empty tier plan: {spec!r}")
+        raise ValueError(
+            f"empty tier plan {spec!r} (write e.g. 'ram@1,pfs@4')"
+        )
     return MultiLevelPlan(tiers=tiers, periods=periods)
 
 
@@ -305,13 +435,25 @@ def make_backend(spec: str) -> StorageBackend:
 
     * ``"memory"`` — the free in-memory default;
     * ``"tiered"`` — :func:`default_plan` (ram@1, ssd@4, pfs@16);
-    * ``"tiered:ram@1,pfs@4"`` — an explicit tier plan.
+    * ``"tiered:ram@1,pfs@4"`` — an explicit tier plan;
+    * ``"partner"`` — :func:`partner_default_plan` (ram@1, partner@1,
+      pfs@16);
+    * ``"partner:ram@1,partner@1,pfs@8"`` — an explicit plan that must
+      include the ``partner`` tier.
     """
     name, _, rest = spec.partition(":")
     if name == "memory":
         if rest:
-            raise ValueError("the memory backend takes no arguments")
+            raise ValueError(
+                f"the memory backend takes no arguments, got {rest!r} "
+                f"in spec {spec!r}"
+            )
         return InMemoryBackend()
     if name == "tiered":
         return TieredBackend(parse_plan(rest) if rest else default_plan())
-    raise ValueError(f"unknown storage backend {name!r} (memory, tiered)")
+    if name == "partner":
+        return PartnerCopyBackend(parse_plan(rest) if rest else None)
+    raise ValueError(
+        f"unknown storage backend {name!r} in spec {spec!r} "
+        f"(valid backends: {', '.join(_BACKEND_NAMES)})"
+    )

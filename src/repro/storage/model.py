@@ -74,3 +74,20 @@ def ram_tier(gb_s: float = 5.0) -> StorageTier:
         shared=False,
         survives_node_failure=False,
     )
+
+
+def partner_tier(gb_s: float = 1.25) -> StorageTier:
+    """Partner copy: each checkpoint is mirrored into a *buddy node's*
+    RAM (SCR's PARTNER scheme, FTI level 2).  Bandwidth is the inter-node
+    fabric, not local memory.  ``survives_node_failure`` is False because
+    the copy still lives in somebody's RAM; what makes it useful is
+    *placement* — a topology-aware backend invalidates it only when the
+    buddy's node is lost, so it survives the common single-node failure
+    (see :class:`~repro.storage.backend.PartnerCopyBackend`)."""
+    return StorageTier(
+        name="partner",
+        latency_ns=8 * US,
+        bandwidth_bytes_per_s=gb_s * GB,
+        shared=False,
+        survives_node_failure=False,
+    )

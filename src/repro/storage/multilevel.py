@@ -61,3 +61,21 @@ def optimal_interval_ns(ckpt_cost_ns: int, mtbf_ns: int) -> int:
     if ckpt_cost_ns <= 0 or mtbf_ns <= 0:
         raise ValueError("costs and MTBF must be positive")
     return int(math.sqrt(2.0 * ckpt_cost_ns * mtbf_ns))
+
+
+#: Public name used by ``checkpoint_every="auto"`` and the docs.
+optimal_interval = optimal_interval_ns
+
+
+def optimal_interval_rounds(
+    ckpt_cost_ns: int, mtbf_ns: int, iter_ns: float, max_rounds: int = 1_000_000
+) -> int:
+    """Young/Daly interval expressed in application iterations: the
+    number of ``maybe_checkpoint`` boundaries between checkpoints when
+    one iteration takes ``iter_ns``.  Never below 1 (checkpointing less
+    than every boundary is the only knob the protocol has) and clamped
+    to ``max_rounds``."""
+    if iter_ns <= 0:
+        raise ValueError("iteration time must be positive")
+    t_opt = optimal_interval_ns(ckpt_cost_ns, mtbf_ns)
+    return max(1, min(max_rounds, round(t_opt / iter_ns)))

@@ -41,13 +41,16 @@ def summarize(values: Iterable[float]) -> SummaryStats:
         raise ValueError("summarize() requires at least one value")
     n = len(vals)
     total = float(sum(vals))
-    mean = total / n
+    lo, hi = float(min(vals)), float(max(vals))
+    # total/n can exceed max(vals) by an ULP (e.g. [0.05]*3): keep the
+    # min <= mean <= max invariant exact.
+    mean = min(hi, max(lo, total / n))
     var = sum((v - mean) ** 2 for v in vals) / n
     return SummaryStats(
         count=n,
         mean=mean,
-        minimum=float(min(vals)),
-        maximum=float(max(vals)),
+        minimum=lo,
+        maximum=hi,
         stddev=math.sqrt(var),
         total=total,
     )

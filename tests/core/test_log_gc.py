@@ -1,0 +1,223 @@
+"""Receiver-driven log GC: senders delete records a receiver has
+durably checkpointed past, bounding total log residency (resident AND
+stable areas) — while replay across failures stays complete."""
+
+import pytest
+
+from repro.core.clusters import ClusterMap
+from repro.core.logstore import LogRecord, LogStore
+from repro.core.protocol import SPBCConfig
+from repro.harness.runner import (
+    run_failure_schedule,
+    run_native,
+    run_online_failure,
+    run_spbc,
+)
+from repro.storage.backend import make_backend
+from repro.apps.synthetic import ring_app
+
+NRANKS = 8
+
+
+def app():
+    return ring_app(iters=8, msg_bytes=4096, compute_ns=300_000)
+
+
+def rec(seq, nbytes=100, cid=1, dst=3):
+    return LogRecord(
+        comm_id=cid, dst=dst, seqnum=seq, tag=0, nbytes=nbytes,
+        ident=(0, 0), payload=None, send_time_ns=seq,
+    )
+
+
+# ----------------------------------------------------------------------
+# LogStore.collect unit behavior
+# ----------------------------------------------------------------------
+
+def test_collect_deletes_from_both_areas():
+    log = LogStore(0)
+    for s in range(1, 7):
+        log.append(rec(s))
+    log.truncate()  # 1..6 stable
+    for s in range(7, 10):
+        log.append(rec(s))  # 7..9 resident
+    assert log.resident_records == 3
+    deleted = log.collect(1, 3, 8)
+    assert deleted == 8
+    assert log.collected_records == 8
+    assert log.resident_records == 1
+    assert [r.seqnum for r in log.replay_after(1, 3, 0, include_stable=True)] == [9]
+    # cumulative Table 1 counters untouched
+    assert log.records_logged == 9
+
+
+def test_collect_is_monotone_and_idempotent():
+    log = LogStore(0)
+    for s in range(1, 5):
+        log.append(rec(s))
+    assert log.collect(1, 3, 2) == 2
+    assert log.collect(1, 3, 2) == 0  # same floor again: no-op
+    assert log.collect(1, 3, 1) == 0  # lower floor: no-op
+    assert log.collect(1, 3, 4) == 2
+
+
+def test_collected_channel_keeps_last_seq_and_key():
+    """A fully collected channel must not forget its seq high-water mark
+    (or re-sends would be re-logged) nor drop out of channel_keys (or
+    recovery handshakes would skip it)."""
+    log = LogStore(0)
+    for s in range(1, 4):
+        log.append(rec(s))
+    log.collect(1, 3, 3)
+    assert log.last_seq(1, 3) == 3
+    assert (1, 3) in log.channel_keys()
+    with pytest.raises(ValueError):
+        log.append(rec(2))  # below the floor: still rejected
+
+
+def test_collect_floor_survives_restore():
+    """The receiver's guarantee is about *its* restart floor, so it
+    outlives the sender's own rollback: records below the floor restored
+    from an old snapshot are re-collected immediately."""
+    log = LogStore(0)
+    for s in range(1, 6):
+        log.append(rec(s))
+    snap = log.snapshot()  # carries 1..5
+    log.collect(1, 3, 4)
+    log.restore(snap)
+    assert [r.seqnum for r in log.replay_after(1, 3, 0, include_stable=True)] == [5]
+    assert log.last_seq(1, 3) == 5
+    # pruning restored copies of already-collected records is not new
+    # GC: the cumulative counters must not double-count them
+    assert log.collected_records == 4
+
+
+# ----------------------------------------------------------------------
+# End-to-end through the protocol
+# ----------------------------------------------------------------------
+
+def test_gc_notices_bound_total_residency_on_durable_plans():
+    """With in-memory (always durable) commits, receivers' GC notices
+    delete replayed-out records entirely: total log bytes held (resident
+    + stable) stay below the cumulative logged bytes."""
+    clusters = ClusterMap.block(NRANKS, 4)
+    res = run_spbc(
+        app(), NRANKS, clusters,
+        config=SPBCConfig(clusters=clusters, checkpoint_every=2),
+        ranks_per_node=2,
+    )
+    spbc = res.hooks
+    assert spbc.total_collected_log_bytes() > 0
+    for r in range(NRANKS):
+        log = spbc.state[r].log
+        held = sum(
+            rec.nbytes for rec in log.all_records()
+        )
+        assert held + log.collected_bytes == log.bytes_logged
+        if log.bytes_logged:
+            assert held < log.bytes_logged  # something was freed
+
+
+def test_gc_fires_only_at_durable_rounds_on_tiered_plans():
+    """ram@1,pfs@2: notices ride the durable (even) rounds only, and the
+    stable area no longer grows without bound."""
+    clusters = ClusterMap.block(NRANKS, 4)
+    res = run_spbc(
+        app(), NRANKS, clusters,
+        config=SPBCConfig(
+            clusters=clusters, checkpoint_every=2,
+            storage=make_backend("tiered:ram@1,pfs@2"),
+        ),
+        ranks_per_node=2,
+    )
+    assert res.hooks.total_collected_log_bytes() > 0
+
+
+def test_volatile_only_plans_never_collect():
+    """A plan with no node-failure-surviving tier gives no GC credit: a
+    node loss can force restart-from-scratch, which needs full replay."""
+    clusters = ClusterMap.block(NRANKS, 4)
+    res = run_spbc(
+        app(), NRANKS, clusters,
+        config=SPBCConfig(
+            clusters=clusters, checkpoint_every=2,
+            storage=make_backend("partner:ram@1,partner@1"),
+        ),
+        ranks_per_node=2,
+    )
+    assert res.hooks.total_collected_log_bytes() == 0
+    for r in range(NRANKS):
+        log = res.hooks.state[r].log
+        assert log.resident_bytes == log.bytes_logged  # nothing freed
+
+
+def test_recovery_converges_after_gc():
+    """A failure after rounds of GC still recovers exactly: the collected
+    records are provably un-replayable, everything else is intact."""
+    factory = app()
+    clusters = ClusterMap.block(NRANKS, 4)
+    ref = run_native(factory, NRANKS, ranks_per_node=2)
+    for kind in ("process", "node"):
+        out = run_online_failure(
+            factory, NRANKS, clusters,
+            fail_at_ns=int(ref.makespan_ns * 0.8), fail_rank=0,
+            config=SPBCConfig(clusters=clusters, checkpoint_every=1),
+            ranks_per_node=2, failure_kind=kind,
+        )
+        assert out.results == ref.results
+        assert out.world.hooks.total_collected_log_bytes() > 0
+
+
+def test_repeated_failures_with_gc_still_converge():
+    factory = app()
+    clusters = ClusterMap.block(NRANKS, 4)
+    ref = run_native(factory, NRANKS, ranks_per_node=2)
+    out = run_failure_schedule(
+        factory, NRANKS, clusters,
+        [
+            (int(ref.makespan_ns * 0.4), 0, "node"),
+            (int(ref.makespan_ns * 0.8), 5, "process"),
+        ],
+        config=SPBCConfig(
+            clusters=clusters, checkpoint_every=1,
+            storage=make_backend("tiered:ram@1,pfs@2"),
+        ),
+        ranks_per_node=2,
+    )
+    assert out.results == ref.results
+
+
+def test_floors_inherited_across_sender_restart():
+    """Protocol-level regression for the rollback hole: a sender that
+    crashes after collecting must come back with the floors intact, so
+    records its restored snapshot carries from below them are re-pruned
+    rather than silently re-materialized."""
+    from repro.core.protocol import SPBC
+
+    log = LogStore(0)
+    for s in range(1, 6):
+        log.append(rec(s))
+    snap = log.snapshot()
+    log.collect(1, 3, 4)
+    fresh = LogStore(0)
+    fresh.inherit_floors(log)
+    fresh.restore(snap)
+    assert [r.seqnum for r in fresh.replay_after(1, 3, 0, include_stable=True)] == [5]
+    assert fresh.last_seq(1, 3) == 5
+
+    # End to end: after a crash+restore of rank 0, the restarted state's
+    # log still knows the floors its predecessor collected under.
+    factory = app()
+    clusters = ClusterMap.block(NRANKS, 4)
+    ref = run_native(factory, NRANKS, ranks_per_node=2)
+    out = run_online_failure(
+        factory, NRANKS, clusters,
+        fail_at_ns=int(ref.makespan_ns * 0.8), fail_rank=0,
+        config=SPBCConfig(clusters=clusters, checkpoint_every=1),
+        ranks_per_node=2,
+    )
+    assert out.results == ref.results
+    # rank 1 is cluster 0's inter-cluster sender (0 -> 1 is intra): its
+    # restarted incarnation must still know its predecessor's floors.
+    restarted_log = out.world.hooks.state[1].log
+    assert restarted_log._collected, "floors lost across restart"

@@ -1,0 +1,236 @@
+"""Randomized failure-injection stress harness.
+
+Seeded random schedules of process and node failures, across storage
+backends, must always satisfy three invariants:
+
+1. **Convergence** — every rank finishes with exactly the failure-free
+   reference results (determinism: SPBC recovery reproduces the same
+   execution the paper's Theorem 1 promises);
+2. **Containment** — only clusters touched by a blast radius restart;
+3. **No time travel** — a cluster never restarts from a round whose
+   checkpoint was lost: every restart round had a surviving copy at
+   restart time (``restored_tier`` set whenever the round is > 0), and
+   never exceeds the rounds actually committed before the crash.
+
+The schedules are generated from explicit integer seeds (not hypothesis)
+so a failing schedule is directly reproducible from the test id.
+
+The acceptance pair for the partner-copy tier rides on top: under the
+same single-node-failure schedule, the plan with a buddy-node mirror
+restarts from the latest committed round while the plan without one
+falls back to the last durable (PFS) round.
+"""
+
+import random
+
+import pytest
+
+from repro.core.clusters import ClusterMap
+from repro.core.protocol import SPBCConfig
+from repro.harness.runner import run_failure_schedule, run_native
+from repro.apps.synthetic import halo2d_app, ring_app
+
+NRANKS = 8
+RPN = 2  # 4 nodes; ClusterMap.block(8, 4) keeps node == cluster
+
+BACKENDS = [
+    "memory",
+    "tiered:ram@1,pfs@2",
+    "partner:ram@1,partner@1,pfs@4",
+]
+
+_REF_CACHE = {}
+
+
+def reference(key, factory):
+    if key not in _REF_CACHE:
+        _REF_CACHE[key] = run_native(factory, NRANKS, ranks_per_node=RPN)
+    return _REF_CACHE[key]
+
+
+def app():
+    return ring_app(iters=8, msg_bytes=2048, compute_ns=200_000)
+
+
+def random_schedule(seed, makespan_ns, max_failures=3):
+    """A reproducible failure schedule inside the reference makespan."""
+    rng = random.Random(seed)
+    n = rng.randint(1, max_failures)
+    times = sorted(
+        rng.randint(1, int(makespan_ns * 0.95)) for _ in range(n)
+    )
+    return [
+        (t, rng.randrange(NRANKS), rng.choice(("process", "node")))
+        for t in times
+    ]
+
+
+def assert_no_time_travel(out, schedule):
+    """A restart must come from a checkpoint that still existed."""
+    backend = out.world.hooks.storage
+    for ev in out.manager.failures:
+        if ev.superseded:
+            continue  # this restart never ran; a later crash replaced it
+        rnd = ev.restarted_from_round
+        assert rnd >= 0
+        if rnd > 0:
+            # The round was really committed by every member before this
+            # restart could use it...
+            for r in out.world.hooks.clusters.members(ev.cluster):
+                assert rnd in backend.rounds_of(r), (
+                    f"cluster {ev.cluster} restarted from round {rnd} "
+                    f"which rank {r} never saved"
+                )
+            # ...and the copy read back was a surviving one.
+            assert ev.restored_tier is not None, (
+                f"cluster {ev.cluster} claims round {rnd} without a "
+                "surviving copy to read it from"
+            )
+
+
+def run_fuzz(seed, spec, factory, k=4, checkpoint_every=2):
+    ref = reference(("ring", NRANKS), factory)
+    schedule = random_schedule(seed, ref.makespan_ns)
+    clusters = ClusterMap.block(NRANKS, k)
+    out = run_failure_schedule(
+        factory,
+        NRANKS,
+        clusters,
+        schedule,
+        config=SPBCConfig(clusters=clusters, checkpoint_every=checkpoint_every),
+        ranks_per_node=RPN,
+        storage=spec,
+    )
+    assert out.results == ref.results, (
+        f"seed {seed} spec {spec}: recovery diverged under {schedule}"
+    )
+    # Containment: every restarted rank belongs to a failed cluster.
+    failed_clusters = {ev.cluster for ev in out.manager.failures}
+    for r in out.restarted_ranks:
+        assert clusters.cluster(r) in failed_clusters
+    assert_no_time_travel(out, schedule)
+    return out
+
+
+@pytest.mark.parametrize("spec", BACKENDS)
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_fuzz_random_schedules_converge(seed, spec):
+    """PR-gate slice: a few seeds per backend."""
+    run_fuzz(seed, spec, app())
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("spec", BACKENDS)
+@pytest.mark.parametrize("seed", range(10, 30))
+def test_fuzz_random_schedules_converge_deep(seed, spec):
+    """Nightly slice: twenty more seeds per backend."""
+    run_fuzz(seed, spec, app())
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [7, 8, 9])
+def test_fuzz_halo_app_with_auto_interval(seed):
+    """Random node failures while the Young/Daly controller is driving
+    the cadence: recovery and the cadence recalibration must compose."""
+    factory = halo2d_app(iters=6, msg_bytes=2048, compute_ns=150_000)
+    ref = reference(("halo", NRANKS), factory)
+    schedule = random_schedule(seed, ref.makespan_ns, max_failures=2)
+    clusters = ClusterMap.block(NRANKS, 4)
+    out = run_failure_schedule(
+        factory,
+        NRANKS,
+        clusters,
+        schedule,
+        config=SPBCConfig(
+            clusters=clusters,
+            checkpoint_every="auto",
+            mtbf_ns=int(5e6),  # tiny MTBF -> frequent checkpoints
+        ),
+        ranks_per_node=RPN,
+        storage="tiered:ram@1,pfs@2",
+    )
+    assert out.results == ref.results
+    assert_no_time_travel(out, schedule)
+
+
+# ----------------------------------------------------------------------
+# The acceptance pair: partner copy vs no partner copy, same schedule
+# ----------------------------------------------------------------------
+
+def _single_node_failure_outcome(spec):
+    factory = app()
+    ref = reference(("ring", NRANKS), factory)
+    clusters = ClusterMap.block(NRANKS, 4)
+    # Probe run to find a failure instant with >= 2 committed rounds,
+    # strictly after the latest round's commit finished.
+    probe = run_failure_schedule(
+        factory, NRANKS, clusters, [],
+        config=SPBCConfig(clusters=clusters, checkpoint_every=2),
+        ranks_per_node=RPN, storage=spec,
+    )
+    backend = probe.world.hooks.storage
+    rounds = backend.rounds_of(0)
+    assert len(rounds) >= 2
+    target = rounds[-1]
+    ckpt = backend.retrieve(0, target).ckpt
+    fail_at = ckpt.taken_at_ns + backend.write_cost_ns(
+        ckpt, concurrent_writers=NRANKS
+    ) + 200_000
+    out = run_failure_schedule(
+        factory, NRANKS, clusters, [(fail_at, 0, "node")],
+        config=SPBCConfig(clusters=clusters, checkpoint_every=2),
+        ranks_per_node=RPN, storage=spec,
+    )
+    assert out.results == ref.results
+    assert_no_time_travel(out, [(fail_at, 0, "node")])
+    return target, out.manager.failures[0]
+
+
+def test_partner_copy_survives_single_node_loss():
+    """With the buddy-node mirror, a node failure restarts from the
+    latest committed round; the identical schedule without it falls back
+    to the last durable (PFS) round."""
+    latest, ev = _single_node_failure_outcome("partner:ram@1,partner@1,pfs@3")
+    assert ev.kind == "node"
+    assert ev.restarted_from_round == latest
+    assert ev.restored_tier == "partner"
+
+    latest2, ev2 = _single_node_failure_outcome("tiered:ram@1,pfs@3")
+    assert latest2 == latest  # same deterministic probe timeline
+    assert ev2.restarted_from_round < latest2
+    assert ev2.restored_tier in ("pfs", None)
+
+
+def test_double_node_failure_kills_partner_copies():
+    """Partner copies are invalidated only when both partners' nodes are
+    gone: after the buddy node also dies, the restart falls back to the
+    durable tier — and recovery still converges."""
+    factory = app()
+    ref = reference(("ring", NRANKS), factory)
+    clusters = ClusterMap.block(NRANKS, 4)
+    spec = "partner:ram@1,partner@1,pfs@3"
+    probe = run_failure_schedule(
+        factory, NRANKS, clusters, [],
+        config=SPBCConfig(clusters=clusters, checkpoint_every=2),
+        ranks_per_node=RPN, storage=spec,
+    )
+    backend = probe.world.hooks.storage
+    rounds = backend.rounds_of(0)
+    target = rounds[-1]
+    ckpt = backend.retrieve(0, target).ckpt
+    t0 = ckpt.taken_at_ns + backend.write_cost_ns(
+        ckpt, concurrent_writers=NRANKS
+    ) + 100_000
+    # Node 1 hosts rank 0's partner copies (buddy of node 0).  Kill it
+    # first, then node 0 shortly after: rank 0's ram AND partner copies
+    # of the latest round are both gone.
+    out = run_failure_schedule(
+        factory, NRANKS, clusters,
+        [(t0, 2, "node"), (t0 + 50_000, 0, "node")],
+        config=SPBCConfig(clusters=clusters, checkpoint_every=2),
+        ranks_per_node=RPN, storage=spec,
+    )
+    assert out.results == ref.results
+    second = [ev for ev in out.manager.failures if ev.rank == 0][-1]
+    assert second.restarted_from_round < target
+    assert second.restored_tier in ("pfs", None)

@@ -147,3 +147,49 @@ def test_parse_plan_defaults_and_errors():
         make_backend("tape")
     with pytest.raises(ValueError):
         make_backend("memory:ram@1")
+
+
+# ----------------------------------------------------------------------
+# Spec error messages: name the offending token, list the valid choices
+# ----------------------------------------------------------------------
+
+def test_unknown_backend_error_names_token_and_choices():
+    with pytest.raises(ValueError) as e:
+        make_backend("cloud:ram@1")
+    msg = str(e.value)
+    assert "'cloud'" in msg
+    for valid in ("memory", "tiered", "partner"):
+        assert valid in msg
+
+
+def test_unknown_tier_error_names_token_and_choices():
+    with pytest.raises(ValueError) as e:
+        make_backend("tiered:ram@1,floppy@4")
+    msg = str(e.value)
+    assert "'floppy'" in msg
+    for valid in ("ram", "ssd", "pfs", "partner"):
+        assert valid in msg
+
+
+def test_bad_period_errors_name_the_token():
+    with pytest.raises(ValueError) as e:
+        make_backend("tiered:ram@fast")
+    assert "'ram@fast'" in str(e.value) and "'fast'" in str(e.value)
+    with pytest.raises(ValueError) as e:
+        make_backend("tiered:ram@0")
+    assert "'ram@0'" in str(e.value) and ">= 1" in str(e.value)
+    with pytest.raises(ValueError) as e:
+        make_backend("tiered:ram@-2")
+    assert ">= 1" in str(e.value)
+
+
+def test_memory_backend_rejects_arguments_naming_them():
+    with pytest.raises(ValueError) as e:
+        make_backend("memory:ram@1")
+    assert "'ram@1'" in str(e.value)
+
+
+def test_empty_tiered_plan_suggests_an_example():
+    with pytest.raises(ValueError) as e:
+        make_backend("tiered: ,, ")
+    assert "ram@1,pfs@4" in str(e.value)

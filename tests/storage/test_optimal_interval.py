@@ -1,0 +1,80 @@
+"""Property tests for the Young/Daly interval (the 'auto' cadence's
+analytic core)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.multilevel import (
+    optimal_interval,
+    optimal_interval_ns,
+    optimal_interval_rounds,
+)
+
+pos_ns = st.integers(min_value=1, max_value=10**15)
+
+
+def test_optimal_interval_is_the_ns_function():
+    assert optimal_interval is optimal_interval_ns
+
+
+@settings(max_examples=80, deadline=None)
+@given(c=pos_ns, c2=pos_ns, mtbf=pos_ns)
+def test_property_monotone_in_checkpoint_cost(c, c2, mtbf):
+    """A costlier checkpoint never shortens the optimal interval."""
+    lo, hi = sorted((c, c2))
+    assert optimal_interval_ns(lo, mtbf) <= optimal_interval_ns(hi, mtbf)
+
+
+@settings(max_examples=80, deadline=None)
+@given(c=pos_ns, mtbf=pos_ns, mtbf2=pos_ns)
+def test_property_monotone_in_mtbf(c, mtbf, mtbf2):
+    """More reliable machines -> checkpoint less often."""
+    lo, hi = sorted((mtbf, mtbf2))
+    assert optimal_interval_ns(c, lo) <= optimal_interval_ns(c, hi)
+
+
+@settings(max_examples=60, deadline=None)
+@given(c=pos_ns, mtbf=pos_ns)
+def test_property_interval_squares_back_to_the_inputs(c, mtbf):
+    """t = sqrt(2*C*M): squaring recovers the product to float precision,
+    and the interval is sane at the extremes (an MTBF of ~0 drives it
+    toward 0, a huge MTBF far beyond the checkpoint cost)."""
+    t = optimal_interval_ns(c, mtbf)
+    assert t >= 0
+    product = 2 * c * mtbf
+    # Truncated integer sqrt up to float rounding: t brackets the product.
+    assert t * t <= product * (1 + 1e-9)
+    assert (t + 1) * (t + 1) > product * (1 - 1e-9)
+    if mtbf > 2 * c:
+        assert t >= c  # reliable machines: interval at least the cost
+    if mtbf >= 10**12 and c >= 10**12:
+        assert t > c  # huge MTBF: far sparser than the cost scale
+
+
+def test_extremes():
+    # MTBF of one tick: checkpoint effectively always.
+    assert optimal_interval_ns(1, 1) == 1
+    # Degenerate inputs are contract violations, not silent zeros.
+    with pytest.raises(ValueError):
+        optimal_interval_ns(0, 10**9)
+    with pytest.raises(ValueError):
+        optimal_interval_ns(10**6, 0)
+    with pytest.raises(ValueError):
+        optimal_interval_ns(-5, 10**9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(c=pos_ns, mtbf=pos_ns, iter_ns=st.integers(min_value=1, max_value=10**12))
+def test_property_rounds_clamped_and_consistent(c, mtbf, iter_ns):
+    rounds = optimal_interval_rounds(c, mtbf, iter_ns)
+    assert 1 <= rounds <= 1_000_000
+    target = optimal_interval_ns(c, mtbf) / iter_ns
+    # within one iteration of the analytic optimum (or at a clamp edge)
+    if 1 < rounds < 1_000_000:
+        assert abs(rounds - target) <= 0.5 + 1e-9
+
+
+def test_rounds_rejects_bad_iteration_time():
+    with pytest.raises(ValueError):
+        optimal_interval_rounds(10**6, 10**9, 0)

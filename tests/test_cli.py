@@ -58,3 +58,94 @@ def test_ckptcost_explicit_storage_spec(capsys):
     ) == 0
     out = capsys.readouterr().out
     assert "tiered:ram@1,pfs@2" in out
+
+
+def test_blastradius_small_scale(capsys):
+    assert main(
+        ["blastradius", "--ranks", "8", "--rpn", "2", "--mtbf", "0.02"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Blast radius" in out
+    assert "no-partner" in out
+    # a bare-partner row, not just the "partner" inside "no-partner"
+    assert any(
+        "partner" in line and "no-partner" not in line
+        for line in out.splitlines()
+    )
+    assert "Auto checkpoint interval" in out
+
+
+def test_blastradius_explicit_storage(capsys):
+    assert main(
+        ["blastradius", "--ranks", "8", "--rpn", "2",
+         "--storage", "partner:ram@1,partner@1,pfs@3", "--mtbf", "0.02"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "partner:ram@1,partner@1,pfs@3" in out
+
+
+def test_blastradius_rejects_malformed_storage(capsys):
+    assert main(
+        ["blastradius", "--ranks", "8", "--rpn", "2",
+         "--storage", "tiered:floppy@1"]
+    ) == 2
+    err = capsys.readouterr().err
+    assert "'floppy'" in err and "ram" in err
+
+
+def test_blastradius_rejects_bad_checkpoint_every(capsys):
+    assert main(
+        ["blastradius", "--ranks", "8", "--rpn", "2",
+         "--checkpoint-every", "sometimes"]
+    ) == 2
+    assert "'sometimes'" in capsys.readouterr().err
+    assert main(
+        ["blastradius", "--ranks", "8", "--rpn", "2",
+         "--checkpoint-every", "0"]
+    ) == 2
+    assert ">= 1" in capsys.readouterr().err
+
+
+def test_blastradius_rejects_nonpositive_mtbf(capsys):
+    assert main(
+        ["blastradius", "--ranks", "8", "--rpn", "2", "--mtbf", "-1"]
+    ) == 2
+    assert "MTBF" in capsys.readouterr().err
+
+
+def test_blastradius_memory_storage_skips_auto_interval(capsys):
+    """The free store has no write cost: the blast table (the requested
+    artifact) still prints and the command succeeds; the Young/Daly
+    ride-along is skipped with an actionable note."""
+    assert main(
+        ["blastradius", "--ranks", "8", "--rpn", "2", "--storage", "memory"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Blast radius" in out
+    assert "skipped" in out and "cost-modeled" in out
+    assert "Auto checkpoint interval" not in out
+
+
+def test_ckptcost_rejects_malformed_storage(capsys):
+    assert main(
+        ["ckptcost", "--ranks", "8", "--rpn", "2", "--storage", "warp@1"]
+    ) == 2
+    err = capsys.readouterr().err
+    assert "'warp@1'" in err
+
+
+def test_blastradius_auto_cadence_accepted(capsys):
+    assert main(
+        ["blastradius", "--ranks", "8", "--rpn", "2",
+         "--checkpoint-every", "auto", "--mtbf", "0.02"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Blast radius" in out and "Auto checkpoint interval" in out
+
+
+def test_blastradius_auto_with_memory_storage_rejected(capsys):
+    assert main(
+        ["blastradius", "--ranks", "8", "--rpn", "2",
+         "--checkpoint-every", "auto", "--storage", "memory"]
+    ) == 2
+    assert "cost-modeled" in capsys.readouterr().err
