@@ -9,6 +9,8 @@ Usage::
     python -m repro ckptcost [--storage tiered:ram@1,pfs@4]
     python -m repro blastradius [--storage partner:ram@1,partner@1,pfs@4]
                                 [--checkpoint-every 2|auto] [--mtbf 0.5]
+    python -m repro deltachain [--ckpt-data incr:4:zlib-like]
+                               [--storage tiered:ram@1,pfs@4]
     python -m repro apps            # list registered workloads
 
 Equivalent to the pytest benchmarks but without the harness — handy for
@@ -31,7 +33,7 @@ def main(argv=None) -> int:
         "experiment",
         choices=[
             "table1", "table2", "fig5", "fig6", "ckptcost", "blastradius",
-            "apps",
+            "deltachain", "apps",
         ],
         help="which artifact to regenerate",
     )
@@ -47,6 +49,14 @@ def main(argv=None) -> int:
         help="storage backend spec for ckptcost/blastradius: memory, "
         "tiered, partner, or tiered:ram@1,ssd@4,pfs@16 "
         "(default: the built-in plan sweep)",
+    )
+    parser.add_argument(
+        "--ckpt-data",
+        type=str,
+        default=None,
+        help="deltachain: checkpoint data-plane spec for the incremental "
+        "mode — full | incr[:period][:compression], e.g. "
+        "incr:4:zlib-like (default: the built-in full-vs-incr pair)",
     )
     parser.add_argument(
         "--checkpoint-every",
@@ -112,6 +122,30 @@ def main(argv=None) -> int:
             plans = {"memory": "memory", args.storage: args.storage}
         rows = ex.checkpoint_cost(apps=subset or ("minighost",), plans=plans)
         print(ex.format_checkpoint_cost(rows))
+    elif args.experiment == "deltachain":
+        from repro.ckptdata.plane import parse_ckpt_data
+        from repro.storage.backend import make_backend
+
+        modes = None
+        if args.ckpt_data:
+            try:
+                parse_ckpt_data(args.ckpt_data)
+            except ValueError as e:
+                print(f"error: --ckpt-data {args.ckpt_data!r}: {e}", file=sys.stderr)
+                return 2
+            modes = {"full": "full", args.ckpt_data: args.ckpt_data}
+        kwargs = {}
+        if args.storage:
+            try:
+                make_backend(args.storage)
+            except ValueError as e:
+                print(f"error: --storage {args.storage!r}: {e}", file=sys.stderr)
+                return 2
+            kwargs["plan"] = args.storage
+        rows = ex.deltachain(
+            apps=subset or ex.DELTACHAIN_APPS, modes=modes, **kwargs
+        )
+        print(ex.format_deltachain(rows))
     elif args.experiment == "blastradius":
         from repro.storage.backend import make_backend
         from repro.util.units import SEC

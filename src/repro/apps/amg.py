@@ -33,8 +33,10 @@ from repro.apps.base import (
     resume_iteration,
 )
 from repro.apps.calibration import det_jitter, grid3
+from repro.ckptdata.regions import MemoryRegion, WriteLocalityProfile
 from repro.mpi.constants import ANY_SOURCE
 from repro.mpi.context import RankContext
+from repro.util.units import MB
 
 TAG_HALO = 31
 TAG_REQ = 32
@@ -179,5 +181,15 @@ register(
         description="algebraic multigrid V-cycles with Fig.4 ANY_SOURCE exchanges",
         uses_anysource=True,
         paper_app=True,
+        # The multigrid hierarchy (operators, interpolation) is built in
+        # setup and then read-only; V-cycles rewrite only the level
+        # vectors.
+        write_locality=WriteLocalityProfile(
+            regions=(
+                MemoryRegion("hierarchy-ops", 3 * MB, 0.02),
+                MemoryRegion("level-vectors", 1536 * 1024, 0.85),
+                MemoryRegion("setup", 512 * 1024, 0.0),
+            )
+        ),
     )
 )

@@ -5,6 +5,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Generator, List, Optional
 
+from repro.ckptdata.regions import (
+    WriteLocalityProfile,
+    synthetic_default_profile,
+)
 from repro.mpi.context import RankContext
 
 AppFactory = Callable[[RankContext, Optional[dict]], Generator]
@@ -25,6 +29,18 @@ class AppSpec:
     uses_anysource: bool
     paper_app: bool = False  # one of the six §6.1 applications
     nas_app: bool = False  # one of the §6.5 NAS benchmarks
+    # Per-rank checkpointable state as memory regions with per-iteration
+    # dirty fractions (drives the incremental checkpoint data plane and
+    # the harness's modeled checkpoint sizes).  None falls back to the
+    # synthetic default profile — every registered app therefore has a
+    # *nonzero* modeled payload.
+    write_locality: Optional[WriteLocalityProfile] = None
+
+    @property
+    def profile(self) -> WriteLocalityProfile:
+        """The app's write-locality profile (synthetic default when the
+        module didn't calibrate one)."""
+        return self.write_locality or synthetic_default_profile()
 
 
 _REGISTRY: Dict[str, AppSpec] = {}

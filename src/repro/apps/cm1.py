@@ -17,7 +17,9 @@ from typing import Generator, Optional
 
 from repro.apps.base import AppSpec, mix, register, resume_acc, resume_iteration
 from repro.apps.calibration import grid2
+from repro.ckptdata.regions import MemoryRegion, WriteLocalityProfile
 from repro.mpi.context import RankContext
+from repro.util.units import MB
 
 TAG_HALO = 61
 
@@ -76,5 +78,14 @@ register(
         description="atmospheric model with 2-D named halo exchange",
         uses_anysource=False,
         paper_app=True,
+        # Prognostic 3-D fields advance every timestep; terrain and
+        # base-state profiles are fixed after init.
+        write_locality=WriteLocalityProfile(
+            regions=(
+                MemoryRegion("prognostic-fields", 5 * MB, 0.9),
+                MemoryRegion("diagnostics", 1 * MB, 0.3),
+                MemoryRegion("terrain-basestate", 1 * MB, 0.0),
+            )
+        ),
     )
 )

@@ -26,8 +26,10 @@ from repro.apps.base import (
     resume_acc,
     resume_iteration,
 )
+from repro.ckptdata.regions import MemoryRegion, WriteLocalityProfile
 from repro.mpi.constants import ANY_SOURCE
 from repro.mpi.context import RankContext
+from repro.util.units import MB
 
 TAG_SHIFT = 41
 
@@ -106,5 +108,14 @@ register(
         description="particle-in-cell with ANY_SOURCE toroidal particle shifts",
         uses_anysource=True,
         paper_app=True,
+        # Particles move every step (positions + velocities rewritten
+        # wholesale); the field grid is smaller and partially updated.
+        write_locality=WriteLocalityProfile(
+            regions=(
+                MemoryRegion("particles", 6 * MB, 1.0),
+                MemoryRegion("field-grid", 1 * MB, 0.7),
+                MemoryRegion("diagnostics", 512 * 1024, 0.05),
+            )
+        ),
     )
 )

@@ -23,8 +23,10 @@ from repro.apps.base import (
     resume_acc,
     resume_iteration,
 )
+from repro.ckptdata.regions import MemoryRegion, WriteLocalityProfile
 from repro.mpi.constants import ANY_SOURCE
 from repro.mpi.context import RankContext
+from repro.util.units import MB
 
 TAG_GATHER = 51
 
@@ -112,5 +114,14 @@ register(
         description="lattice QCD CG on a 4-D torus with ANY_SOURCE gathers",
         uses_anysource=True,
         paper_app=True,
+        # CG iterations churn the fermion vectors; the gauge links are
+        # read-mostly between trajectories — the classic incremental win.
+        write_locality=WriteLocalityProfile(
+            regions=(
+                MemoryRegion("gauge-links", 4 * MB, 0.05),
+                MemoryRegion("fermion-vectors", 2 * MB, 0.9),
+                MemoryRegion("tables", 1 * MB, 0.0),
+            )
+        ),
     )
 )

@@ -23,8 +23,10 @@ from repro.apps.base import (
     resume_iteration,
 )
 from repro.apps.calibration import grid3
+from repro.ckptdata.regions import MemoryRegion, WriteLocalityProfile
 from repro.mpi.constants import ANY_SOURCE
 from repro.mpi.context import RankContext
+from repro.util.units import MB
 
 TAG_HALO = 21
 
@@ -89,5 +91,14 @@ register(
         description="finite-element CG solver with ANY_SOURCE halo exchange",
         uses_anysource=True,
         paper_app=True,
+        # The assembled stiffness matrix never changes during the solve;
+        # only the CG vectors are hot — the strongest delta case.
+        write_locality=WriteLocalityProfile(
+            regions=(
+                MemoryRegion("stiffness-matrix", 4 * MB, 0.0),
+                MemoryRegion("cg-vectors", 1 * MB, 0.95),
+                MemoryRegion("mesh", 512 * 1024, 0.0),
+            )
+        ),
     )
 )

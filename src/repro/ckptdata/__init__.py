@@ -1,0 +1,44 @@
+"""Incremental checkpoint data plane: dirty regions, delta chains,
+compression-aware storage costs.
+
+See :mod:`repro.ckptdata.plane` for the subsystem overview and
+``docs/ckptdata.md`` for the design notes.
+"""
+
+from repro.ckptdata.compression import (
+    CompressionModel,
+    NO_COMPRESSION,
+    compression_model,
+    compression_names,
+)
+from repro.ckptdata.plane import (
+    DELTA,
+    FULL,
+    CkptDataPlane,
+    CkptPayload,
+    parse_ckpt_data,
+)
+from repro.ckptdata.regions import (
+    MemoryRegion,
+    TEST_PROFILE,
+    WriteLocalityProfile,
+    synthetic_default_profile,
+    uniform_profile,
+)
+
+__all__ = [
+    "CompressionModel",
+    "NO_COMPRESSION",
+    "compression_model",
+    "compression_names",
+    "DELTA",
+    "FULL",
+    "CkptDataPlane",
+    "CkptPayload",
+    "parse_ckpt_data",
+    "MemoryRegion",
+    "TEST_PROFILE",
+    "WriteLocalityProfile",
+    "synthetic_default_profile",
+    "uniform_profile",
+]

@@ -1,0 +1,84 @@
+"""Modeled checkpoint compression: ratio plus CPU throughput cost.
+
+Compression trades checkpoint *volume* (what the shared PFS charges for)
+against *CPU time* (charged to the simulation clock before the write
+burst).  The models are calibrated to the usual suspects:
+
+* ``none`` — the identity stage, zero cost;
+* ``zlib-like`` — deflate-class: strong ratio, modest throughput;
+* ``lz4-like`` — fast byte-oriented: weaker ratio, near-memcpy speed.
+
+Floating-point checkpoint data rarely compresses as well as text; the
+ratios below sit at the conservative end of what FTI/VeloC-style
+pipelines report for HPC state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.util.units import MB, SEC, US
+
+
+@dataclass(frozen=True)
+class CompressionModel:
+    """One compression stage: size ratio and modeled CPU cost."""
+
+    name: str
+    ratio: float  # input_bytes / output_bytes (>= 1.0)
+    throughput_bytes_per_s: float  # compression speed on one core
+    fixed_ns: int = 0  # per-invocation setup cost
+
+    def __post_init__(self) -> None:
+        if self.ratio < 1.0:
+            raise ValueError(f"{self.name}: ratio must be >= 1.0")
+        if self.throughput_bytes_per_s <= 0:
+            raise ValueError(f"{self.name}: throughput must be positive")
+
+    def compress(self, nbytes: int) -> Tuple[int, int]:
+        """``(stored_bytes, cost_ns)`` for compressing ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("negative size")
+        if nbytes == 0:
+            return 0, 0
+        stored = max(1, int(nbytes / self.ratio))
+        cost = self.fixed_ns + int(nbytes / self.throughput_bytes_per_s * SEC)
+        return stored, cost
+
+
+#: The identity stage: payloads are stored raw, nothing is charged.
+NO_COMPRESSION = CompressionModel(
+    name="none", ratio=1.0, throughput_bytes_per_s=float("inf"), fixed_ns=0
+)
+
+_MODELS: Dict[str, CompressionModel] = {
+    "none": NO_COMPRESSION,
+    "zlib-like": CompressionModel(
+        name="zlib-like",
+        ratio=2.2,
+        throughput_bytes_per_s=400 * MB,
+        fixed_ns=20 * US,
+    ),
+    "lz4-like": CompressionModel(
+        name="lz4-like",
+        ratio=1.6,
+        throughput_bytes_per_s=2_000 * MB,
+        fixed_ns=5 * US,
+    ),
+}
+
+
+def compression_model(name: str) -> CompressionModel:
+    """Look up a model by spec name (``none``/``zlib-like``/``lz4-like``)."""
+    try:
+        return _MODELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown compression model {name!r} "
+            f"(valid models: {', '.join(sorted(_MODELS))})"
+        ) from None
+
+
+def compression_names() -> Tuple[str, ...]:
+    return tuple(sorted(_MODELS))

@@ -20,8 +20,9 @@ costs and per-tier survivability.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.ckptdata.plane import CkptPayload
 from repro.storage.backend import InMemoryBackend
 
 
@@ -44,7 +45,17 @@ class Checkpoint:
     # resume the collective tag sequence where the checkpoint left it, or
     # its re-executed collectives can never match live peers' messages.
     coll_seq: Dict[int, int] = field(default_factory=dict)
-    nbytes: int = 0  # modeled size (app state + logs), for storage costs
+    nbytes: int = 0  # modeled logical size (app state + logs)
+    # What this round actually writes when the incremental data plane is
+    # on: a full or delta payload with compressed size and chain link.
+    # None (the default) keeps the seed's opaque-blob model: the backends
+    # charge ``nbytes`` and every round stands alone.
+    payload: Optional[CkptPayload] = None
+
+    @property
+    def stored_bytes(self) -> int:
+        """Bytes the storage tiers are charged for this round."""
+        return self.payload.stored_bytes if self.payload is not None else self.nbytes
 
 
 # Reliable, cost-free checkpoint store (survives any failure) — the

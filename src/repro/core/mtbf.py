@@ -1,0 +1,66 @@
+"""Per-cluster MTBF estimation from observed failures.
+
+The Young/Daly cadence needs an MTBF.  A configured constant
+(``SPBCConfig.mtbf_ns``) is what most systems run with, but the
+simulator *sees* every injected failure — so it can do what production
+resilience runtimes do: estimate the mean time between failures online
+and let the checkpoint interval follow the machine it actually runs on
+(``mtbf_ns="observed"``).
+
+The estimator exponentially smooths inter-failure gaps: with smoothing
+factor ``alpha``, a new gap ``g`` updates the estimate ``m`` as
+``m := alpha * g + (1 - alpha) * m``.  Until the second failure there is
+no gap to learn from, so the configured prior is returned — the cadence
+starts from the administrator's guess and converges to the observed
+rate as failures accumulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class MTBFEstimator:
+    """Exponential smoothing over observed inter-failure times."""
+
+    prior_ns: int
+    alpha: float = 0.5
+    _last_failure_ns: Optional[int] = field(default=None, repr=False)
+    _smoothed_ns: Optional[float] = field(default=None, repr=False)
+    samples: int = 0  # inter-failure gaps observed so far
+
+    def __post_init__(self) -> None:
+        if self.prior_ns <= 0:
+            raise ValueError(f"MTBF prior must be positive, got {self.prior_ns}")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {self.alpha}")
+
+    def note_failure(self, now_ns: int) -> None:
+        """Record a failure at virtual time ``now_ns``."""
+        if self._last_failure_ns is not None:
+            gap = now_ns - self._last_failure_ns
+            if gap > 0:
+                # Two failures at the same instant (one blast radius
+                # touching several clusters) are one event, not a
+                # zero-length gap.
+                if self._smoothed_ns is None:
+                    self._smoothed_ns = float(gap)
+                else:
+                    self._smoothed_ns = (
+                        self.alpha * gap + (1.0 - self.alpha) * self._smoothed_ns
+                    )
+                self.samples += 1
+        self._last_failure_ns = now_ns
+
+    def mtbf_ns(self) -> int:
+        """Current estimate (the prior until a gap has been observed)."""
+        if self._smoothed_ns is None:
+            return self.prior_ns
+        return max(1, int(self._smoothed_ns))
+
+    @property
+    def observed(self) -> bool:
+        """True once at least one inter-failure gap has been folded in."""
+        return self._smoothed_ns is not None

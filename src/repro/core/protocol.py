@@ -32,10 +32,13 @@ DESIGN.md section 4):
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple, Union
 
+from repro.ckptdata.plane import CkptDataPlane
 from repro.core.checkpoint import Checkpoint
+from repro.core.mtbf import MTBFEstimator
 from repro.storage.backend import InMemoryBackend, SaveReceipt, StorageBackend
 from repro.storage.multilevel import optimal_interval_ns, optimal_interval_rounds
 from repro.core.clusters import ClusterMap
@@ -96,12 +99,35 @@ class SPBCConfig:
     # cost-modeled backend (TieredBackend/PartnerCopyBackend).
     checkpoint_every: Union[int, str, None] = None
     # Node MTBF driving the "auto" cadence (Young: sqrt(2*C*MTBF)).
-    mtbf_ns: int = 60 * SEC
+    # "observed" estimates it per cluster from injected failures
+    # (exponential smoothing over inter-failure gaps, see
+    # repro.core.mtbf), starting from ``mtbf_prior_ns``.
+    mtbf_ns: Union[int, str] = 60 * SEC
+    # Starting estimate for mtbf_ns="observed" until the second failure
+    # provides the first inter-failure gap.
+    mtbf_prior_ns: int = 60 * SEC
     # Where checkpoints are persisted and what that costs.  The default
     # InMemoryBackend charges nothing (the paper's configuration); a
     # TieredBackend executes a multi-level plan and its write time is
     # charged to the simulation clock inside the coordinated checkpoint.
     storage: Optional[StorageBackend] = None
+    # The incremental checkpoint data plane (repro.ckptdata): turns each
+    # round into a full or delta payload with modeled compression, and
+    # maintains per-rank delta chains.  None keeps the seed's
+    # opaque-blob model bit-identical.
+    ckpt_data: Optional[CkptDataPlane] = None
+    # Modeled application-state bytes per rank, used when the app's
+    # state_fn does not report an "nbytes" itself.  The experiment
+    # harness derives this from the app's write-locality profile so no
+    # registered app checkpoints zero bytes against a cost-modeled
+    # backend.
+    state_nbytes: int = 0
+    # Cross-cluster staggering of shared-tier (PFS) rounds: cluster c
+    # delays its durable write burst by c * pfs_stagger_ns, smoothing
+    # the shared-bandwidth burst.  While staggered, the write cost is
+    # charged at cluster-level concurrency (the offsets de-conflict the
+    # clusters on the shared medium).  0 disables staggering.
+    pfs_stagger_ns: int = 0
     # "known" sends Rollback only on channels with recorded traffic;
     # "all" broadcasts to every inter-cluster rank (safe for apps whose
     # communication graph changes between checkpoint and failure).
@@ -147,6 +173,7 @@ class _RankState:
         self.intra_sent: Dict[int, int] = {}
         self.intra_arrived: Dict[int, int] = {}
         self.ckpt_calls = 0
+        self.calls_at_last_ckpt = 0  # dirty-region window anchor
         self.ckpt_round = 0
         self.rollbacks_handled = 0
         self.replayed_records = 0
@@ -195,7 +222,12 @@ class _AutoCadence:
         return True
 
     def note_commit(
-        self, call_idx: int, now: int, receipt: SaveReceipt, mtbf_ns: int
+        self,
+        call_idx: int,
+        now: int,
+        receipt: SaveReceipt,
+        mtbf_ns: int,
+        expected_cost_ns: Optional[int] = None,
     ) -> None:
         if call_idx == self.last_ckpt_call:
             return  # a later member of the same round; already applied
@@ -203,17 +235,26 @@ class _AutoCadence:
         busy = max(0, (self.first_due_ns or now) - self.anchor_ns)
         if busy > 0:
             self.iter_ns_est = busy / iters
-        self.ckpt_cost_ns = receipt.write_ns
-        if receipt.write_ns <= 0:
+        # Young's C: the committed round's write cost — or, when the
+        # incremental data plane is on, the *expected* per-round cost
+        # over a full/delta cycle (a full round's burst would otherwise
+        # make the cadence pessimistic about every delta round).
+        cost_ns = (
+            expected_cost_ns
+            if expected_cost_ns is not None and expected_cost_ns > 0
+            else receipt.write_ns
+        )
+        self.ckpt_cost_ns = cost_ns
+        if cost_ns <= 0:
             raise ValueError(
                 "checkpoint_every='auto' needs a cost-modeled storage "
                 "backend: this round's write cost was 0 ns, so Young's "
                 "interval is undefined (use e.g. --storage tiered)"
             )
-        self.t_opt_ns = optimal_interval_ns(receipt.write_ns, mtbf_ns)
+        self.t_opt_ns = optimal_interval_ns(cost_ns, mtbf_ns)
         if self.iter_ns_est > 0:
             self.every = optimal_interval_rounds(
-                receipt.write_ns, mtbf_ns, self.iter_ns_est, self.MAX_EVERY
+                cost_ns, mtbf_ns, self.iter_ns_est, self.MAX_EVERY
             )
         self.last_ckpt_call = call_idx
         self.anchor_ns = now
@@ -233,6 +274,32 @@ class SPBC(ProtocolHooks):
         self.storage: StorageBackend = config.storage or InMemoryBackend()
         self._emulated = config.emulated_recovering
         self._cadences: Dict[int, _AutoCadence] = {}  # cluster -> cadence
+        self._plane: Optional[CkptDataPlane] = config.ckpt_data
+        self._mtbf_estimators: Dict[int, MTBFEstimator] = {}
+        self._warned_zero_bytes = False
+        # (start_ns, end_ns, cluster) of every shared-tier write burst —
+        # the staggering test measures peak concurrent PFS writers here.
+        self.pfs_write_windows: List[Tuple[int, int, int]] = []
+        self._validate_config(config)
+
+    def _validate_config(self, config: SPBCConfig) -> None:
+        if isinstance(config.mtbf_ns, str) and config.mtbf_ns != "observed":
+            raise ValueError(
+                f"mtbf_ns accepts a positive integer or 'observed', got "
+                f"{config.mtbf_ns!r}"
+            )
+        if config.mtbf_prior_ns <= 0:
+            raise ValueError(
+                f"mtbf_prior_ns must be positive, got {config.mtbf_prior_ns}"
+            )
+        if config.pfs_stagger_ns < 0:
+            raise ValueError(
+                f"pfs_stagger_ns must be >= 0, got {config.pfs_stagger_ns}"
+            )
+        if config.state_nbytes < 0:
+            raise ValueError(
+                f"state_nbytes must be >= 0, got {config.state_nbytes}"
+            )
         self._validate_checkpoint_every(config)
 
     def _validate_checkpoint_every(self, config: SPBCConfig) -> None:
@@ -251,7 +318,7 @@ class SPBC(ProtocolHooks):
                     "backend (e.g. --storage tiered): the free in-memory "
                     "store has no write cost to optimize against"
                 )
-            if config.mtbf_ns <= 0:
+            if not isinstance(config.mtbf_ns, str) and config.mtbf_ns <= 0:
                 raise ValueError(
                     f"checkpoint_every='auto' needs a positive MTBF, got "
                     f"mtbf_ns={config.mtbf_ns}"
@@ -260,6 +327,36 @@ class SPBC(ProtocolHooks):
             raise ValueError(
                 f"checkpoint_every must be >= 1 (or None/'auto'), got {every}"
             )
+
+    # -- MTBF: configured constant or observed online ------------------
+    def _mtbf_for(self, cluster: int) -> int:
+        """MTBF the cluster's cadence optimizes against."""
+        if self.config.mtbf_ns == "observed":
+            est = self._mtbf_estimators.get(cluster)
+            return est.mtbf_ns() if est is not None else self.config.mtbf_prior_ns
+        return self.config.mtbf_ns
+
+    def note_failure_observed(self, clusters, now_ns: int) -> None:
+        """Record an injected failure for per-cluster MTBF estimation
+        (called by the RecoveryManager for every affected cluster)."""
+        for c in clusters:
+            est = self._mtbf_estimators.get(c)
+            if est is None:
+                est = self._mtbf_estimators[c] = MTBFEstimator(
+                    prior_ns=self.config.mtbf_prior_ns
+                )
+            est.note_failure(now_ns)
+
+    def mtbf_report(self) -> Dict[int, dict]:
+        """Per-cluster view of the observed-MTBF estimators."""
+        return {
+            c: {
+                "mtbf_ns": est.mtbf_ns(),
+                "samples": est.samples,
+                "observed": est.observed,
+            }
+            for c, est in sorted(self._mtbf_estimators.items())
+        }
 
     # ------------------------------------------------------------------
     def attach(self, runtime) -> None:
@@ -427,13 +524,48 @@ class SPBC(ProtocolHooks):
                 return None
             receipt = yield from self._coordinated_checkpoint(runtime, state_fn)
             cad.note_commit(
-                st.ckpt_calls, runtime.engine.now, receipt, self.config.mtbf_ns
+                st.ckpt_calls,
+                runtime.engine.now,
+                receipt,
+                self._mtbf_for(st.cluster),
+                expected_cost_ns=self._expected_write_cost_ns(cad, st.cluster),
             )
             return st.ckpt_round
         if st.ckpt_calls % every != 0:
             return None
         yield from self._coordinated_checkpoint(runtime, state_fn)
         return st.ckpt_round
+
+    def _expected_write_cost_ns(
+        self, cad: _AutoCadence, cluster: int
+    ) -> Optional[int]:
+        """Expected per-round write cost under the data plane's
+        full/delta cycle (None without a plane: the cadence falls back
+        to the committed round's actual cost)."""
+        if self._plane is None:
+            return None
+        full_period = None
+        if self._plane.full_on_durable:
+            # The plan's durable rounds force fulls too: the effective
+            # full period is whichever comes more often.
+            durable_period = self.storage.durable_round_period()
+            if durable_period is not None:
+                full_period = min(self._plane.full_period, durable_period)
+        exp_bytes = self._plane.expected_stored_bytes(
+            iters_per_round=max(1, cad.every), full_period=full_period
+        )
+        # Price the expectation at the same concurrency the charged
+        # costs use: staggered shared rounds run at cluster-level
+        # concurrency, unstaggered ones contend with the whole world.
+        writers = (
+            len(self.clusters.members(cluster))
+            if self.config.pfs_stagger_ns > 0
+            else self._world.nranks
+        )
+        cost = self.storage.amortized_write_cost_ns(
+            exp_bytes, concurrent_writers=writers
+        )
+        return cost if cost > 0 else None
 
     def _coordinated_checkpoint(self, runtime, state_fn) -> Generator:
         """Blocking coordinated checkpoint of this rank's cluster.
@@ -466,19 +598,46 @@ class SPBC(ProtocolHooks):
             )
 
         st.ckpt_round += 1
+        # Cross-cluster staggering of shared-tier rounds: cluster c
+        # starts its durable burst c * pfs_stagger_ns later, so the
+        # shared medium sees the clusters one after another instead of
+        # all at once.  The write cost is then charged at cluster-level
+        # concurrency — the offsets de-conflict the clusters.
+        shared_round = self.storage.shared_tier_scheduled(st.ckpt_round)
+        writers = self._world.nranks
+        if shared_round and self.config.pfs_stagger_ns > 0:
+            writers = len(members)
+            offset = st.cluster * self.config.pfs_stagger_ns
+            if offset > 0:
+                yield from runtime.compute(offset)
         ckpt = self._build_checkpoint(runtime, st, state_fn())
-        write_ns = self.storage.write_cost_ns(
-            ckpt, concurrent_writers=self._world.nranks
-        )
+        if ckpt.payload is not None and ckpt.payload.compress_ns > 0:
+            # The data plane's compression stage runs on the CPU before
+            # any bytes move toward storage.
+            yield from runtime.compute(ckpt.payload.compress_ns)
+        write_start_ns = runtime.engine.now
+        write_ns = self.storage.write_cost_ns(ckpt, concurrent_writers=writers)
         if write_ns > 0:
             # Charge the storage backend's modeled write time to the
             # simulation clock (every cluster checkpoints on the same
             # cadence, so the whole world contends for shared tiers).
             yield from runtime.compute(write_ns)
+        if shared_round and write_ns > 0:
+            # Within the burst the local tiers are modeled first, so the
+            # shared-tier (PFS) phase is the tail — record only it: the
+            # peak-writers measurement must not count a rank as a PFS
+            # writer while it is still writing its local SSD.
+            shared_ns = self.storage.shared_write_cost_ns(
+                ckpt, concurrent_writers=writers
+            )
+            end_ns = runtime.engine.now
+            self.pfs_write_windows.append(
+                (max(write_start_ns, end_ns - shared_ns), end_ns, st.cluster)
+            )
         # Commit only after the write time has elapsed: a failure during
         # the write burst must fall back to the previous round, not find
         # a copy whose write never finished.
-        receipt = self.storage.save(ckpt, concurrent_writers=self._world.nranks)
+        receipt = self.storage.save(ckpt, concurrent_writers=writers)
         if receipt.durable:
             # The commit reached a tier that survives node failure: the
             # snapshot now covers every resident record, so the sender's
@@ -559,8 +718,43 @@ class SPBC(ProtocolHooks):
         # Checkpoint size: application state plus the log records not yet
         # carried by an earlier commit (resident bytes — an incremental-
         # log model: each record is charged to exactly one checkpoint
-        # write, the first one after it was logged or restored).
-        nbytes = app_state.get("nbytes", 0) + st.log.resident_bytes
+        # write, the first one after it was logged or restored).  Apps
+        # that don't report "nbytes" fall back to the harness-derived
+        # config.state_nbytes (the write-locality profile's full size).
+        state_bytes = app_state.get("nbytes", 0) or self.config.state_nbytes
+        log_bytes = st.log.resident_bytes
+        payload = None
+        if self._plane is not None:
+            payload = self._plane.build_payload(
+                runtime.rank,
+                st.ckpt_round,
+                iters_since_prev=max(1, st.ckpt_calls - st.calls_at_last_ckpt),
+                log_bytes=log_bytes,
+                durable_round=self.storage.durable_tier_scheduled(st.ckpt_round),
+                state_bytes=state_bytes or None,
+            )
+            nbytes = payload.full_bytes + log_bytes
+        else:
+            nbytes = state_bytes + log_bytes
+        st.calls_at_last_ckpt = st.ckpt_calls
+        if (
+            nbytes == 0
+            and not self._warned_zero_bytes
+            and not isinstance(self.storage, InMemoryBackend)
+        ):
+            # A cost-modeled backend charging for zero bytes silently
+            # models free checkpoints — almost always a harness bug
+            # (an app registered without a payload size).
+            self._warned_zero_bytes = True
+            warnings.warn(
+                f"rank {runtime.rank} committed a zero-byte checkpoint "
+                f"(round {st.ckpt_round}) against a cost-modeled storage "
+                "backend; set SPBCConfig.state_nbytes or give the app a "
+                "write-locality profile so write costs are not modeled "
+                "as free",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         ckpt = Checkpoint(
             rank=runtime.rank,
             round_no=st.ckpt_round,
@@ -575,6 +769,7 @@ class SPBC(ProtocolHooks):
             log_snapshot=st.log.snapshot(),
             coll_seq=dict(runtime._coll_seq),
             nbytes=nbytes,
+            payload=payload,
         )
         return ckpt
 
@@ -615,6 +810,11 @@ class SPBC(ProtocolHooks):
         st.log.restore(ckpt.log_snapshot)
         st.ckpt_round = ckpt.round_no
         st.ckpt_calls = 0
+        st.calls_at_last_ckpt = 0
+        if self._plane is not None:
+            # A delta must never span a rollback: the base the
+            # re-execution would diff against was never committed.
+            self._plane.note_restore(runtime.rank, ckpt.round_no)
         for key, mark in ckpt.arrived.items():
             st.chan_in(key).arrived = mark
         for env in ckpt.unexpected:
@@ -845,6 +1045,24 @@ class SPBC(ProtocolHooks):
             }
             for cluster, cad in sorted(self._cadences.items())
         }
+
+    def peak_concurrent_pfs_writers(self) -> int:
+        """Maximum number of ranks with overlapping shared-tier write
+        bursts — what cross-cluster staggering is meant to flatten."""
+        events: List[Tuple[int, int]] = []
+        for start, end, _cluster in self.pfs_write_windows:
+            events.append((start, 1))
+            events.append((end, -1))
+        events.sort()  # (t, -1) sorts before (t, +1): touching != overlap
+        peak = current = 0
+        for _t, delta in events:
+            current += delta
+            peak = max(peak, current)
+        return peak
+
+    def data_plane_report(self) -> Optional[dict]:
+        """The data plane's payload/byte accounting (None when off)."""
+        return self._plane.stats() if self._plane is not None else None
 
     def total_overhead_ns(self) -> int:
         return sum(rt.overhead_total_ns for rt in self._world.runtimes)

@@ -162,6 +162,9 @@ class RecoveryManager:
         # its checkpoint is a coordinated cut, so partial membership
         # cannot survive a member's loss.
         affected = sorted({clusters.cluster(r) for r in dead_ranks})
+        # Per-cluster MTBF estimation (mtbf_ns="observed"): every cluster
+        # in the blast radius observes this failure.
+        self.spbc.note_failure_observed(affected, self.world.engine.now)
         members_all: set = set()
         for c in affected:
             members_all |= set(clusters.members(c))
@@ -214,12 +217,15 @@ class RecoveryManager:
                 proc.kill()
             if self.world.runtimes[r].alive:
                 self.world.runtimes[r].kill()
-        # Consistent restart round: the latest round every member still
-        # holds a surviving copy of (mixing rounds across members would
-        # splice two different coordinated cuts).
+        # Consistent restart round: the latest round every member can
+        # still *reconstruct* (mixing rounds across members would splice
+        # two different coordinated cuts).  With the incremental data
+        # plane this is chain-aware: a surviving delta whose base died
+        # with a node is not restorable, so the cluster falls back to
+        # the newest round with a complete chain (usually the last full).
         common = None
         for r in members:
-            rounds = set(self.spbc.storage.surviving_rounds(r))
+            rounds = set(self.spbc.storage.restorable_rounds(r))
             common = rounds if common is None else common & rounds
         round_no = max(common) if common else 0
         restores: Dict[int, Optional[RestoreReceipt]] = {}

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.apps.base import get_app
 from repro.apps.calibration import PAPER_NET
+from repro.ckptdata.regions import WriteLocalityProfile
 from repro.baselines.hydee import HydEEPlan, run_hydee_recovery
 from repro.clustering.partition import cluster_by_communication, cut_bytes
 from repro.core.clusters import ClusterMap
@@ -83,6 +84,14 @@ def app_factory(name: str, overrides: Optional[dict] = None):
     if overrides:
         params.update(overrides)
     return get_app(name).factory(**params)
+
+
+def app_profile(name: str) -> WriteLocalityProfile:
+    """The app's write-locality profile (synthetic default when the app
+    module didn't calibrate one) — guarantees every registered app has a
+    *nonzero* modeled checkpoint payload, so cost-modeled backends never
+    silently charge for zero bytes."""
+    return get_app(name).profile
 
 
 # ----------------------------------------------------------------------
@@ -342,6 +351,10 @@ def checkpoint_cost(
                     clusters=cm,
                     checkpoint_every=checkpoint_every,
                     storage=backend,
+                    # Every registered app has a nonzero modeled payload
+                    # (write-locality profile or synthetic default), so
+                    # tiered plans never charge for zero-byte checkpoints.
+                    state_nbytes=app_profile(name).total_bytes,
                 )
                 res = run_spbc(
                     app, n, cm, config=cfg,
@@ -620,6 +633,7 @@ def blastradius(
                 checkpoint_every=checkpoint_every,
                 mtbf_ns=mtbf_ns,
                 storage=make_backend(spec),
+                state_nbytes=app_profile(name).total_bytes,
             )
             probe = run_spbc(
                 app, n, cm, config=cfg(),
@@ -736,6 +750,7 @@ def auto_interval(
             checkpoint_every="auto",
             mtbf_ns=mtbf_ns,
             storage=make_backend(plan),
+            state_nbytes=app_profile(name).total_bytes,
         )
         res = run_spbc(
             app, n, cm, config=cfg,
@@ -756,6 +771,137 @@ def auto_interval(
                 )
             )
     return rows
+
+
+# ----------------------------------------------------------------------
+# Delta chains — incremental vs full checkpoint plans (bytes written,
+# recovery cost with chain-aware restarts)
+# ----------------------------------------------------------------------
+
+#: Data-plane modes compared by the deltachain experiment: full payloads
+#: every round vs deltas with periodic fulls and deflate-class
+#: compression.
+DELTACHAIN_MODES: Dict[str, str] = {
+    "full": "full",
+    "incr": "incr:4:zlib-like",
+}
+
+#: Default app pair: both have large read-mostly regions (the assembled
+#: stiffness matrix; the gauge links), the regime where incremental
+#: checkpoints pay.
+DELTACHAIN_APPS = ("minife", "milc")
+
+
+@dataclass
+class DeltaChainRow:
+    app: str
+    mode: str  # key into DELTACHAIN_MODES
+    nranks: int
+    rounds: int  # checkpoint rounds committed in the probe run
+    full_payloads: int
+    delta_payloads: int
+    raw_mb: float  # uncompressed bytes handed to the data plane
+    written_mb: float  # bytes actually written across all tiers
+    compress_ms_per_rank: float
+    write_ms_per_rank: float
+    makespan_ns: int  # failure-free makespan under this mode
+    fail_makespan_ns: int  # makespan of the node-failure run
+    restarted_from_round: int
+    restored_tier: Optional[str]
+    restore_read_ns: int  # chain-aware restart read burst
+
+
+def deltachain(
+    apps: Sequence[str] = DELTACHAIN_APPS,
+    k: Optional[int] = None,
+    plan: str = "tiered:ram@1,pfs@4",
+    modes: Optional[Dict[str, str]] = None,
+    checkpoint_every: int = 2,
+    frac: float = 0.85,
+    fail_rank: int = 0,
+    nranks: Optional[int] = None,
+    ranks_per_node: Optional[int] = None,
+    overrides: Optional[Dict[str, dict]] = None,
+) -> List[DeltaChainRow]:
+    """Compare checkpoint data-plane modes on the same app + storage plan.
+
+    Per mode: a failure-free probe run reports the bytes the plan wrote
+    (the scalability axis SPBC cares about), then a node failure at
+    ``frac`` of the makespan exercises the chain-aware restart — a lost
+    delta base must fall back to the newest round with a complete chain.
+    """
+    n = nranks or bench_nranks()
+    rpn = ranks_per_node or bench_ranks_per_node()
+    k = k or max(2, n // rpn)
+    modes = modes or DELTACHAIN_MODES
+    rows: List[DeltaChainRow] = []
+    for name in apps:
+        app = app_factory(name, (overrides or {}).get(name))
+        profile = app_profile(name)
+        cm = ClusterMap.block(n, k)
+        for mode_name, spec in modes.items():
+            def cfg() -> SPBCConfig:
+                return SPBCConfig(
+                    clusters=cm,
+                    checkpoint_every=checkpoint_every,
+                    storage=make_backend(plan),
+                    state_nbytes=profile.total_bytes,
+                )
+            probe = run_spbc(
+                app, n, cm, config=cfg(), ckpt_data=spec, profile=profile,
+                ranks_per_node=rpn, net_params=PAPER_NET, trace=False,
+            )
+            backend = probe.hooks.storage
+            stats = probe.hooks.data_plane_report()
+            rounds = max((len(backend.rounds_of(r)) for r in range(n)), default=0)
+            fail_at = max(1, int(probe.makespan_ns * frac))
+            out = run_online_failure(
+                app, n, cm,
+                fail_at_ns=fail_at, fail_rank=fail_rank,
+                config=cfg(), ckpt_data=spec, profile=profile,
+                failure_kind="node",
+                ranks_per_node=rpn, net_params=PAPER_NET, trace=False,
+            )
+            ev = out.manager.failures[0]
+            rows.append(
+                DeltaChainRow(
+                    app=name,
+                    mode=mode_name,
+                    nranks=n,
+                    rounds=rounds,
+                    full_payloads=stats["full_payloads"],
+                    delta_payloads=stats["delta_payloads"],
+                    raw_mb=stats["raw_bytes"] / 1e6,
+                    written_mb=backend.bytes_written / 1e6,
+                    compress_ms_per_rank=stats["compress_ns"] / n / 1e6,
+                    write_ms_per_rank=backend.write_ns_total / n / 1e6,
+                    makespan_ns=probe.makespan_ns,
+                    fail_makespan_ns=out.makespan_ns,
+                    restarted_from_round=ev.restarted_from_round,
+                    restored_tier=ev.restored_tier,
+                    restore_read_ns=ev.restore_read_ns,
+                )
+            )
+    return rows
+
+
+def format_deltachain(rows: List[DeltaChainRow]) -> str:
+    return format_table(
+        ["app", "mode", "rounds", "full", "delta", "raw MB", "written MB",
+         "compress ms/rk", "write ms/rk", "makespan (ms)", "from",
+         "tier", "restore read (ms)"],
+        [
+            [r.app, r.mode, r.rounds, r.full_payloads, r.delta_payloads,
+             r.raw_mb, r.written_mb, r.compress_ms_per_rank,
+             r.write_ms_per_rank, r.makespan_ns / 1e6,
+             r.restarted_from_round, r.restored_tier or "scratch",
+             r.restore_read_ns / 1e6]
+            for r in rows
+        ],
+        title="Delta chains: incremental vs full checkpoint payloads "
+        "(bytes written, chain-aware restart)",
+        float_fmt="{:.3f}",
+    )
 
 
 def format_auto_interval(rows: List[AutoIntervalRow]) -> str:

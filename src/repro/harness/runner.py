@@ -16,6 +16,8 @@ from typing import Callable, Dict, Generator, List, Optional, Sequence, Set, Tup
 
 from typing import Union
 
+from repro.ckptdata.plane import CkptDataPlane, parse_ckpt_data
+from repro.ckptdata.regions import WriteLocalityProfile
 from repro.core.clusters import ClusterMap
 from repro.core.emulated import ReplayPlan, replayer_process, DEFAULT_PREPOST_WINDOW
 from repro.core.protocol import SPBC, SPBCConfig
@@ -31,6 +33,8 @@ AppFactory = Callable[[RankContext, Optional[dict]], Generator]
 
 StorageSpec = Union[str, StorageBackend, None]
 
+CkptDataSpec = Union[str, CkptDataPlane, None]
+
 
 def _resolve_storage(cfg: SPBCConfig, storage: StorageSpec) -> None:
     """Install a storage backend into ``cfg`` (spec strings go through
@@ -43,6 +47,28 @@ def _resolve_storage(cfg: SPBCConfig, storage: StorageSpec) -> None:
             "storage argument"
         )
     cfg.storage = make_backend(storage) if isinstance(storage, str) else storage
+
+
+def _resolve_ckpt_data(
+    cfg: SPBCConfig,
+    ckpt_data: CkptDataSpec,
+    profile: Optional[WriteLocalityProfile] = None,
+) -> None:
+    """Install a checkpoint data plane into ``cfg`` (spec strings like
+    ``"incr:4:zlib-like"`` go through :func:`parse_ckpt_data`;
+    ``profile`` supplies the app's write-locality regions)."""
+    if ckpt_data is None:
+        return
+    if cfg.ckpt_data is not None:
+        raise ValueError(
+            "checkpoint data plane supplied both via config.ckpt_data and "
+            "the ckpt_data argument"
+        )
+    cfg.ckpt_data = (
+        parse_ckpt_data(ckpt_data, profile=profile)
+        if isinstance(ckpt_data, str)
+        else ckpt_data
+    )
 
 
 @dataclass
@@ -131,17 +157,22 @@ def run_spbc(
     clusters: ClusterMap,
     config: Optional[SPBCConfig] = None,
     storage: StorageSpec = None,
+    ckpt_data: CkptDataSpec = None,
+    profile: Optional[WriteLocalityProfile] = None,
     **kw,
 ) -> RunResult:
     """Failure-free run under SPBC (logging + identifiers active).
 
     ``storage`` selects the checkpoint backend (a spec string like
-    ``"tiered:ram@1,pfs@4"`` or a ``StorageBackend``); it only matters
-    when ``config.checkpoint_every`` is set."""
+    ``"tiered:ram@1,pfs@4"`` or a ``StorageBackend``); ``ckpt_data``
+    selects the incremental data plane (``"full"``/``"incr:4:zlib-like"``
+    or a ``CkptDataPlane``) with ``profile`` as the app's write-locality
+    regions.  Both only matter when ``config.checkpoint_every`` is set."""
     cfg = config or SPBCConfig(clusters=clusters)
     if cfg.clusters is not clusters and cfg.clusters != clusters:
         raise ValueError("config.clusters disagrees with the clusters argument")
     _resolve_storage(cfg, storage)
+    _resolve_ckpt_data(cfg, ckpt_data, profile)
     return run_app(app_factory, nranks, hooks=SPBC(cfg), **kw)
 
 
@@ -226,6 +257,8 @@ def run_failure_schedule(
     net_params: Optional[NetworkParams] = None,
     trace: bool = True,
     storage: StorageSpec = None,
+    ckpt_data: CkptDataSpec = None,
+    profile: Optional[WriteLocalityProfile] = None,
 ) -> OnlineResult:
     """Run with an arbitrary schedule of process/node crashes and full
     online recovery after each (the fuzz harness's entry point).
@@ -235,6 +268,7 @@ def run_failure_schedule(
     starts rather than mid-simulation."""
     cfg = config or SPBCConfig(clusters=clusters)
     _resolve_storage(cfg, storage)
+    _resolve_ckpt_data(cfg, ckpt_data, profile)
     hooks = SPBC(cfg)
     world = World(
         nranks,
@@ -277,6 +311,8 @@ def run_online_failure(
     trace: bool = True,
     failure_kind: str = "process",
     storage: StorageSpec = None,
+    ckpt_data: CkptDataSpec = None,
+    profile: Optional[WriteLocalityProfile] = None,
 ) -> OnlineResult:
     """Run with a single crash at ``fail_at_ns`` and full online recovery
     (Algorithm 1 lines 16-26).
@@ -297,4 +333,6 @@ def run_online_failure(
         net_params=net_params,
         trace=trace,
         storage=storage,
+        ckpt_data=ckpt_data,
+        profile=profile,
     )

@@ -59,7 +59,10 @@ class RestoreReceipt:
 
     ckpt: "Checkpoint"
     tier: str  # tier the copy was read from
-    read_ns: int  # modeled restart-read time
+    read_ns: int  # modeled restart-read time (sums over a delta chain)
+    # Rounds read to reconstruct the state, base-full first.  Empty for
+    # payload-less checkpoints (the opaque-blob model reads one round).
+    chain: Tuple[int, ...] = ()
 
 
 class StorageBackend(ABC):
@@ -84,6 +87,40 @@ class StorageBackend(ABC):
     @abstractmethod
     def save(self, ckpt: "Checkpoint", concurrent_writers: int = 1) -> SaveReceipt:
         """Persist ``ckpt`` and return the modeled cost receipt."""
+
+    def amortized_write_cost_ns(
+        self, nbytes: int, concurrent_writers: int = 1
+    ) -> int:
+        """Expected per-round cost of writing ``nbytes`` under this
+        backend's plan (averaged over a full tier cycle).  Feeds the
+        Young/Daly cadence when the data plane supplies an *expected*
+        payload size instead of the committed round's actual one."""
+        return 0
+
+    # -- plan introspection (data plane + stagger hooks) ---------------
+    def durable_tier_scheduled(self, round_no: int) -> bool:
+        """True when round ``round_no`` writes a tier that survives node
+        failure.  The data plane forces a *full* payload on such rounds
+        (``full_on_durable``) so the durable copy is self-contained."""
+        return False
+
+    def durable_round_period(self) -> Optional[int]:
+        """Every how many rounds a durable tier is scheduled (None when
+        the plan has no durable tier).  Lets the auto cadence price the
+        fulls that ``full_on_durable`` forces on those rounds."""
+        return None
+
+    def shared_tier_scheduled(self, round_no: int) -> bool:
+        """True when round ``round_no`` writes a shared-bandwidth tier
+        (the PFS) — the rounds cross-cluster staggering spreads out."""
+        return False
+
+    def shared_write_cost_ns(
+        self, ckpt: "Checkpoint", concurrent_writers: int = 1
+    ) -> int:
+        """The shared-tier portion of :meth:`write_cost_ns` (0 when the
+        round writes no shared tier)."""
+        return 0
 
     # -- topology ------------------------------------------------------
     def bind_topology(self, topology: "Topology") -> None:
@@ -112,6 +149,13 @@ class StorageBackend(ABC):
     @abstractmethod
     def surviving_rounds(self, rank: int) -> List[int]:
         """Rounds of ``rank`` with at least one surviving copy, ascending."""
+
+    def restorable_rounds(self, rank: int) -> List[int]:
+        """Rounds a restart can actually reconstruct, ascending.  For
+        opaque blobs this is :meth:`surviving_rounds`; chain-aware
+        backends additionally require every base link of a delta round
+        to survive (a delta whose base was lost is unusable)."""
+        return self.surviving_rounds(rank)
 
     @abstractmethod
     def retrieve(
@@ -147,7 +191,7 @@ class InMemoryBackend(StorageBackend):
         self._latest[ckpt.rank] = ckpt
         self._history.setdefault(ckpt.rank, []).append(ckpt)
         self.writes += 1
-        self.bytes_written += ckpt.nbytes
+        self.bytes_written += ckpt.stored_bytes
         return SaveReceipt(
             round_no=ckpt.round_no, write_ns=0, tiers=("memory",), durable=True
         )
@@ -230,9 +274,39 @@ class TieredBackend(StorageBackend):
             if round_no % period == 0
         ]
 
+    def durable_tier_scheduled(self, round_no: int) -> bool:
+        return any(
+            t.survives_node_failure for t in self.scheduled_tiers(round_no)
+        )
+
+    def durable_round_period(self) -> Optional[int]:
+        periods = [
+            period
+            for t, period in zip(self.plan.tiers, self.plan.periods)
+            if t.survives_node_failure
+        ]
+        return min(periods) if periods else None
+
+    def shared_tier_scheduled(self, round_no: int) -> bool:
+        return any(t.shared for t in self.scheduled_tiers(round_no))
+
+    def shared_write_cost_ns(
+        self, ckpt: "Checkpoint", concurrent_writers: int = 1
+    ) -> int:
+        return sum(
+            t.write_time_ns(ckpt.stored_bytes, concurrent_writers)
+            for t in self.scheduled_tiers(ckpt.round_no)
+            if t.shared
+        )
+
+    def amortized_write_cost_ns(
+        self, nbytes: int, concurrent_writers: int = 1
+    ) -> int:
+        return int(self.plan.amortized_cost_ns(nbytes, concurrent_writers))
+
     def write_cost_ns(self, ckpt: "Checkpoint", concurrent_writers: int = 1) -> int:
         return sum(
-            t.write_time_ns(ckpt.nbytes, concurrent_writers)
+            t.write_time_ns(ckpt.stored_bytes, concurrent_writers)
             for t in self.scheduled_tiers(ckpt.round_no)
         )
 
@@ -243,11 +317,11 @@ class TieredBackend(StorageBackend):
             ckpt.round_no, {}
         )
         for t in tiers:
-            write_ns += t.write_time_ns(ckpt.nbytes, concurrent_writers)
+            write_ns += t.write_time_ns(ckpt.stored_bytes, concurrent_writers)
             per_round[t.name] = ckpt
             self.tier_writes[t.name] += 1
-            self.tier_bytes[t.name] += ckpt.nbytes
-            self.bytes_written += ckpt.nbytes
+            self.tier_bytes[t.name] += ckpt.stored_bytes
+            self.bytes_written += ckpt.stored_bytes
         self.writes += 1
         self.write_ns_total += write_ns
         rounds = self._all_rounds.setdefault(ckpt.rank, [])
@@ -296,42 +370,110 @@ class TieredBackend(StorageBackend):
         self.invalidated_copies += dropped
         return dropped
 
-    def guaranteed_round(self, rank: int) -> int:
-        """Latest round with a copy on a tier that survives node failure.
-        Partner copies do not qualify: they survive any *single* node
-        loss, but a later failure of the buddy can still take them."""
-        best = 0
-        for rnd, copies in self._copies.get(rank, {}).items():
-            if rnd > best and any(
-                self._tier(n).survives_node_failure for n in copies
+    # -- delta chains --------------------------------------------------
+    def _chain_rounds(self, rank: int, round_no: int) -> Optional[List[int]]:
+        """Rounds needed to reconstruct ``round_no``, base-full first.
+
+        Walks ``payload.base_round`` links.  Returns None when any link
+        (including ``round_no`` itself) has no surviving copy — a delta
+        whose base died with a node is unusable.  Opaque (payload-less)
+        checkpoints are their own one-element chain."""
+        chain: List[int] = []
+        rnd = round_no
+        while True:
+            copies = self._copies.get(rank, {}).get(rnd)
+            if not copies:
+                return None
+            chain.append(rnd)
+            ckpt = next(iter(copies.values()))
+            payload = ckpt.payload
+            if payload is None or payload.base_round is None:
+                chain.reverse()
+                return chain
+            if payload.base_round in chain or len(chain) > len(
+                self._copies.get(rank, {})
             ):
-                best = rnd
-        return best
+                raise ValueError(
+                    f"rank {rank}: corrupt delta chain at round {rnd} "
+                    f"(base {payload.base_round} cycles)"
+                )
+            rnd = payload.base_round
+
+    def _round_durable(self, rank: int, round_no: int) -> bool:
+        copies = self._copies.get(rank, {}).get(round_no) or {}
+        return any(self._tier(n).survives_node_failure for n in copies)
+
+    def guaranteed_round(self, rank: int) -> int:
+        """Latest round whose *whole chain* sits on tiers that survive
+        node failure.  Partner copies do not qualify: they survive any
+        *single* node loss, but a later failure of the buddy can still
+        take them.  A durable delta whose base is only volatile does not
+        qualify either — losing the base loses the round."""
+        # Newest-first: the common case (latest round durably chained)
+        # returns after one chain walk instead of walking every round.
+        for rnd in sorted(self._copies.get(rank, {}), reverse=True):
+            chain = self._chain_rounds(rank, rnd)
+            if chain is not None and all(
+                self._round_durable(rank, link) for link in chain
+            ):
+                return rnd
+        return 0
 
     def surviving_rounds(self, rank: int) -> List[int]:
         return sorted(
             rnd for rnd, copies in self._copies.get(rank, {}).items() if copies
         )
 
-    def retrieve(
-        self, rank: int, round_no: int, concurrent_readers: int = 1
-    ) -> Optional[RestoreReceipt]:
-        copies = self._copies.get(rank, {}).get(round_no) or {}
-        if not copies:
-            return None
+    def restorable_rounds(self, rank: int) -> List[int]:
+        """Surviving rounds whose full delta chain also survives."""
+        return [
+            rnd
+            for rnd in self.surviving_rounds(rank)
+            if self._chain_rounds(rank, rnd) is not None
+        ]
+
+    def _cheapest_read(
+        self, rank: int, round_no: int, concurrent_readers: int
+    ) -> Tuple[str, "Checkpoint", int]:
+        copies = self._copies[rank][round_no]
         best_name = min(
             copies,
             key=lambda n: self._tier(n).read_time_ns(
-                copies[n].nbytes, concurrent_readers
+                copies[n].stored_bytes, concurrent_readers
             ),
         )
         ckpt = copies[best_name]
-        read_ns = self._tier(best_name).read_time_ns(ckpt.nbytes, concurrent_readers)
+        read_ns = self._tier(best_name).read_time_ns(
+            ckpt.stored_bytes, concurrent_readers
+        )
+        return best_name, ckpt, read_ns
+
+    def retrieve(
+        self, rank: int, round_no: int, concurrent_readers: int = 1
+    ) -> Optional[RestoreReceipt]:
+        chain = self._chain_rounds(rank, round_no)
+        if chain is None:
+            return None
+        read_ns = 0
+        tier_of_target = ""
+        target: Optional["Checkpoint"] = None
+        for link in chain:
+            name, ckpt, link_ns = self._cheapest_read(
+                rank, link, concurrent_readers
+            )
+            read_ns += link_ns
+            if link == round_no:
+                tier_of_target, target = name, ckpt
         self.read_ns_total += read_ns
-        return RestoreReceipt(ckpt=ckpt, tier=best_name, read_ns=read_ns)
+        return RestoreReceipt(
+            ckpt=target,
+            tier=tier_of_target,
+            read_ns=read_ns,
+            chain=tuple(chain) if len(chain) > 1 else (),
+        )
 
     def load_latest(self, rank: int) -> Optional["Checkpoint"]:
-        rounds = self.surviving_rounds(rank)
+        rounds = self.restorable_rounds(rank)
         if not rounds:
             return None
         receipt = self.retrieve(rank, rounds[-1])

@@ -1,0 +1,129 @@
+"""Per-cluster MTBF estimation from observed failures
+(``mtbf_ns="observed"``): the estimator's smoothing math on a scripted
+failure schedule, and the auto cadence consuming the estimate."""
+
+import pytest
+
+from repro.apps.synthetic import ring_app
+from repro.core.clusters import ClusterMap
+from repro.core.mtbf import MTBFEstimator
+from repro.core.protocol import SPBC, SPBCConfig
+from repro.harness.runner import run_failure_schedule, run_native
+from repro.storage.backend import make_backend
+from repro.util.units import KB, MS, SEC
+
+NRANKS = 8
+RPN = 2
+
+
+# ----------------------------------------------------------------------
+# The estimator itself (scripted schedule, hand-computed smoothing)
+# ----------------------------------------------------------------------
+
+def test_estimator_returns_prior_until_first_gap():
+    est = MTBFEstimator(prior_ns=10 * SEC)
+    assert est.mtbf_ns() == 10 * SEC and not est.observed
+    est.note_failure(3 * SEC)  # one failure: still no gap
+    assert est.mtbf_ns() == 10 * SEC and not est.observed
+
+
+def test_estimator_exponentially_smooths_scripted_gaps():
+    est = MTBFEstimator(prior_ns=60 * SEC, alpha=0.5)
+    for t in (10 * SEC, 14 * SEC, 22 * SEC):
+        est.note_failure(t)
+    # gaps: 4s, 8s.  m1 = 4s; m2 = 0.5*8 + 0.5*4 = 6s.
+    assert est.samples == 2 and est.observed
+    assert est.mtbf_ns() == 6 * SEC
+
+    est.note_failure(24 * SEC)  # gap 2s -> 0.5*2 + 0.5*6 = 4s
+    assert est.mtbf_ns() == 4 * SEC
+
+
+def test_estimator_ignores_zero_gaps_and_validates():
+    est = MTBFEstimator(prior_ns=SEC)
+    est.note_failure(5 * SEC)
+    est.note_failure(5 * SEC)  # same blast radius, same instant
+    assert est.samples == 0
+    with pytest.raises(ValueError, match="prior"):
+        MTBFEstimator(prior_ns=0)
+    with pytest.raises(ValueError, match="alpha"):
+        MTBFEstimator(prior_ns=SEC, alpha=0.0)
+
+
+# ----------------------------------------------------------------------
+# Config plumbing
+# ----------------------------------------------------------------------
+
+def test_config_accepts_observed_and_rejects_other_strings():
+    cm = ClusterMap.block(NRANKS, 4)
+    SPBC(
+        SPBCConfig(
+            clusters=cm,
+            checkpoint_every="auto",
+            mtbf_ns="observed",
+            storage=make_backend("tiered:ram@1,pfs@2"),
+        )
+    )
+    with pytest.raises(ValueError, match="'observed'"):
+        SPBC(SPBCConfig(clusters=cm, mtbf_ns="estimated"))
+    with pytest.raises(ValueError, match="mtbf_prior_ns"):
+        SPBC(SPBCConfig(clusters=cm, mtbf_ns="observed", mtbf_prior_ns=0))
+
+
+def test_mtbf_for_tracks_only_affected_clusters():
+    cm = ClusterMap.block(NRANKS, 4)
+    spbc = SPBC(
+        SPBCConfig(clusters=cm, mtbf_ns="observed", mtbf_prior_ns=7 * SEC)
+    )
+    spbc.note_failure_observed([1], 2 * SEC)
+    spbc.note_failure_observed([1], 5 * SEC)
+    assert spbc._mtbf_for(1) == 3 * SEC  # one observed gap
+    assert spbc._mtbf_for(0) == 7 * SEC  # untouched cluster: the prior
+    report = spbc.mtbf_report()
+    assert report[1]["samples"] == 1 and report[1]["observed"]
+
+
+def test_constant_mtbf_bypasses_the_estimators():
+    cm = ClusterMap.block(NRANKS, 4)
+    spbc = SPBC(SPBCConfig(clusters=cm, mtbf_ns=9 * SEC))
+    spbc.note_failure_observed([0], 1 * SEC)
+    spbc.note_failure_observed([0], 2 * SEC)
+    assert spbc._mtbf_for(0) == 9 * SEC
+
+
+# ----------------------------------------------------------------------
+# End to end: scripted failures feed the auto cadence
+# ----------------------------------------------------------------------
+
+def test_observed_mtbf_drives_auto_cadence_and_recovery_converges():
+    factory = ring_app(iters=10, msg_bytes=2048, compute_ns=200_000)
+    ref = run_native(factory, NRANKS, ranks_per_node=RPN)
+    cm = ClusterMap.block(NRANKS, 4)
+    # Two scripted process failures of the same cluster: after the
+    # second, cluster 0's cadence runs on the observed 1.5ms gap instead
+    # of the (absurdly large) prior.
+    t1 = int(ref.makespan_ns * 0.3)
+    t2 = t1 + int(1.5 * MS)
+    out = run_failure_schedule(
+        factory,
+        NRANKS,
+        cm,
+        [(t1, 0, "process"), (t2, 0, "process")],
+        config=SPBCConfig(
+            clusters=cm,
+            checkpoint_every="auto",
+            mtbf_ns="observed",
+            mtbf_prior_ns=60 * SEC,
+            state_nbytes=16 * KB,
+        ),
+        ranks_per_node=RPN,
+        storage="tiered:ram@1,pfs@2",
+    )
+    assert out.results == ref.results  # recovery still converges
+    spbc = out.world.hooks
+    report = spbc.mtbf_report()
+    assert report[0]["samples"] == 1
+    assert report[0]["mtbf_ns"] == t2 - t1
+    assert spbc._mtbf_for(0) == t2 - t1
+    # an untouched cluster still optimizes against the prior
+    assert spbc._mtbf_for(3) == 60 * SEC

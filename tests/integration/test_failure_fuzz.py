@@ -25,6 +25,8 @@ import random
 
 import pytest
 
+from repro.ckptdata.plane import CkptDataPlane
+from repro.ckptdata.regions import TEST_PROFILE
 from repro.core.clusters import ClusterMap
 from repro.core.protocol import SPBCConfig
 from repro.harness.runner import run_failure_schedule, run_native
@@ -88,7 +90,7 @@ def assert_no_time_travel(out, schedule):
             )
 
 
-def run_fuzz(seed, spec, factory, k=4, checkpoint_every=2):
+def run_fuzz(seed, spec, factory, k=4, checkpoint_every=2, ckpt_data=None):
     ref = reference(("ring", NRANKS), factory)
     schedule = random_schedule(seed, ref.makespan_ns)
     clusters = ClusterMap.block(NRANKS, k)
@@ -100,6 +102,8 @@ def run_fuzz(seed, spec, factory, k=4, checkpoint_every=2):
         config=SPBCConfig(clusters=clusters, checkpoint_every=checkpoint_every),
         ranks_per_node=RPN,
         storage=spec,
+        ckpt_data=ckpt_data,
+        profile=TEST_PROFILE if ckpt_data is not None else None,
     )
     assert out.results == ref.results, (
         f"seed {seed} spec {spec}: recovery diverged under {schedule}"
@@ -125,6 +129,29 @@ def test_fuzz_random_schedules_converge(seed, spec):
 def test_fuzz_random_schedules_converge_deep(seed, spec):
     """Nightly slice: twenty more seeds per backend."""
     run_fuzz(seed, spec, app())
+
+
+#: The incremental-vs-full acceptance pair: the same random schedules
+#: must satisfy the same invariants whether each round writes an opaque
+#: full blob or a compressed delta chain.
+DATA_PLANES = ["full", "incr:3:zlib-like"]
+
+
+@pytest.mark.parametrize("ckpt_data", DATA_PLANES)
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_fuzz_data_plane_modes_converge(seed, ckpt_data):
+    """PR-gate slice: chain-aware restarts reproduce the failure-free
+    final state under random failures, in both data-plane modes."""
+    run_fuzz(seed, "tiered:ram@1,pfs@2", app(), ckpt_data=ckpt_data)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("ckpt_data", DATA_PLANES)
+@pytest.mark.parametrize("seed", range(10, 20))
+def test_fuzz_data_plane_modes_converge_deep(seed, ckpt_data):
+    """Nightly slice: ten more seeds per data-plane mode, including the
+    partner-copy backend."""
+    run_fuzz(seed, "partner:ram@1,partner@1,pfs@4", app(), ckpt_data=ckpt_data)
 
 
 @pytest.mark.slow
@@ -234,3 +261,102 @@ def test_double_node_failure_kills_partner_copies():
     second = [ev for ev in out.manager.failures if ev.rank == 0][-1]
     assert second.restarted_from_round < target
     assert second.restored_tier in ("pfs", None)
+
+
+# ----------------------------------------------------------------------
+# Chain invalidation end to end: a lost delta base forces fallback to
+# the last *full* round, and recovery still converges
+# ----------------------------------------------------------------------
+
+def _incr_plane(full_period=3, full_on_durable=False):
+    # full_on_durable=False deliberately lets deltas land on the PFS, so
+    # a node loss can strand a durable delta whose base was volatile.
+    return CkptDataPlane(
+        full_period=full_period,
+        profile=TEST_PROFILE,
+        full_on_durable=full_on_durable,
+    )
+
+
+def _commit_time(backend, rank, rnd, nranks):
+    ckpt = backend.retrieve(rank, rnd).ckpt
+    compress = ckpt.payload.compress_ns if ckpt.payload is not None else 0
+    return ckpt.taken_at_ns + compress + backend.write_cost_ns(
+        ckpt, concurrent_writers=nranks
+    )
+
+
+def test_lost_delta_base_falls_back_to_last_full_round():
+    """Plan ram@1,pfs@2 with fulls every 3rd round and deltas allowed on
+    the PFS: rounds 1,4 are full, the rest deltas.  A node failure after
+    round 5 wipes the victims' RAM copies; of their surviving PFS copies
+    (rounds 2 and 4), the round-2 delta's base died with the node — the
+    cluster must fall back to round 4, the last full."""
+    factory = ring_app(iters=12, msg_bytes=2048, compute_ns=200_000)
+    ref = reference(("ring12", NRANKS), factory)
+    clusters = ClusterMap.block(NRANKS, 4)
+    spec = "tiered:ram@1,pfs@2"
+    probe = run_failure_schedule(
+        factory, NRANKS, clusters, [],
+        config=SPBCConfig(clusters=clusters, checkpoint_every=2),
+        ranks_per_node=RPN, storage=spec, ckpt_data=_incr_plane(),
+    )
+    backend = probe.world.hooks.storage
+    assert backend.rounds_of(0) == [1, 2, 3, 4, 5, 6]
+    # payload kinds on the shared plan: 1,4 full; 2,3,5,6 delta
+    kinds = {
+        rnd: backend.retrieve(0, rnd).ckpt.payload.kind
+        for rnd in backend.rounds_of(0)
+    }
+    assert kinds == {1: "full", 2: "delta", 3: "delta",
+                     4: "full", 5: "delta", 6: "delta"}
+    # Fail the node right after every member of cluster 0 committed
+    # round 5 (a ram-only delta).
+    members = clusters.members(0)
+    fail_at = max(
+        _commit_time(backend, r, 5, NRANKS) for r in members
+    ) + 50_000
+    out = run_failure_schedule(
+        factory, NRANKS, clusters, [(fail_at, 0, "node")],
+        config=SPBCConfig(clusters=clusters, checkpoint_every=2),
+        ranks_per_node=RPN, storage=spec, ckpt_data=_incr_plane(),
+    )
+    assert out.results == ref.results
+    ev = out.manager.failures[0]
+    assert ev.kind == "node"
+    # Not round 5 (ram died), not the PFS round 2 (delta, base lost):
+    # the last full round on the PFS.
+    assert ev.restarted_from_round == 4
+    assert ev.restored_tier == "pfs"
+    assert_no_time_travel(out, [(fail_at, 0, "node")])
+
+
+def test_full_on_durable_restores_the_latest_pfs_round():
+    """The same schedule with the default full-on-durable policy: PFS
+    rounds are self-contained fulls, so the cluster restarts from the
+    newest PFS round instead of an older full."""
+    factory = ring_app(iters=12, msg_bytes=2048, compute_ns=200_000)
+    ref = reference(("ring12", NRANKS), factory)
+    clusters = ClusterMap.block(NRANKS, 4)
+    spec = "tiered:ram@1,pfs@2"
+    plane = lambda: _incr_plane(full_period=3, full_on_durable=True)
+    probe = run_failure_schedule(
+        factory, NRANKS, clusters, [],
+        config=SPBCConfig(clusters=clusters, checkpoint_every=2),
+        ranks_per_node=RPN, storage=spec, ckpt_data=plane(),
+    )
+    backend = probe.world.hooks.storage
+    members = clusters.members(0)
+    fail_at = max(
+        _commit_time(backend, r, 5, NRANKS) for r in members
+    ) + 50_000
+    out = run_failure_schedule(
+        factory, NRANKS, clusters, [(fail_at, 0, "node")],
+        config=SPBCConfig(clusters=clusters, checkpoint_every=2),
+        ranks_per_node=RPN, storage=spec, ckpt_data=plane(),
+    )
+    assert out.results == ref.results
+    ev = out.manager.failures[0]
+    # Round 4 was a full *on the PFS*: restorable despite the node loss.
+    assert ev.restarted_from_round == 4
+    assert ev.restored_tier == "pfs"

@@ -48,8 +48,12 @@ def test_property_interval_squares_back_to_the_inputs(c, mtbf):
     assert (t + 1) * (t + 1) > product * (1 - 1e-9)
     if mtbf > 2 * c:
         assert t >= c  # reliable machines: interval at least the cost
-    if mtbf >= 10**12 and c >= 10**12:
-        assert t > c  # huge MTBF: far sparser than the cost scale
+    if mtbf >= 10**12 and c >= 10**12 and mtbf > c:
+        # Far sparser than the cost scale.  mtbf > c makes the strict
+        # bound sound: t = floor(sqrt(2*c*mtbf)) > floor(sqrt(2)*c) > c;
+        # at mtbf <= c/2 the floor can land exactly on c (e.g.
+        # c = 1_999_999_999_999, mtbf = 10**12).
+        assert t > c
 
 
 def test_extremes():

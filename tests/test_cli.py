@@ -126,6 +126,41 @@ def test_blastradius_memory_storage_skips_auto_interval(capsys):
     assert "Auto checkpoint interval" not in out
 
 
+def test_deltachain_small_scale(capsys):
+    assert main(
+        ["deltachain", "--ranks", "8", "--rpn", "2", "--apps", "minife"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Delta chains" in out
+    assert "incr" in out and "full" in out
+
+
+def test_deltachain_explicit_ckpt_data_and_storage(capsys):
+    assert main(
+        ["deltachain", "--ranks", "8", "--rpn", "2", "--apps", "milc",
+         "--ckpt-data", "incr:2:lz4-like", "--storage", "tiered:ram@1,pfs@2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "incr:2:lz4-like" in out
+
+
+def test_deltachain_rejects_malformed_ckpt_data(capsys):
+    assert main(
+        ["deltachain", "--ranks", "8", "--rpn", "2",
+         "--ckpt-data", "incr:4:zstd"]
+    ) == 2
+    err = capsys.readouterr().err
+    assert "--ckpt-data" in err and "zstd" in err
+
+
+def test_deltachain_rejects_malformed_storage(capsys):
+    assert main(
+        ["deltachain", "--ranks", "8", "--rpn", "2",
+         "--storage", "tiered:floppy@1"]
+    ) == 2
+    assert "floppy" in capsys.readouterr().err
+
+
 def test_ckptcost_rejects_malformed_storage(capsys):
     assert main(
         ["ckptcost", "--ranks", "8", "--rpn", "2", "--storage", "warp@1"]
