@@ -11,6 +11,7 @@ Usage::
                                 [--checkpoint-every 2|auto] [--mtbf 0.5]
     python -m repro deltachain [--ckpt-data incr:4:zlib-like]
                                [--storage tiered:ram@1,pfs@4]
+    python -m repro ioverlap [--storage tiered:ram@1,pfs@4]
     python -m repro apps            # list registered workloads
 
 Equivalent to the pytest benchmarks but without the harness — handy for
@@ -33,7 +34,7 @@ def main(argv=None) -> int:
         "experiment",
         choices=[
             "table1", "table2", "fig5", "fig6", "ckptcost", "blastradius",
-            "deltachain", "apps",
+            "deltachain", "ioverlap", "apps",
         ],
         help="which artifact to regenerate",
     )
@@ -46,8 +47,10 @@ def main(argv=None) -> int:
         "--storage",
         type=str,
         default=None,
-        help="storage backend spec for ckptcost/blastradius: memory, "
-        "tiered, partner, or tiered:ram@1,ssd@4,pfs@16 "
+        help="storage backend spec for ckptcost/blastradius/ioverlap: "
+        "memory, tiered, partner, or tiered:ram@1,ssd@4,pfs@16; append "
+        ":async for the background-flush mode (ioverlap takes the base "
+        "plan and derives the async variant itself) "
         "(default: the built-in plan sweep)",
     )
     parser.add_argument(
@@ -146,6 +149,27 @@ def main(argv=None) -> int:
             apps=subset or ex.DELTACHAIN_APPS, modes=modes, **kwargs
         )
         print(ex.format_deltachain(rows))
+    elif args.experiment == "ioverlap":
+        kwargs = {}
+        if args.storage:
+            from repro.storage.backend import make_backend
+
+            if args.storage.endswith(":async"):
+                print(
+                    f"error: --storage {args.storage!r}: pass the base "
+                    "(sync) plan; ioverlap derives the async variant "
+                    "itself",
+                    file=sys.stderr,
+                )
+                return 2
+            try:
+                make_backend(args.storage)
+            except ValueError as e:
+                print(f"error: --storage {args.storage!r}: {e}", file=sys.stderr)
+                return 2
+            kwargs["plan"] = args.storage
+        rows = ex.ioverlap(apps=subset or ex.IOVERLAP_APPS, **kwargs)
+        print(ex.format_ioverlap(rows))
     elif args.experiment == "blastradius":
         from repro.storage.backend import make_backend
         from repro.util.units import SEC

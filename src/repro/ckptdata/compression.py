@@ -16,25 +16,39 @@ pipelines report for HPC state.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.util.units import MB, SEC, US
 
 
 @dataclass(frozen=True)
 class CompressionModel:
-    """One compression stage: size ratio and modeled CPU cost."""
+    """One compression stage: size ratio and modeled CPU cost.
+
+    Decompression is asymmetric on real codecs — inflate runs several
+    times faster than deflate, LZ4 decode near memory speed — so the
+    restart path has its own throughput.  ``None`` falls back to the
+    compression throughput (symmetric)."""
 
     name: str
     ratio: float  # input_bytes / output_bytes (>= 1.0)
     throughput_bytes_per_s: float  # compression speed on one core
     fixed_ns: int = 0  # per-invocation setup cost
+    # Restart-side decode speed (raw bytes produced per second).
+    decompress_throughput_bytes_per_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.ratio < 1.0:
             raise ValueError(f"{self.name}: ratio must be >= 1.0")
         if self.throughput_bytes_per_s <= 0:
             raise ValueError(f"{self.name}: throughput must be positive")
+        if (
+            self.decompress_throughput_bytes_per_s is not None
+            and self.decompress_throughput_bytes_per_s <= 0
+        ):
+            raise ValueError(
+                f"{self.name}: decompress throughput must be positive"
+            )
 
     def compress(self, nbytes: int) -> Tuple[int, int]:
         """``(stored_bytes, cost_ns)`` for compressing ``nbytes``."""
@@ -45,6 +59,20 @@ class CompressionModel:
         stored = max(1, int(nbytes / self.ratio))
         cost = self.fixed_ns + int(nbytes / self.throughput_bytes_per_s * SEC)
         return stored, cost
+
+    def decompress_cost_ns(self, raw_bytes: int) -> int:
+        """Modeled CPU time to reinflate ``raw_bytes`` of state on the
+        restart path (region-level restart cost: decompression
+        throughput != compression throughput)."""
+        if raw_bytes < 0:
+            raise ValueError("negative size")
+        if raw_bytes == 0 or self.ratio == 1.0:
+            return 0  # identity stage: nothing was compressed
+        tput = (
+            self.decompress_throughput_bytes_per_s
+            or self.throughput_bytes_per_s
+        )
+        return self.fixed_ns + int(raw_bytes / tput * SEC)
 
 
 #: The identity stage: payloads are stored raw, nothing is charged.
@@ -59,12 +87,14 @@ _MODELS: Dict[str, CompressionModel] = {
         ratio=2.2,
         throughput_bytes_per_s=400 * MB,
         fixed_ns=20 * US,
+        decompress_throughput_bytes_per_s=1_200 * MB,
     ),
     "lz4-like": CompressionModel(
         name="lz4-like",
         ratio=1.6,
         throughput_bytes_per_s=2_000 * MB,
         fixed_ns=5 * US,
+        decompress_throughput_bytes_per_s=4_500 * MB,
     ),
 }
 

@@ -175,6 +175,7 @@ class _RankState:
         self.ckpt_calls = 0
         self.calls_at_last_ckpt = 0  # dirty-region window anchor
         self.ckpt_round = 0
+        self.gc_round_sent = 0  # latest round GC notices went out for
         self.rollbacks_handled = 0
         self.replayed_records = 0
         self.broadcast_rollback = False
@@ -279,7 +280,13 @@ class SPBC(ProtocolHooks):
         self._warned_zero_bytes = False
         # (start_ns, end_ns, cluster) of every shared-tier write burst —
         # the staggering test measures peak concurrent PFS writers here.
+        # Async-flush backends record their bursts as *measured* flow
+        # windows instead (merged in peak_concurrent_pfs_writers).
         self.pfs_write_windows: List[Tuple[int, int, int]] = []
+        # Time each rank spent stalled inside coordinated checkpoints
+        # (barriers + drain + compression + the charged write burst) —
+        # what async flushing is meant to shrink (ioverlap experiment).
+        self.ckpt_stall_ns: Dict[int, int] = {}
         self._validate_config(config)
 
     def _validate_config(self, config: SPBCConfig) -> None:
@@ -369,6 +376,9 @@ class SPBC(ProtocolHooks):
                 )
             # Partner copies and per-node blast radii need placement.
             self.storage.bind_topology(runtime.world.topology)
+            # Async flushes, partner rebuilds, and flow-based restart
+            # reads run on the engine clock via the I/O scheduler.
+            self.storage.bind_engine(runtime.engine)
         self.state[runtime.rank] = _RankState(
             runtime.rank, self.clusters.cluster(runtime.rank)
         )
@@ -578,6 +588,7 @@ class SPBC(ProtocolHooks):
         channels.
         """
         st = self.state[runtime.rank]
+        stall_from_ns = runtime.engine.now
         ccomm = self._cluster_comm(st.cluster)
         yield from coll.barrier(runtime, ccomm)
 
@@ -598,17 +609,24 @@ class SPBC(ProtocolHooks):
             )
 
         st.ckpt_round += 1
+        async_mode = getattr(self.storage, "flows_active", False)
         # Cross-cluster staggering of shared-tier rounds: cluster c
         # starts its durable burst c * pfs_stagger_ns later, so the
         # shared medium sees the clusters one after another instead of
         # all at once.  The write cost is then charged at cluster-level
-        # concurrency — the offsets de-conflict the clusters.
+        # concurrency — the offsets de-conflict the clusters.  Under
+        # async flush the offset delays the background *flow* instead of
+        # stalling the rank, and no concurrency has to be assumed at
+        # all: the flows share the PFS bandwidth for real.
         shared_round = self.storage.shared_tier_scheduled(st.ckpt_round)
         writers = self._world.nranks
+        flush_delay_ns = 0
         if shared_round and self.config.pfs_stagger_ns > 0:
             writers = len(members)
             offset = st.cluster * self.config.pfs_stagger_ns
-            if offset > 0:
+            if async_mode:
+                flush_delay_ns = offset
+            elif offset > 0:
                 yield from runtime.compute(offset)
         ckpt = self._build_checkpoint(runtime, st, state_fn())
         if ckpt.payload is not None and ckpt.payload.compress_ns > 0:
@@ -621,12 +639,16 @@ class SPBC(ProtocolHooks):
             # Charge the storage backend's modeled write time to the
             # simulation clock (every cluster checkpoints on the same
             # cadence, so the whole world contends for shared tiers).
+            # Under async flush this is the *local* tiers only — the
+            # shared tier drains in the background.
             yield from runtime.compute(write_ns)
-        if shared_round and write_ns > 0:
+        if shared_round and write_ns > 0 and not async_mode:
             # Within the burst the local tiers are modeled first, so the
             # shared-tier (PFS) phase is the tail — record only it: the
             # peak-writers measurement must not count a rank as a PFS
-            # writer while it is still writing its local SSD.
+            # writer while it is still writing its local SSD.  (Async
+            # bursts are measured from the actual flow timeline instead:
+            # see StorageBackend.shared_flow_windows.)
             shared_ns = self.storage.shared_write_cost_ns(
                 ckpt, concurrent_writers=writers
             )
@@ -636,8 +658,17 @@ class SPBC(ProtocolHooks):
             )
         # Commit only after the write time has elapsed: a failure during
         # the write burst must fall back to the previous round, not find
-        # a copy whose write never finished.
-        receipt = self.storage.save(ckpt, concurrent_writers=writers)
+        # a copy whose write never finished.  An async round's PFS copy
+        # is launched here as a background flow and becomes restorable
+        # only when it lands.
+        if async_mode:
+            receipt = self.storage.save(
+                ckpt,
+                concurrent_writers=writers,
+                flush_delay_ns=flush_delay_ns,
+            )
+        else:
+            receipt = self.storage.save(ckpt, concurrent_writers=writers)
         if receipt.durable:
             # The commit reached a tier that survives node failure: the
             # snapshot now covers every resident record, so the sender's
@@ -655,8 +686,39 @@ class SPBC(ProtocolHooks):
             # unsound: a failure between one member's save and another's
             # restarts the cluster from the previous round, whose LR the
             # senders' logs must still serve.
+            st.gc_round_sent = st.ckpt_round
             self._send_gc_notices(runtime, st, ckpt)
+        elif async_mode:
+            self._deferred_gc(runtime, st, members)
+        self.ckpt_stall_ns[runtime.rank] = (
+            self.ckpt_stall_ns.get(runtime.rank, 0)
+            + (runtime.engine.now - stall_from_ns)
+        )
         return receipt
+
+    def _deferred_gc(self, runtime, st: _RankState, members) -> None:
+        """Async-flush GC: a round earns credit only once its background
+        PFS flow lands, so durability arrives *between* barriers.  At
+        the next commit barrier, the latest round whose chain has
+        durably landed at **every** member (a per-rank guaranteed round
+        is not cluster-consistent while flushes drain at different
+        speeds) is announced to the senders, and the resident log is
+        folded into the stable area (its snapshot rides in every later
+        checkpoint, so replayability is preserved)."""
+        # Own rank first: the cluster minimum can't exceed it, so this
+        # skips the k-1 peer chain walks whenever our own latest drain
+        # hasn't advanced past the last notice (the common case).
+        if self.storage.guaranteed_round(runtime.rank) <= st.gc_round_sent:
+            return
+        g = min(self.storage.guaranteed_round(m) for m in members)
+        if g <= st.gc_round_sent or g < 1:
+            return
+        drained = self.storage.load_round(runtime.rank, g)
+        if drained is None:  # pragma: no cover - defensive
+            return
+        st.gc_round_sent = g
+        st.log.truncate()
+        self._send_gc_notices(runtime, st, drained)
 
     def _send_gc_notices(self, runtime, st: _RankState, ckpt: Checkpoint) -> None:
         by_peer: Dict[int, Dict[int, int]] = {}
@@ -789,6 +851,10 @@ class SPBC(ProtocolHooks):
         st = _RankState(runtime.rank, self.clusters.cluster(runtime.rank))
         self.state[runtime.rank] = st
         st.recovering = True
+        # Rounds above the restore point are being re-executed: a stale
+        # background flush still draining one of them must never land
+        # (it would register a dead incarnation's cut as restorable).
+        self.storage.cancel_inflight_above(runtime.rank, ckpt.round_no)
         if prev is not None:
             # Receiver-certified GC floors are facts about the peers'
             # restart guarantees, not about this incarnation: keep them,
@@ -1048,9 +1114,17 @@ class SPBC(ProtocolHooks):
 
     def peak_concurrent_pfs_writers(self) -> int:
         """Maximum number of ranks with overlapping shared-tier write
-        bursts — what cross-cluster staggering is meant to flatten."""
+        bursts — what cross-cluster staggering is meant to flatten.
+
+        Sync bursts come from the closed-form window bookkeeping; async
+        bursts are the backend's *measured* flow windows (start/finish
+        of the actual background transfers), so under async flush the
+        stagger's effect is observed, not assumed."""
         events: List[Tuple[int, int]] = []
         for start, end, _cluster in self.pfs_write_windows:
+            events.append((start, 1))
+            events.append((end, -1))
+        for start, end, _rank, _round in self.storage.shared_flow_windows():
             events.append((start, 1))
             events.append((end, -1))
         events.sort()  # (t, -1) sorts before (t, +1): touching != overlap
@@ -1059,6 +1133,12 @@ class SPBC(ProtocolHooks):
             current += delta
             peak = max(peak, current)
         return peak
+
+    def total_checkpoint_stall_ns(self) -> int:
+        """Time ranks spent stalled inside coordinated checkpoints,
+        summed over all ranks — the quantity async flushing shrinks
+        (the background PFS drain no longer blocks the app)."""
+        return sum(self.ckpt_stall_ns.values())
 
     def data_plane_report(self) -> Optional[dict]:
         """The data plane's payload/byte accounting (None when off)."""

@@ -48,7 +48,8 @@ retrieving the last checkpoint" — and surfaced in :class:`FailureEvent`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Generator, List, Optional, Tuple
+from functools import partial
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.core.checkpoint import Checkpoint
 from repro.core.logstore import LogStore
@@ -89,6 +90,16 @@ class FailureEvent:
     restored_tier: Optional[str] = None
     # Modeled restart-read time added before the cluster comes back.
     restore_read_ns: int = 0
+    # Modeled decompression time on the restart path (charged only by
+    # backends with charge_decompress; always reported).
+    restore_decompress_ns: int = 0
+    # Background flushes aborted by this failure (async mode): in-flight
+    # PFS copies of the dead node never land, so recovery restarts from
+    # the last *fully drained* round.  Recorded on the primary event.
+    cancelled_flushes: int = 0
+    # Partner-rebuild flows started when this event's restart brought
+    # the failed node back (re-replication to the returned buddy).
+    partner_rebuilds: int = 0
     # Physical node that died (node failures only).
     node: Optional[int] = None
     # Ranks killed by this event that belong to this event's cluster.
@@ -175,10 +186,32 @@ class RecoveryManager:
             self.world.runtimes[r].kill()
         purged = self.world.network.purge_involving(members_all)
         invalidated = 0
+        flushes_before = getattr(self.spbc.storage, "flush_flows_cancelled", 0)
         if kind == "node":
             # Per-node blast radius: only copies hosted on the dead node
-            # die (partner copies placed on a live buddy node survive).
+            # die (partner copies placed on a live buddy node survive),
+            # and background flushes sourced from it are aborted — an
+            # in-flight PFS copy is not yet a restorable copy.
             invalidated = self.spbc.storage.invalidate_node_copies(dead_ranks)
+        cancelled_flushes = (
+            getattr(self.spbc.storage, "flush_flows_cancelled", 0)
+            - flushes_before
+        )
+        if kind == "node":
+            # A node loss can strand *other* clusters' in-flight restore
+            # reads: a pipeline sourced from a copy that just died (e.g.
+            # a partner mirror on the lost node) must not land.  Cancel
+            # it and re-plan from what still survives — the partial read
+            # is wasted, not refunded.
+            for c in [
+                c
+                for c, pending in self._pending_restart.items()
+                if c not in affected
+                and isinstance(pending, _FlowRestore)
+                and not pending.still_valid(self.spbc.storage)
+            ]:
+                self._pending_restart[c].cancel()
+                self._restart(c)
         primary = clusters.cluster(rank)
         for c in affected:
             ckpt = self.spbc.storage.load_latest(clusters.members(c)[0])
@@ -190,6 +223,7 @@ class RecoveryManager:
                 purged_packets=purged if c == primary else 0,
                 kind=kind,
                 invalidated_copies=invalidated if c == primary else 0,
+                cancelled_flushes=cancelled_flushes if c == primary else 0,
                 node=node,
                 killed_ranks=tuple(sorted(set(clusters.members(c)))),
             )
@@ -228,8 +262,21 @@ class RecoveryManager:
             rounds = set(self.spbc.storage.restorable_rounds(r))
             common = rounds if common is None else common & rounds
         round_no = max(common) if common else 0
+        if round_no > 0 and getattr(self.spbc.storage, "flows_active", False):
+            # Event-driven backends read the chains back as overlapping
+            # flows: every member's pipeline is in flight concurrently,
+            # genuinely sharing the tiers' read bandwidth, and the
+            # cluster comes back when the slowest pipeline finishes.  A
+            # second crash mid-restore cancels the pipelines.
+            handle = _FlowRestore(self, cluster, members, round_no)
+            self._pending_restart[cluster] = handle
+            handle.begin()
+            return
         restores: Dict[int, Optional[RestoreReceipt]] = {}
         read_ns = 0
+        delay_ns = 0
+        decompress_ns = 0
+        charge_decompress = getattr(self.spbc.storage, "charge_decompress", False)
         for r in members:
             rec = (
                 self.spbc.storage.retrieve(
@@ -241,21 +288,46 @@ class RecoveryManager:
             restores[r] = rec
             if rec is not None:
                 read_ns = max(read_ns, rec.read_ns)
+                decompress_ns = max(decompress_ns, rec.decompress_ns)
+                total = rec.read_ns + (
+                    rec.decompress_ns if charge_decompress else 0
+                )
+                delay_ns = max(delay_ns, total)
         event = self._last_event.get(cluster)
         if event is not None:
             event.restarted_from_round = round_no
             event.restore_read_ns = read_ns
+            event.restore_decompress_ns = decompress_ns
             event.restored_tier = next(
                 (rec.tier for rec in restores.values() if rec is not None), None
             )
-        if read_ns > 0:
+        if delay_ns > 0:
             # The restart-time read burst: the cluster only comes back
-            # once every member has its copy off stable storage.
+            # once every member has its copy off stable storage (plus
+            # the modeled decompression, when the backend charges it).
             self._pending_restart[cluster] = self.world.engine.schedule(
-                read_ns, self._complete_restart, cluster, restores
+                delay_ns, self._complete_restart, cluster, restores
             )
         else:
             self._complete_restart(cluster, restores)
+
+    def _finish_flow_restore(
+        self,
+        cluster: int,
+        round_no: int,
+        restores: Dict[int, Optional[RestoreReceipt]],
+    ) -> None:
+        """All of a cluster's restore pipelines completed."""
+        event = self._last_event.get(cluster)
+        if event is not None:
+            recs = [rec for rec in restores.values() if rec is not None]
+            event.restarted_from_round = round_no
+            event.restore_read_ns = max((r.read_ns for r in recs), default=0)
+            event.restore_decompress_ns = max(
+                (r.decompress_ns for r in recs), default=0
+            )
+            event.restored_tier = next((r.tier for r in recs), None)
+        self._complete_restart(cluster, restores)
 
     def _complete_restart(
         self, cluster: int, restores: Dict[int, Optional[RestoreReceipt]]
@@ -297,6 +369,20 @@ class RecoveryManager:
             )
             self.world.processes[r] = proc
             proc.start()
+        # The failed node is back with its ranks: re-replicate the
+        # partner copies it hosted (owned by its ring predecessors) as
+        # background flows, restoring tolerance to a *sequential*
+        # failure of the buddy pair (SCR-style rebuild).
+        event = self._last_event.get(cluster)
+        if (
+            event is not None
+            and event.kind == "node"
+            and event.node is not None
+            and hasattr(self.spbc.storage, "rebuild_partner_copies")
+        ):
+            event.partner_rebuilds = self.spbc.storage.rebuild_partner_copies(
+                event.node
+            )
 
     def _initial_checkpoint(self, rank: int) -> Checkpoint:
         """Synthetic round-0 checkpoint: restart from the initial state.
@@ -323,3 +409,74 @@ class RecoveryManager:
             unexpected=[],
             log_snapshot=LogStore(rank).snapshot(),
         )
+
+
+class _FlowRestore:
+    """One cluster's restart read running as overlapping flow pipelines.
+
+    Stands in for the plain scheduled-event handle in
+    ``RecoveryManager._pending_restart``: a later crash of the same
+    cluster calls :meth:`cancel`, which aborts every member's pipeline
+    (the bytes already read are not refunded — no time travel)."""
+
+    def __init__(
+        self,
+        manager: RecoveryManager,
+        cluster: int,
+        members: Sequence[int],
+        round_no: int,
+    ) -> None:
+        self.manager = manager
+        self.cluster = cluster
+        self.members = list(members)
+        self.round_no = round_no
+        self.restores: Dict[int, Optional[RestoreReceipt]] = {}
+        self.handles: Dict[int, object] = {}
+        self.plans: Dict[int, object] = {}
+        self.cancelled = False
+        self._remaining = len(self.members)
+
+    def begin(self) -> None:
+        storage = self.manager.spbc.storage
+        for r in self.members:
+            # Snapshot the plan the pipeline will execute, so a later
+            # failure elsewhere can check whether a source copy died
+            # under an in-flight read (still_valid below).
+            self.plans[r] = storage.restore_plan(r, self.round_no)
+            handle = storage.start_restore(
+                r, self.round_no, on_done=partial(self._member_done, r)
+            )
+            if handle is not None:
+                self.handles[r] = handle
+
+    def still_valid(self, storage) -> bool:
+        """True while every copy the pipelines are reading survives.  A
+        third-party node failure can invalidate a source copy (e.g. a
+        partner mirror on the buddy node) mid-read — the transfer must
+        not be allowed to land data the model declared lost."""
+        for rank, plan in self.plans.items():
+            if rank in self.restores:
+                continue  # this member's read already completed
+            if plan is None:
+                continue
+            for link in plan.links:
+                if not storage.has_copy(rank, link.round_no, link.tier):
+                    return False
+        return True
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        for handle in self.handles.values():
+            handle.cancel()
+        self.handles.clear()
+
+    def _member_done(self, rank: int, receipt: Optional[RestoreReceipt]) -> None:
+        if self.cancelled:
+            return
+        self.handles.pop(rank, None)
+        self.restores[rank] = receipt
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.manager._finish_flow_restore(
+                self.cluster, self.round_no, self.restores
+            )

@@ -38,7 +38,8 @@ from repro.harness.runner import (
 )
 from repro.sim.network import Topology
 from repro.storage.backend import StorageBackend, TieredBackend, make_backend
-from repro.storage.multilevel import optimal_interval_rounds
+from repro.storage.model import pfs_tier, ram_tier
+from repro.storage.multilevel import MultiLevelPlan, optimal_interval_rounds
 from repro.util.stats import summarize
 from repro.util.table import format_table
 from repro.util.units import SEC, mb_per_s
@@ -900,6 +901,188 @@ def format_deltachain(rows: List[DeltaChainRow]) -> str:
         ],
         title="Delta chains: incremental vs full checkpoint payloads "
         "(bytes written, chain-aware restart)",
+        float_fmt="{:.3f}",
+    )
+
+
+# ----------------------------------------------------------------------
+# I/O overlap — sync vs async checkpoint flush on the event-driven
+# scheduler: how much app stall the background PFS drain hides, and
+# that a crash mid-flush restarts from the last fully drained round
+# ----------------------------------------------------------------------
+
+#: Apps with sizable modeled checkpoints (the regime where hiding the
+#: PFS burst pays); both must show a strict stall reduction.
+IOVERLAP_APPS = ("minife", "milc")
+
+
+@dataclass
+class IOverlapRow:
+    app: str
+    mode: str  # "sync" | "async"
+    nranks: int
+    rounds: int  # checkpoint rounds committed (max over ranks)
+    stall_ms_per_rank: float  # time stalled inside coordinated ckpts
+    write_ms_per_rank: float  # write time charged to the app clock
+    bg_write_ms_per_rank: float  # background drain time (async only)
+    peak_pfs_writers: int
+    makespan_ns: int
+    # Mid-flush node-failure run (async mode only; 0/None on sync rows).
+    fail_at_ns: int = 0
+    inflight_round: int = 0  # PFS round still draining at the crash
+    last_drained_round: int = 0  # newest fully drained round before it
+    restarted_from_round: int = 0
+    cancelled_flushes: int = 0
+    restored_tier: Optional[str] = None
+    fail_makespan_ns: int = 0
+
+
+def _ioverlap_backend(
+    async_flush: bool, pfs_period: int, pfs_read_gb_s: Optional[float]
+) -> TieredBackend:
+    """RAM every round + PFS every ``pfs_period``-th, with a realistic
+    asymmetric PFS read side for the restart path."""
+    plan = MultiLevelPlan(
+        tiers=[ram_tier(), pfs_tier(read_gb_s=pfs_read_gb_s)],
+        periods=[1, pfs_period],
+    )
+    return TieredBackend(plan, async_flush=async_flush)
+
+
+def ioverlap(
+    apps: Sequence[str] = IOVERLAP_APPS,
+    k: Optional[int] = None,
+    checkpoint_every: int = 1,
+    pfs_period: int = 4,
+    pfs_read_gb_s: Optional[float] = 24.0,
+    plan: Optional[str] = None,
+    fail_rank: int = 0,
+    nranks: Optional[int] = None,
+    ranks_per_node: Optional[int] = None,
+    overrides: Optional[Dict[str, dict]] = None,
+) -> List[IOverlapRow]:
+    """Sync vs async checkpoint flush per app.
+
+    Per app: a failure-free probe in each mode measures the per-rank
+    checkpoint *stall* (async must shrink it — the PFS burst drains in
+    the background overlapping compute), then a node failure injected
+    mid-flush exercises the commit semantics: the in-flight PFS copy is
+    cancelled with the node and recovery restarts from the last *fully
+    drained* round, read back as overlapping flows.
+
+    ``plan`` overrides the built-in ram+pfs plan with a spec string (the
+    async variant is derived by appending ``:async``)."""
+    n = nranks or bench_nranks()
+    rpn = ranks_per_node or bench_ranks_per_node()
+    k = k or max(2, n // rpn)
+    rows: List[IOverlapRow] = []
+
+    def backend(async_flush: bool) -> StorageBackend:
+        if plan is not None:
+            return make_backend(plan + ":async" if async_flush else plan)
+        return _ioverlap_backend(async_flush, pfs_period, pfs_read_gb_s)
+
+    for name in apps:
+        app = app_factory(name, (overrides or {}).get(name))
+        cm = ClusterMap.block(n, k)
+
+        def cfg(async_flush: bool) -> SPBCConfig:
+            return SPBCConfig(
+                clusters=cm,
+                checkpoint_every=checkpoint_every,
+                storage=backend(async_flush),
+                state_nbytes=app_profile(name).total_bytes,
+            )
+
+        probes: Dict[str, RunResult] = {}
+        for mode, async_flush in (("sync", False), ("async", True)):
+            res = run_spbc(
+                app, n, cm, config=cfg(async_flush),
+                ranks_per_node=rpn, net_params=PAPER_NET, trace=False,
+            )
+            probes[mode] = res
+            b = res.hooks.storage
+            rows.append(
+                IOverlapRow(
+                    app=name,
+                    mode=mode,
+                    nranks=n,
+                    rounds=max(
+                        (len(b.rounds_of(r)) for r in range(n)), default=0
+                    ),
+                    stall_ms_per_rank=(
+                        res.hooks.total_checkpoint_stall_ns() / n / 1e6
+                    ),
+                    write_ms_per_rank=b.write_ns_total / n / 1e6,
+                    bg_write_ms_per_rank=(
+                        getattr(b, "background_write_ns_total", 0) / n / 1e6
+                    ),
+                    peak_pfs_writers=res.hooks.peak_concurrent_pfs_writers(),
+                    makespan_ns=res.makespan_ns,
+                )
+            )
+
+        # Mid-flush failure against the async timeline: pick the latest
+        # in-flight PFS window of the failing cluster that (a) starts
+        # while the app is still running and (b) has a fully drained PFS
+        # round before it to fall back to.
+        arow = rows[-1]
+        ab = probes["async"].hooks.storage
+        members = set(cm.members(cm.cluster(fail_rank)))
+        windows = [
+            w for w in ab.shared_flow_windows() if w[2] in members
+        ]
+        # Per PFS round, when the cluster's *last* member finished.
+        drained_at: Dict[int, int] = {}
+        for _s, e, _r, rnd in windows:
+            drained_at[rnd] = max(drained_at.get(rnd, 0), e)
+        target = None
+        for start, end, _rank, rnd in sorted(windows):
+            mid = (start + end) // 2
+            if mid >= int(probes["async"].makespan_ns * 0.9):
+                continue
+            drained = [
+                r for r, at in drained_at.items() if at < mid and r != rnd
+            ]
+            if drained:
+                target = (mid, rnd, max(drained))
+        if target is None:
+            continue  # app too short for a two-PFS-round story
+        fail_at, inflight_round, last_drained = target
+        out = run_online_failure(
+            app, n, cm,
+            fail_at_ns=fail_at, fail_rank=fail_rank,
+            config=cfg(True), failure_kind="node",
+            ranks_per_node=rpn, net_params=PAPER_NET, trace=False,
+        )
+        ev = out.manager.failures[0]
+        arow.fail_at_ns = fail_at
+        arow.inflight_round = inflight_round
+        arow.last_drained_round = last_drained
+        arow.restarted_from_round = ev.restarted_from_round
+        arow.cancelled_flushes = ev.cancelled_flushes
+        arow.restored_tier = ev.restored_tier
+        arow.fail_makespan_ns = out.makespan_ns
+    return rows
+
+
+def format_ioverlap(rows: List[IOverlapRow]) -> str:
+    return format_table(
+        ["app", "mode", "rounds", "stall ms/rk", "write ms/rk",
+         "bg ms/rk", "peak pfs", "makespan (ms)", "inflight",
+         "drained", "from", "cancelled", "tier"],
+        [
+            [r.app, r.mode, r.rounds, r.stall_ms_per_rank,
+             r.write_ms_per_rank, r.bg_write_ms_per_rank,
+             r.peak_pfs_writers, r.makespan_ns / 1e6,
+             r.inflight_round or "-", r.last_drained_round or "-",
+             r.restarted_from_round or "-",
+             r.cancelled_flushes or "-", r.restored_tier or "-"]
+            for r in rows
+        ],
+        title="I/O overlap: sync vs async checkpoint flush "
+        "(background PFS drain; crash mid-flush restarts from the "
+        "last drained round)",
         float_fmt="{:.3f}",
     )
 

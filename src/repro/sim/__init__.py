@@ -10,6 +10,7 @@ baselines) is deterministic given the engine seed.
 from repro.sim.engine import Engine, Trigger, AnyOf, AllOf, SimError, DeadlockError
 from repro.sim.process import SimProcess, ProcessKilled, ProcessStatus
 from repro.sim.network import Network, NetworkParams, Topology, Packet
+from repro.sim.resources import BandwidthResource, Flow
 
 __all__ = [
     "Engine",
@@ -25,4 +26,6 @@ __all__ = [
     "NetworkParams",
     "Topology",
     "Packet",
+    "BandwidthResource",
+    "Flow",
 ]

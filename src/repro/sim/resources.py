@@ -1,0 +1,221 @@
+"""Processor-sharing bandwidth resources on the engine clock.
+
+The storage layer's closed-form cost models price a write burst as
+``latency + nbytes / (bandwidth / concurrent_writers)`` — an
+*instantaneous* guess that has to assume who else is writing.  A
+:class:`BandwidthResource` replaces the guess with simulation: each
+transfer is a **flow** holding a byte count, the resource drains every
+active flow at ``bandwidth / n_active`` (for a shared medium) and
+re-plans whenever a flow starts, finishes, or is cancelled.  Contention,
+staggering, and overlap therefore *emerge* from the event timeline
+instead of being assumed at the call site.
+
+Semantics:
+
+* **Processor sharing** — on a ``shared`` resource, N concurrent equal
+  flows all finish at N x one flow's solo time; when one finishes early,
+  the survivors immediately speed up.  The resource is work-conserving:
+  for flows admitted together, the last completion lands at
+  ``total_bytes / bandwidth``.
+* **Dedicated media** — with ``shared=False`` every flow drains at the
+  full bandwidth regardless of the others (per-node RAM/SSD: each
+  writer owns its own device).
+* **Cancellation refunds nothing** — a cancelled flow simply leaves the
+  active set; virtual time already spent sharing the medium with it is
+  gone (no time travel), the survivors only speed up from *now*.
+* **Determinism** — completions are engine events ordered by the global
+  scheduling sequence, so runs remain reproducible byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.engine import Engine, EventHandle, Trigger
+
+#: Sub-byte slack absorbing float drift when deciding a flow finished.
+_EPS_BYTES = 1e-3
+
+
+class Flow:
+    """One transfer in flight on a :class:`BandwidthResource`."""
+
+    __slots__ = (
+        "resource",
+        "nbytes",
+        "remaining",
+        "requested_ns",
+        "start_ns",
+        "end_ns",
+        "cancelled",
+        "done",
+        "on_done",
+        "meta",
+    )
+
+    def __init__(
+        self,
+        resource: "BandwidthResource",
+        nbytes: int,
+        requested_ns: int,
+        on_done: Optional[Callable[["Flow"], None]],
+        meta: Optional[Dict[str, Any]],
+    ) -> None:
+        self.resource = resource
+        self.nbytes = nbytes
+        self.remaining = float(nbytes)
+        self.requested_ns = requested_ns  # when start_flow was called
+        self.start_ns: Optional[int] = None  # when bytes started moving
+        self.end_ns: Optional[int] = None
+        self.cancelled = False
+        self.done = Trigger(name=f"flow.{resource.name}")
+        self.on_done = on_done
+        self.meta = meta or {}
+
+    @property
+    def finished(self) -> bool:
+        return self.end_ns is not None
+
+    @property
+    def duration_ns(self) -> int:
+        """Admission-to-completion time (latency/delay excluded)."""
+        if self.end_ns is None or self.start_ns is None:
+            raise ValueError("flow still in flight")
+        return self.end_ns - self.start_ns
+
+    @property
+    def elapsed_ns(self) -> int:
+        """Request-to-completion time (latency/delay included)."""
+        if self.end_ns is None:
+            raise ValueError("flow still in flight")
+        return self.end_ns - self.requested_ns
+
+
+class BandwidthResource:
+    """A bandwidth-limited medium draining flows in virtual time."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        bandwidth_bytes_per_s: float,
+        shared: bool = True,
+    ) -> None:
+        if bandwidth_bytes_per_s <= 0:
+            raise ValueError(f"{name}: bandwidth must be positive")
+        self.engine = engine
+        self.name = name
+        self.bandwidth_bytes_per_s = bandwidth_bytes_per_s
+        self.shared = shared
+        self._active: List[Flow] = []
+        self._last_ns = engine.now
+        self._tick: Optional[EventHandle] = None
+        # Counters (benchmarks/tests).
+        self.flows_started = 0
+        self.flows_completed = 0
+        self.flows_cancelled = 0
+        self.bytes_completed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def active_flows(self) -> int:
+        return len(self._active)
+
+    def start_flow(
+        self,
+        nbytes: int,
+        latency_ns: int = 0,
+        delay_ns: int = 0,
+        on_done: Optional[Callable[[Flow], None]] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Flow:
+        """Begin moving ``nbytes``; the flow joins the sharing pool after
+        ``delay_ns + latency_ns`` and completes once its bytes drained."""
+        if nbytes < 0:
+            raise ValueError("negative size")
+        if latency_ns < 0 or delay_ns < 0:
+            raise ValueError("negative latency/delay")
+        flow = Flow(self, nbytes, self.engine.now, on_done, meta)
+        self.flows_started += 1
+        lead = delay_ns + latency_ns
+        if lead > 0:
+            self.engine.schedule(lead, self._admit, flow)
+        else:
+            self._admit(flow)
+        return flow
+
+    def cancel(self, flow: Flow) -> bool:
+        """Abort a flow.  Time already spent is *not* refunded to anyone;
+        survivors re-share the bandwidth from now on.  Returns False if
+        the flow already finished (nothing to cancel)."""
+        if flow.cancelled or flow.finished:
+            return False
+        flow.cancelled = True
+        self.flows_cancelled += 1
+        if flow in self._active:
+            self._advance()
+            self._active.remove(flow)
+            self._replan()
+        return True
+
+    # ------------------------------------------------------------------
+    def _admit(self, flow: Flow) -> None:
+        if flow.cancelled:
+            return
+        self._advance()
+        flow.start_ns = self.engine.now
+        if flow.remaining <= _EPS_BYTES:  # zero-byte flow: latency only
+            self._complete(flow)
+            return
+        self._active.append(flow)
+        self._replan()
+
+    def _rate_bytes_per_ns(self) -> float:
+        bw = self.bandwidth_bytes_per_s
+        if self.shared and self._active:
+            bw /= len(self._active)
+        return bw / 1e9
+
+    def _advance(self) -> None:
+        """Drain every active flow for the time since the last event."""
+        now = self.engine.now
+        if self._active and now > self._last_ns:
+            rate = self._rate_bytes_per_ns()
+            dt = now - self._last_ns
+            for f in self._active:
+                f.remaining -= dt * rate
+        self._last_ns = now
+
+    def _replan(self) -> None:
+        """(Re)schedule the next completion event."""
+        if self._tick is not None:
+            self._tick.cancel()
+            self._tick = None
+        if not self._active:
+            return
+        rate = self._rate_bytes_per_ns()
+        shortest = min(f.remaining for f in self._active)
+        dt = max(1, math.ceil(max(0.0, shortest) / rate))
+        self._tick = self.engine.schedule(dt, self._on_tick)
+
+    def _on_tick(self) -> None:
+        self._tick = None
+        self._advance()
+        finished = [f for f in self._active if f.remaining <= _EPS_BYTES]
+        if finished:
+            self._active = [
+                f for f in self._active if f.remaining > _EPS_BYTES
+            ]
+            for f in finished:
+                self._complete(f)
+        self._replan()
+
+    def _complete(self, flow: Flow) -> None:
+        flow.remaining = 0.0
+        flow.end_ns = self.engine.now
+        self.flows_completed += 1
+        self.bytes_completed += flow.nbytes
+        flow.done.fire(flow)
+        if flow.on_done is not None:
+            flow.on_done(flow)

@@ -13,6 +13,8 @@ and restart-read time charged to the simulation clock (see
 from repro.storage.backend import (
     InMemoryBackend,
     PartnerCopyBackend,
+    RestoreLink,
+    RestorePlan,
     RestoreReceipt,
     SaveReceipt,
     StorageBackend,
@@ -22,6 +24,7 @@ from repro.storage.backend import (
     parse_plan,
     partner_default_plan,
 )
+from repro.storage.iosched import ChainRead, IOScheduler
 from repro.storage.model import (
     StorageTier,
     local_ssd_tier,
@@ -52,6 +55,10 @@ __all__ = [
     "PartnerCopyBackend",
     "SaveReceipt",
     "RestoreReceipt",
+    "RestorePlan",
+    "RestoreLink",
+    "IOScheduler",
+    "ChainRead",
     "make_backend",
     "parse_plan",
     "default_plan",

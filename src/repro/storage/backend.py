@@ -20,6 +20,13 @@ protocol charges ``SaveReceipt.write_ns`` to the simulation clock inside
 the coordinated checkpoint, and the recovery manager delays the restart
 by ``RestoreReceipt.read_ns`` (the paper's "IO burst when retrieving the
 last checkpoint").
+
+With ``async_flush=True`` (spec suffix ``:async``) a ``TieredBackend``
+moves its shared-tier (PFS) writes onto the event-driven I/O scheduler
+(:mod:`repro.storage.iosched`): the receipt charges only the local
+tiers, the PFS copy drains as a background flow overlapping compute,
+and it becomes restorable only when the flow lands — see
+``docs/storage.md``.
 """
 
 from __future__ import annotations
@@ -27,8 +34,10 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from bisect import insort
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.ckptdata.compression import compression_model
+from repro.storage.iosched import ChainRead, IOScheduler
 from repro.storage.model import (
     StorageTier,
     local_ssd_tier,
@@ -40,7 +49,9 @@ from repro.storage.multilevel import MultiLevelPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a core<->storage cycle)
     from repro.core.checkpoint import Checkpoint
+    from repro.sim.engine import Engine
     from repro.sim.network import Topology
+    from repro.sim.resources import Flow
 
 
 @dataclass(frozen=True)
@@ -51,6 +62,10 @@ class SaveReceipt:
     write_ns: int  # modeled time, charged to the writer's simulation clock
     tiers: Tuple[str, ...]  # tiers that received a copy this round
     durable: bool  # True when some copy this round survives node failure
+    # Tiers whose copy is still draining in the background (async flush).
+    # Such a copy is NOT yet restorable: it registers only when its flow
+    # completes, and a failure mid-flush cancels it.
+    pending_tiers: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -63,6 +78,32 @@ class RestoreReceipt:
     # Rounds read to reconstruct the state, base-full first.  Empty for
     # payload-less checkpoints (the opaque-blob model reads one round).
     chain: Tuple[int, ...] = ()
+    # Modeled decompression CPU time to reinflate the chain's payloads
+    # (charged to the restart only by backends with charge_decompress —
+    # the seed's closed-form path keeps its original read-only delay).
+    decompress_ns: int = 0
+
+
+@dataclass(frozen=True)
+class RestoreLink:
+    """One chain link of a flow-based restart read."""
+
+    round_no: int
+    tier: str
+    nbytes: int
+    decompress_ns: int
+
+
+@dataclass(frozen=True)
+class RestorePlan:
+    """A restart read expressed as sequential link stages (base first),
+    executable either closed-form (sum the links) or as overlapping
+    flows on the I/O scheduler."""
+
+    ckpt: "Checkpoint"  # the target round's checkpoint
+    tier: str  # tier the target round is read from
+    chain: Tuple[int, ...]
+    links: Tuple[RestoreLink, ...] = ()
 
 
 class StorageBackend(ABC):
@@ -127,6 +168,39 @@ class StorageBackend(ABC):
         """Tell the backend where ranks physically live.  Called once
         when the protocol attaches to a world; backends that place copies
         by node (partner copies) need it, the rest ignore it."""
+
+    # -- event-driven I/O (async flush / flow-based restarts) ----------
+    def bind_engine(self, engine: "Engine") -> None:
+        """Give the backend the simulation engine.  Called once when the
+        protocol attaches to a world; backends that run background I/O
+        flows (async flush, partner rebuild, overlapped restart reads)
+        build their :class:`~repro.storage.iosched.IOScheduler` here."""
+
+    @property
+    def flows_active(self) -> bool:
+        """True when this backend runs restart reads / flushes as flows
+        on an I/O scheduler (async mode with a bound engine)."""
+        return False
+
+    @property
+    def charge_decompress(self) -> bool:
+        """True when the restart path charges the modeled decompression
+        time (``RestoreReceipt.decompress_ns``) to the restart delay."""
+        return False
+
+    def cancel_inflight_above(self, rank: int, round_no: int) -> int:
+        """A restarted rank is re-executing rounds above ``round_no``:
+        abort its in-flight background flushes for those rounds (the
+        re-execution will commit fresh copies; letting a stale flow land
+        would register a dead incarnation's cut).  Returns the number of
+        flows cancelled."""
+        return 0
+
+    def shared_flow_windows(self) -> List[Tuple[int, int, int, int]]:
+        """Completed background write bursts on shared tiers, as
+        ``(start_ns, end_ns, rank, round_no)`` — the *measured* PFS
+        timeline feeding ``SPBC.peak_concurrent_pfs_writers``."""
+        return []
 
     # -- failure model -------------------------------------------------
     @abstractmethod
@@ -230,14 +304,35 @@ class TieredBackend(StorageBackend):
     partner, SCR/FTI style).  A node failure then invalidates exactly
     the copies hosted on the lost nodes — a partner copy survives the
     owner's node dying and is lost only when the buddy dies.
+
+    ``async_flush=True`` (spec suffix ``:async``) switches shared-tier
+    (PFS) writes to the event-driven I/O scheduler: the coordinated
+    checkpoint commits once the local tiers land, the PFS copy drains in
+    the background as a bandwidth flow overlapping compute, and the copy
+    becomes restorable only when the flow completes — a failure
+    mid-flush cancels the flow, so recovery restarts from the last
+    *fully drained* round.  ``charge_decompress`` (default: follows
+    ``async_flush``) additionally charges the payloads' modeled
+    decompression time to the restart path.
     """
 
-    def __init__(self, plan: MultiLevelPlan) -> None:
+    def __init__(
+        self,
+        plan: MultiLevelPlan,
+        async_flush: bool = False,
+        partner_rebuild: bool = True,
+        charge_decompress: Optional[bool] = None,
+    ) -> None:
         super().__init__()
         self.plan = plan
         names = [t.name for t in plan.tiers]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate tier names in plan: {names}")
+        self.async_flush = async_flush
+        self.partner_rebuild = partner_rebuild
+        self._charge_decompress = (
+            async_flush if charge_decompress is None else charge_decompress
+        )
         # rank -> round -> tier name -> checkpoint copy
         self._copies: Dict[int, Dict[int, Dict[str, "Checkpoint"]]] = {}
         self._all_rounds: Dict[int, List[int]] = {}
@@ -245,9 +340,32 @@ class TieredBackend(StorageBackend):
         self.tier_bytes: Dict[str, int] = {t.name: 0 for t in plan.tiers}
         self.invalidated_copies = 0
         self._topology: Optional["Topology"] = None
+        # Event-driven I/O (built at bind_engine).
+        self.iosched: Optional[IOScheduler] = None
+        self._inflight: Dict[int, List["Flow"]] = {}  # rank -> live flows
+        self._rebuilding: Set[Tuple[int, int]] = set()  # (rank, round)
+        self.flush_flows_started = 0
+        self.flush_flows_completed = 0
+        self.flush_flows_cancelled = 0
+        self.rebuild_flows_started = 0
+        self.rebuild_flows_completed = 0
+        self.background_write_ns_total = 0  # flow durations, not app stall
 
     def bind_topology(self, topology: "Topology") -> None:
         self._topology = topology
+
+    def bind_engine(self, engine: "Engine") -> None:
+        if self.iosched is not None and self.iosched.engine is engine:
+            return
+        self.iosched = IOScheduler(engine, self.plan.tiers)
+
+    @property
+    def flows_active(self) -> bool:
+        return self.async_flush and self.iosched is not None
+
+    @property
+    def charge_decompress(self) -> bool:
+        return self._charge_decompress
 
     def _tier(self, name: str) -> StorageTier:
         for t in self.plan.tiers:
@@ -290,6 +408,13 @@ class TieredBackend(StorageBackend):
     def shared_tier_scheduled(self, round_no: int) -> bool:
         return any(t.shared for t in self.scheduled_tiers(round_no))
 
+    def deferred_tiers(self, round_no: int) -> List[StorageTier]:
+        """Tiers this round flushes in the background instead of inside
+        the commit barrier: the shared (PFS) tiers, under async flush."""
+        if not self.async_flush:
+            return []
+        return [t for t in self.scheduled_tiers(round_no) if t.shared]
+
     def shared_write_cost_ns(
         self, ckpt: "Checkpoint", concurrent_writers: int = 1
     ) -> int:
@@ -302,21 +427,52 @@ class TieredBackend(StorageBackend):
     def amortized_write_cost_ns(
         self, nbytes: int, concurrent_writers: int = 1
     ) -> int:
-        return int(self.plan.amortized_cost_ns(nbytes, concurrent_writers))
+        if not self.async_flush:
+            return int(self.plan.amortized_cost_ns(nbytes, concurrent_writers))
+        # Async flush: the app only stalls for the non-deferred tiers —
+        # the PFS drain overlaps compute, so the Young/Daly cadence must
+        # optimize against the *stall* cost, not the hidden drain.
+        cycle = self.plan.periods[-1]
+        total = 0
+        for r in range(1, cycle + 1):
+            total += sum(
+                t.write_time_ns(nbytes, concurrent_writers)
+                for t, period in zip(self.plan.tiers, self.plan.periods)
+                if r % period == 0 and not t.shared
+            )
+        return total // cycle
 
     def write_cost_ns(self, ckpt: "Checkpoint", concurrent_writers: int = 1) -> int:
+        deferred = {t.name for t in self.deferred_tiers(ckpt.round_no)}
         return sum(
             t.write_time_ns(ckpt.stored_bytes, concurrent_writers)
             for t in self.scheduled_tiers(ckpt.round_no)
+            if t.name not in deferred
         )
 
-    def save(self, ckpt: "Checkpoint", concurrent_writers: int = 1) -> SaveReceipt:
+    def save(
+        self,
+        ckpt: "Checkpoint",
+        concurrent_writers: int = 1,
+        flush_delay_ns: int = 0,
+    ) -> SaveReceipt:
         tiers = self.scheduled_tiers(ckpt.round_no)
+        deferred = {t.name for t in self.deferred_tiers(ckpt.round_no)}
+        if deferred and self.iosched is None:
+            raise RuntimeError(
+                "async flush needs the simulation engine for its I/O "
+                "scheduler; the protocol binds one at attach() — call "
+                "backend.bind_engine(engine) when driving the backend "
+                "directly"
+            )
         write_ns = 0
         per_round = self._copies.setdefault(ckpt.rank, {}).setdefault(
             ckpt.round_no, {}
         )
         for t in tiers:
+            if t.name in deferred:
+                self._start_flush(t, ckpt, flush_delay_ns)
+                continue
             write_ns += t.write_time_ns(ckpt.stored_bytes, concurrent_writers)
             per_round[t.name] = ckpt
             self.tier_writes[t.name] += 1
@@ -332,9 +488,95 @@ class TieredBackend(StorageBackend):
         return SaveReceipt(
             round_no=ckpt.round_no,
             write_ns=write_ns,
-            tiers=tuple(t.name for t in tiers),
-            durable=any(t.survives_node_failure for t in tiers),
+            tiers=tuple(t.name for t in tiers if t.name not in deferred),
+            durable=any(
+                t.survives_node_failure
+                for t in tiers
+                if t.name not in deferred
+            ),
+            pending_tiers=tuple(sorted(deferred)),
         )
+
+    # -- background flushes (async mode) -------------------------------
+    def _start_flush(
+        self, tier: StorageTier, ckpt: "Checkpoint", delay_ns: int
+    ) -> None:
+        # A rolled-back cluster re-taking a round supersedes any stale
+        # in-flight flush of the same (rank, round, tier).
+        for old in list(self._inflight.get(ckpt.rank, [])):
+            if (
+                old.meta.get("round_no") == ckpt.round_no
+                and old.meta.get("tier") == tier.name
+            ):
+                self._cancel_flow(old)
+        meta = {
+            "kind": "flush",
+            "rank": ckpt.rank,
+            "round_no": ckpt.round_no,
+            "tier": tier.name,
+            "ckpt": ckpt,
+            "src_node": self.host_node(tier.name, ckpt.rank),
+        }
+        flow = self.iosched.write(
+            tier.name,
+            ckpt.stored_bytes,
+            delay_ns=delay_ns,
+            on_done=self._flow_landed,
+            meta=meta,
+        )
+        self._inflight.setdefault(ckpt.rank, []).append(flow)
+        self.flush_flows_started += 1
+
+    def _flow_landed(self, flow: "Flow") -> None:
+        """A background flow completed: the copy becomes restorable."""
+        rank = flow.meta["rank"]
+        live = self._inflight.get(rank)
+        if live is not None and flow in live:
+            live.remove(flow)
+            if not live:
+                del self._inflight[rank]
+        ckpt: "Checkpoint" = flow.meta["ckpt"]
+        name = flow.meta["tier"]
+        per_round = self._copies.setdefault(rank, {}).setdefault(
+            ckpt.round_no, {}
+        )
+        per_round[name] = ckpt
+        self.tier_writes[name] += 1
+        self.tier_bytes[name] += ckpt.stored_bytes
+        self.bytes_written += ckpt.stored_bytes
+        self.background_write_ns_total += flow.duration_ns
+        if flow.meta["kind"] == "flush":
+            self.flush_flows_completed += 1
+        else:
+            self.rebuild_flows_completed += 1
+            self._rebuilding.discard((rank, ckpt.round_no))
+
+    def _cancel_flow(self, flow: "Flow") -> None:
+        rank = flow.meta["rank"]
+        if self.iosched is not None:
+            self.iosched.cancel(flow)
+        live = self._inflight.get(rank)
+        if live is not None and flow in live:
+            live.remove(flow)
+            if not live:
+                del self._inflight[rank]
+        if flow.meta["kind"] == "flush":
+            self.flush_flows_cancelled += 1
+        else:
+            self._rebuilding.discard((rank, flow.meta["round_no"]))
+
+    def cancel_inflight_above(self, rank: int, round_no: int) -> int:
+        cancelled = 0
+        for flow in list(self._inflight.get(rank, [])):
+            if flow.meta["round_no"] > round_no:
+                self._cancel_flow(flow)
+                cancelled += 1
+        return cancelled
+
+    def shared_flow_windows(self) -> List[Tuple[int, int, int, int]]:
+        if self.iosched is None:
+            return []
+        return list(self.iosched.shared_write_windows)
 
     def invalidate_node_copies(self, ranks: Iterable[int]) -> int:
         dropped = 0
@@ -352,6 +594,7 @@ class TieredBackend(StorageBackend):
                         del per_round[name]
                         dropped += 1
             self.invalidated_copies += dropped
+            self._cancel_dead_flows(dead, dead_nodes=None)
             return dropped
         dead_nodes = {self._topology.node_of(r) for r in dead}
         # Placement-aware blast radius: a copy dies when the node hosting
@@ -368,7 +611,27 @@ class TieredBackend(StorageBackend):
                     del per_round[name]
                     dropped += 1
         self.invalidated_copies += dropped
+        self._cancel_dead_flows(dead, dead_nodes)
         return dropped
+
+    def _cancel_dead_flows(
+        self, dead_ranks: Set[int], dead_nodes: Optional[Set[int]]
+    ) -> None:
+        """A lost node takes its in-flight background flows with it: a
+        flush sourced from the dead node never lands (the data it was
+        draining died in RAM), and a rebuild copy headed *to* a dead
+        node has nowhere to land."""
+        for flows in list(self._inflight.values()):
+            for flow in list(flows):
+                src = flow.meta.get("src_node")
+                dst = flow.meta.get("dst_node")
+                doomed = (
+                    flow.meta["rank"] in dead_ranks
+                    if dead_nodes is None
+                    else (src in dead_nodes or dst in dead_nodes)
+                )
+                if doomed:
+                    self._cancel_flow(flow)
 
     # -- delta chains --------------------------------------------------
     def _chain_rounds(self, rank: int, round_no: int) -> Optional[List[int]]:
@@ -448,6 +711,16 @@ class TieredBackend(StorageBackend):
         )
         return best_name, ckpt, read_ns
 
+    @staticmethod
+    def _link_decompress_ns(ckpt: "Checkpoint") -> int:
+        """Modeled CPU time to reinflate one chain link's payload on the
+        restart path (0 for opaque/uncompressed payloads)."""
+        payload = ckpt.payload
+        if payload is None or payload.compression == "none":
+            return 0
+        model = compression_model(payload.compression)
+        return model.decompress_cost_ns(payload.delta_bytes)
+
     def retrieve(
         self, rank: int, round_no: int, concurrent_readers: int = 1
     ) -> Optional[RestoreReceipt]:
@@ -455,6 +728,7 @@ class TieredBackend(StorageBackend):
         if chain is None:
             return None
         read_ns = 0
+        decompress_ns = 0
         tier_of_target = ""
         target: Optional["Checkpoint"] = None
         for link in chain:
@@ -462,6 +736,7 @@ class TieredBackend(StorageBackend):
                 rank, link, concurrent_readers
             )
             read_ns += link_ns
+            decompress_ns += self._link_decompress_ns(ckpt)
             if link == round_no:
                 tier_of_target, target = name, ckpt
         self.read_ns_total += read_ns
@@ -470,7 +745,151 @@ class TieredBackend(StorageBackend):
             tier=tier_of_target,
             read_ns=read_ns,
             chain=tuple(chain) if len(chain) > 1 else (),
+            decompress_ns=decompress_ns,
         )
+
+    def restore_plan(self, rank: int, round_no: int) -> Optional[RestorePlan]:
+        """The restart read as per-link stages, for the flow-based path
+        (each link: cheapest surviving tier, stored bytes, modeled
+        decompression)."""
+        chain = self._chain_rounds(rank, round_no)
+        if chain is None:
+            return None
+        links: List[RestoreLink] = []
+        tier_of_target = ""
+        target: Optional["Checkpoint"] = None
+        for link in chain:
+            name, ckpt, _ns = self._cheapest_read(rank, link, 1)
+            links.append(
+                RestoreLink(
+                    round_no=link,
+                    tier=name,
+                    nbytes=ckpt.stored_bytes,
+                    decompress_ns=self._link_decompress_ns(ckpt),
+                )
+            )
+            if link == round_no:
+                tier_of_target, target = name, ckpt
+        return RestorePlan(
+            ckpt=target,
+            tier=tier_of_target,
+            chain=tuple(chain) if len(chain) > 1 else (),
+            links=tuple(links),
+        )
+
+    def start_restore(
+        self,
+        rank: int,
+        round_no: int,
+        on_done: Callable[[Optional[RestoreReceipt]], None],
+    ) -> Optional[ChainRead]:
+        """Run ``rank``'s restart read as an overlapping flow pipeline.
+
+        Returns the cancellable :class:`ChainRead` (None when the round
+        is not restorable — ``on_done(None)`` fires synchronously then).
+        The receipt's ``read_ns`` is *measured* from the flow timeline,
+        so concurrent restores genuinely contend for the tiers' read
+        bandwidth instead of assuming a reader count."""
+        if self.iosched is None:
+            raise RuntimeError(
+                "flow-based restores need the simulation engine; call "
+                "bind_engine(engine) first"
+            )
+        plan = self.restore_plan(rank, round_no)
+        if plan is None:
+            on_done(None)
+            return None
+
+        def _finish(chain_read: ChainRead) -> None:
+            read_ns = chain_read.read_ns
+            self.read_ns_total += read_ns
+            on_done(
+                RestoreReceipt(
+                    ckpt=plan.ckpt,
+                    tier=plan.tier,
+                    read_ns=read_ns,
+                    chain=plan.chain,
+                    # Always *reported* (matching the closed-form path),
+                    # even when charge_decompress leaves the pipeline's
+                    # decode stages uncharged.
+                    decompress_ns=sum(l.decompress_ns for l in plan.links),
+                )
+            )
+
+        return ChainRead(
+            self.iosched,
+            [
+                (
+                    link.tier,
+                    link.nbytes,
+                    link.decompress_ns if self.charge_decompress else 0,
+                )
+                for link in plan.links
+            ],
+            on_done=_finish,
+            meta={"rank": rank, "round_no": round_no},
+        )
+
+    # -- partner rebuild (after a failed node returns) ------------------
+    def rebuild_partner_copies(self, node: int) -> int:
+        """A failed node's ranks restarted — the node is back.  Ranks
+        whose ``partner`` copies were hosted there (the ring predecessors)
+        lost their buddy mirror with it; re-replicate their latest
+        restorable round to the returned node as background flows, so a
+        *sequential* failure of the buddy pair restarts from the latest
+        round again instead of falling back to the last PFS round.
+        Returns the number of rebuild flows started."""
+        if (
+            not self.partner_rebuild
+            or self.iosched is None
+            or self._topology is None
+            or not any(t.name == "partner" for t in self.plan.tiers)
+        ):
+            return 0
+        started = 0
+        for rank in range(self._topology.nranks):
+            if self.host_node("partner", rank) != node:
+                continue
+            rounds = self.restorable_rounds(rank)
+            if not rounds:
+                continue
+            rnd = rounds[-1]
+            copies = self._copies[rank][rnd]
+            if "partner" in copies or (rank, rnd) in self._rebuilding:
+                continue
+            ckpt = next(iter(copies.values()))
+            meta = {
+                "kind": "rebuild",
+                "rank": rank,
+                "round_no": rnd,
+                "tier": "partner",
+                "ckpt": ckpt,
+                "src_node": self._topology.node_of(rank),
+                "dst_node": node,
+            }
+            flow = self.iosched.write(
+                "partner", ckpt.stored_bytes, on_done=self._flow_landed, meta=meta
+            )
+            self._inflight.setdefault(rank, []).append(flow)
+            self._rebuilding.add((rank, rnd))
+            self.rebuild_flows_started += 1
+            started += 1
+        return started
+
+    def has_copy(self, rank: int, round_no: int, tier_name: str) -> bool:
+        """True while ``rank``'s ``round_no`` copy in ``tier_name`` is
+        alive — an in-flight restore read whose source copy this returns
+        False for is reading data the model has declared lost."""
+        return tier_name in (self._copies.get(rank, {}).get(round_no) or {})
+
+    def load_round(self, rank: int, round_no: int) -> Optional["Checkpoint"]:
+        """A specific round's checkpoint, if any copy survives (no cost
+        charged) — used by the deferred GC path to fetch the LR of the
+        last *drained* round."""
+        copies = self._copies.get(rank, {}).get(round_no)
+        if not copies:
+            return None
+        return next(iter(copies.values()))
 
     def load_latest(self, rank: int) -> Optional["Checkpoint"]:
         rounds = self.restorable_rounds(rank)
@@ -491,7 +910,13 @@ class PartnerCopyBackend(TieredBackend):
     latest round instead of falling back to the last durable round — and
     is invalidated only when both partners' nodes are lost."""
 
-    def __init__(self, plan: Optional[MultiLevelPlan] = None) -> None:
+    def __init__(
+        self,
+        plan: Optional[MultiLevelPlan] = None,
+        async_flush: bool = False,
+        partner_rebuild: bool = True,
+        charge_decompress: Optional[bool] = None,
+    ) -> None:
         plan = plan or partner_default_plan()
         if not any(t.name == "partner" for t in plan.tiers):
             raise ValueError(
@@ -499,7 +924,12 @@ class PartnerCopyBackend(TieredBackend):
                 f"tier, got {[t.name for t in plan.tiers]} "
                 "(e.g. 'partner:ram@1,partner@1,pfs@16')"
             )
-        super().__init__(plan)
+        super().__init__(
+            plan,
+            async_flush=async_flush,
+            partner_rebuild=partner_rebuild,
+            charge_decompress=charge_decompress,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -572,6 +1002,22 @@ def parse_plan(spec: str) -> MultiLevelPlan:
     return MultiLevelPlan(tiers=tiers, periods=periods)
 
 
+def _split_flush_mode(spec: str, rest: str) -> Tuple[str, bool]:
+    """Strip a trailing ``:async`` flush-mode token off a plan spec."""
+    plan_part, sep, opt = rest.rpartition(":")
+    if sep:
+        opt = opt.strip()
+        if opt == "async":
+            return plan_part, True
+        raise ValueError(
+            f"unknown storage option {opt!r} in spec {spec!r} "
+            "(valid options: async)"
+        )
+    if rest.strip() == "async":
+        return "", True
+    return rest, False
+
+
 def make_backend(spec: str) -> StorageBackend:
     """Build a backend from a spec string.
 
@@ -581,7 +1027,12 @@ def make_backend(spec: str) -> StorageBackend:
     * ``"partner"`` — :func:`partner_default_plan` (ram@1, partner@1,
       pfs@16);
     * ``"partner:ram@1,partner@1,pfs@8"`` — an explicit plan that must
-      include the ``partner`` tier.
+      include the ``partner`` tier;
+    * a trailing ``:async`` (``"tiered:ram@1,pfs@16:async"``,
+      ``"tiered:async"``) turns on the **async flush mode**: PFS writes
+      drain in the background on the event-driven I/O scheduler, the
+      checkpoint commits once the local tiers land, and restart reads
+      run as overlapping flows (see ``docs/storage.md``).
     """
     name, _, rest = spec.partition(":")
     if name == "memory":
@@ -592,9 +1043,16 @@ def make_backend(spec: str) -> StorageBackend:
             )
         return InMemoryBackend()
     if name == "tiered":
-        return TieredBackend(parse_plan(rest) if rest else default_plan())
+        rest, async_flush = _split_flush_mode(spec, rest)
+        return TieredBackend(
+            parse_plan(rest) if rest else default_plan(),
+            async_flush=async_flush,
+        )
     if name == "partner":
-        return PartnerCopyBackend(parse_plan(rest) if rest else None)
+        rest, async_flush = _split_flush_mode(spec, rest)
+        return PartnerCopyBackend(
+            parse_plan(rest) if rest else None, async_flush=async_flush
+        )
     raise ValueError(
         f"unknown storage backend {name!r} in spec {spec!r} "
         f"(valid backends: {', '.join(_BACKEND_NAMES)})"

@@ -13,6 +13,7 @@ A tier models where checkpoints (state + logs) can be written:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.util.units import GB, MB, MS, SEC, US
 
@@ -26,33 +27,64 @@ class StorageTier:
     bandwidth_bytes_per_s: float
     shared: bool  # True: bandwidth divided among concurrent writers
     survives_node_failure: bool
+    # Restart-read bandwidth.  Real media are asymmetric (a PFS's read
+    # side dodges the RAID/commit write penalty); None keeps the read
+    # side equal to the write side.
+    read_bandwidth_bytes_per_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (
+            self.read_bandwidth_bytes_per_s is not None
+            and self.read_bandwidth_bytes_per_s <= 0
+        ):
+            raise ValueError(f"{self.name}: read bandwidth must be positive")
+
+    def _xfer_time_ns(self, nbytes: int, bw: float, concurrent: int) -> int:
+        if nbytes < 0:
+            raise ValueError("negative size")
+        if concurrent < 1:
+            raise ValueError("need at least one writer/reader")
+        if self.shared:
+            bw /= concurrent
+        return self.latency_ns + int(nbytes / bw * SEC)
 
     def write_time_ns(self, nbytes: int, concurrent_writers: int = 1) -> int:
         """Time for one writer to persist ``nbytes``."""
-        if nbytes < 0:
-            raise ValueError("negative size")
-        if concurrent_writers < 1:
-            raise ValueError("need at least one writer")
-        bw = self.bandwidth_bytes_per_s
-        if self.shared:
-            bw /= concurrent_writers
-        return self.latency_ns + int(nbytes / bw * SEC)
+        return self._xfer_time_ns(
+            nbytes, self.bandwidth_bytes_per_s, concurrent_writers
+        )
 
     def read_time_ns(self, nbytes: int, concurrent_readers: int = 1) -> int:
         """Restart-time read (the paper's 'IO burst when retrieving the
-        last checkpoint' applies on the shared tier)."""
-        return self.write_time_ns(nbytes, concurrent_readers)
+        last checkpoint' applies on the shared tier), priced at the
+        tier's read-side bandwidth."""
+        return self._xfer_time_ns(
+            nbytes,
+            self.read_bandwidth_bytes_per_s or self.bandwidth_bytes_per_s,
+            concurrent_readers,
+        )
 
 
-def pfs_tier(aggregate_gb_s: float = 20.0) -> StorageTier:
+def pfs_tier(
+    aggregate_gb_s: float = 20.0, read_gb_s: Optional[float] = None
+) -> StorageTier:
     """A parallel file system: tens-of-minutes full-system checkpoints
-    at scale (paper section 2.1 cites [27])."""
+    at scale (paper section 2.1 cites [27]).
+
+    ``read_gb_s`` sets the read-side aggregate bandwidth; real PFS
+    installations read measurably faster than they write (no parity /
+    commit penalty), and the ``ioverlap`` experiment models that with
+    ``read_gb_s=24.0``.  The default (None) keeps the read side equal to
+    the write side so existing cost-model pins stay bit-identical."""
     return StorageTier(
         name="pfs",
         latency_ns=5 * MS,
         bandwidth_bytes_per_s=aggregate_gb_s * GB,
         shared=True,
         survives_node_failure=True,
+        read_bandwidth_bytes_per_s=(
+            read_gb_s * GB if read_gb_s is not None else None
+        ),
     )
 
 

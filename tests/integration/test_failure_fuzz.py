@@ -131,6 +131,42 @@ def test_fuzz_random_schedules_converge_deep(seed, spec):
     run_fuzz(seed, spec, app())
 
 
+#: Async-flush variants: the PFS copy drains in the background on the
+#: event-driven I/O scheduler, commits happen on the local tiers, and
+#: restart reads run as overlapping flows.  The same invariants must
+#: hold — in particular no time travel: a crash mid-flush must restart
+#: from the last fully drained round, never the in-flight one.
+ASYNC_BACKENDS = [
+    "tiered:ram@1,pfs@2:async",
+    "partner:ram@1,partner@1,pfs@4:async",
+]
+
+
+@pytest.mark.parametrize("spec", ASYNC_BACKENDS)
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_fuzz_async_flush_schedules_converge(seed, spec):
+    """PR-gate slice: random failures against the async flush path."""
+    run_fuzz(seed, spec, app())
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("spec", ASYNC_BACKENDS)
+@pytest.mark.parametrize("seed", range(10, 30))
+def test_fuzz_async_flush_schedules_converge_deep(seed, spec):
+    """Nightly slice: twenty more seeds per async backend."""
+    run_fuzz(seed, spec, app())
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(10, 20))
+def test_fuzz_async_flush_with_delta_chains_deep(seed):
+    """Nightly slice: background flushes + chain-aware restarts + the
+    decompression stage, under the same random schedules."""
+    run_fuzz(
+        seed, "tiered:ram@1,pfs@2:async", app(), ckpt_data="incr:3:zlib-like"
+    )
+
+
 #: The incremental-vs-full acceptance pair: the same random schedules
 #: must satisfy the same invariants whether each round writes an opaque
 #: full blob or a compressed delta chain.
@@ -231,7 +267,10 @@ def test_partner_copy_survives_single_node_loss():
 def test_double_node_failure_kills_partner_copies():
     """Partner copies are invalidated only when both partners' nodes are
     gone: after the buddy node also dies, the restart falls back to the
-    durable tier — and recovery still converges."""
+    last durable *round* — and recovery still converges.  (The copy may
+    be read from a partner mirror again: the buddy's restart triggers
+    the SCR-style rebuild, which re-replicates the latest restorable —
+    here PFS-only — round back into the returned node's RAM.)"""
     factory = app()
     ref = reference(("ring", NRANKS), factory)
     clusters = ClusterMap.block(NRANKS, 4)
@@ -260,7 +299,10 @@ def test_double_node_failure_kills_partner_copies():
     assert out.results == ref.results
     second = [ev for ev in out.manager.failures if ev.rank == 0][-1]
     assert second.restarted_from_round < target
-    assert second.restored_tier in ("pfs", None)
+    # The durable (PFS) round is what bounds the rollback; the partner
+    # rebuild may have re-mirrored that round to the returned buddy, in
+    # which case the read comes from the (faster) rebuilt copy.
+    assert second.restored_tier in ("pfs", "partner", None)
 
 
 # ----------------------------------------------------------------------
@@ -360,3 +402,85 @@ def test_full_on_durable_restores_the_latest_pfs_round():
     # Round 4 was a full *on the PFS*: restorable despite the node loss.
     assert ev.restarted_from_round == 4
     assert ev.restored_tier == "pfs"
+
+
+# ----------------------------------------------------------------------
+# Partner rebuild: tolerance to *sequential* buddy failures.  After the
+# buddy node returns, its hosted partner copies are re-replicated as
+# background flows — so a later failure of the owners' node restarts
+# from the latest round again.  Without rebuild, the window between the
+# buddy's death and the owners' next commit has no partner mirror, and
+# the same schedule falls back to the last PFS round.
+# ----------------------------------------------------------------------
+
+REBUILD_PLAN = "ram@1,partner@1,pfs@4"
+REBUILD_MS = 2_000_000  # restart delay (the node "returns" here)
+
+
+def _rebuild_app():
+    # Slow iterations: the sequential failure must land after the
+    # buddy's restart + rebuild but *before* the owners' next commit
+    # re-mirrors on its own.
+    return ring_app(iters=12, msg_bytes=2048, compute_ns=2_000_000)
+
+
+def _sequential_buddy_failure(partner_rebuild):
+    from repro.storage.backend import PartnerCopyBackend, parse_plan
+
+    factory = _rebuild_app()
+    ref = reference(("ring-slow", NRANKS), factory)
+    clusters = ClusterMap.block(NRANKS, 4)
+
+    def backend():
+        return PartnerCopyBackend(
+            parse_plan(REBUILD_PLAN), partner_rebuild=partner_rebuild
+        )
+
+    probe = run_failure_schedule(
+        factory, NRANKS, clusters, [],
+        config=SPBCConfig(clusters=clusters, checkpoint_every=2),
+        ranks_per_node=RPN, storage=backend(),
+    )
+    b = probe.world.hooks.storage
+    rounds = b.rounds_of(0)
+    assert rounds == [1, 2, 3, 4, 5, 6]
+    target = 5  # latest round committed before t0; NOT a PFS round
+    last_pfs = 4
+    commit = max(
+        b.retrieve(r, target).ckpt.taken_at_ns
+        + b.write_cost_ns(b.retrieve(r, target).ckpt, concurrent_writers=NRANKS)
+        for r in clusters.members(0)
+    )
+    t0 = commit + 100_000  # node 1 (the buddy hosting rank 0's mirrors) dies
+    t1 = t0 + REBUILD_MS + 800_000  # after restart + rebuild flows land
+    # ...but before cluster 0's next commit would re-mirror by itself.
+    next_commit = min(
+        b.retrieve(r, target + 1).ckpt.taken_at_ns
+        for r in clusters.members(0)
+    )
+    assert t1 < next_commit, "recalibrate: rebuild window closed"
+    out = run_failure_schedule(
+        factory, NRANKS, clusters,
+        [(t0, 2, "node"), (t1, 0, "node")],
+        config=SPBCConfig(clusters=clusters, checkpoint_every=2),
+        ranks_per_node=RPN, storage=backend(),
+    )
+    assert out.results == ref.results
+    assert_no_time_travel(out, [(t0, 2, "node"), (t1, 0, "node")])
+    first = [ev for ev in out.manager.failures if ev.cluster == 1][0]
+    second = [ev for ev in out.manager.failures if ev.cluster == 0][-1]
+    return target, last_pfs, first, second
+
+
+def test_partner_rebuild_survives_sequential_buddy_failures():
+    target, _pfs, first, second = _sequential_buddy_failure(True)
+    assert first.partner_rebuilds >= 1  # the returned node was re-seeded
+    assert second.restarted_from_round == target
+    assert second.restored_tier == "partner"
+
+
+def test_without_rebuild_sequential_buddy_failure_loses_the_round():
+    target, last_pfs, first, second = _sequential_buddy_failure(False)
+    assert first.partner_rebuilds == 0
+    assert second.restarted_from_round == last_pfs < target
+    assert second.restored_tier == "pfs"

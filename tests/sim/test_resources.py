@@ -1,0 +1,126 @@
+"""Processor-sharing bandwidth resources: the I/O scheduler's core.
+
+The properties the storage layer leans on:
+
+* N equal flows on a shared resource finish together at ~N x one flow's
+  solo time (fair sharing);
+* a flow completing mid-way speeds up the survivors immediately;
+* cancellation refunds no virtual time (no time travel) — survivors
+  only accelerate from the cancellation instant;
+* the resource is work-conserving: flows admitted together drain their
+  total bytes at exactly the aggregate bandwidth.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine
+from repro.sim.resources import BandwidthResource
+
+BW = 1_000_000_000.0  # 1 GB/s -> 1 byte/ns: sizes read directly as ns
+
+
+def run_flows(sizes, shared=True, bandwidth=BW, latency_ns=0):
+    engine = Engine()
+    res = BandwidthResource(engine, "test", bandwidth, shared=shared)
+    flows = [res.start_flow(n, latency_ns=latency_ns) for n in sizes]
+    engine.run()
+    return engine, res, flows
+
+
+def test_single_flow_runs_at_full_bandwidth():
+    _e, _r, (f,) = run_flows([1_000_000])
+    assert f.end_ns == 1_000_000  # 1 MB at 1 byte/ns
+
+
+def test_n_equal_flows_finish_together_at_n_times_solo():
+    _e, _r, (solo,) = run_flows([1_000_000])
+    n = 4
+    _e, _r, flows = run_flows([1_000_000] * n)
+    ends = {f.end_ns for f in flows}
+    assert len(ends) == 1  # fair sharing: identical completion
+    end = ends.pop()
+    assert abs(end - n * solo.end_ns) <= n  # integer-ns rounding only
+
+
+def test_unshared_resource_ignores_concurrency():
+    _e, _r, flows = run_flows([1_000_000] * 4, shared=False)
+    assert all(f.end_ns == 1_000_000 for f in flows)
+
+
+def test_flow_completion_speeds_up_survivors():
+    # S and 2S sharing: the small one finishes at 2S (half rate), the
+    # big one then runs alone -> 2S + S = 3S, not the 4S it would take
+    # if the medium stayed split.
+    s = 1_000_000
+    _e, _r, (small, big) = run_flows([s, 2 * s])
+    assert abs(small.end_ns - 2 * s) <= 2
+    assert abs(big.end_ns - 3 * s) <= 3
+    assert big.end_ns < 4 * s  # the survivor really sped up
+
+
+def test_cancellation_refunds_no_time():
+    s = 1_000_000
+    engine = Engine()
+    res = BandwidthResource(engine, "test", BW, shared=True)
+    victim = res.start_flow(s)
+    survivor = res.start_flow(s)
+    cancel_at = s // 2
+    engine.schedule(cancel_at, res.cancel, victim)
+    engine.run()
+    # Until the cancel the survivor ran at half rate (drained s/4), then
+    # alone: total = s/2 + 3s/4.  Strictly more than solo time — the
+    # half-rate phase is not refunded.
+    expected = cancel_at + (s - cancel_at // 2)
+    assert abs(survivor.end_ns - expected) <= 2
+    assert survivor.end_ns > s
+    assert victim.cancelled and not victim.finished
+    assert res.flows_cancelled == 1
+    assert res.flows_completed == 1
+
+
+def test_latency_delays_admission_not_drain():
+    _e, _r, (f,) = run_flows([1_000_000], latency_ns=5_000)
+    assert f.start_ns == 5_000
+    assert f.end_ns == 1_005_000
+    assert f.duration_ns == 1_000_000
+    assert f.elapsed_ns == 1_005_000
+
+
+def test_zero_byte_flow_costs_latency_only():
+    _e, _r, (f,) = run_flows([0], latency_ns=7_000)
+    assert f.end_ns == 7_000
+
+
+def test_staggered_admission_overlap_is_partial():
+    # Second flow admitted half-way through the first: the first slows
+    # down only for the overlap.
+    s = 1_000_000
+    engine = Engine()
+    res = BandwidthResource(engine, "test", BW, shared=True)
+    first = res.start_flow(s)
+    second = res.start_flow(s, delay_ns=s // 2)
+    engine.run()
+    # first: s/2 alone + s/2 remaining at half rate -> 1.5s total.
+    assert abs(first.end_ns - (s + s // 2)) <= 2
+    # second: half rate until first ends (drains s/2), then alone.
+    assert abs(second.end_ns - 2 * s) <= 3
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sizes=st.lists(
+        st.integers(min_value=1, max_value=50_000_000), min_size=1, max_size=8
+    )
+)
+def test_shared_resource_is_work_conserving(sizes):
+    """Flows admitted together drain sum(bytes) at aggregate bandwidth:
+    the last completion lands at total_bytes / bw (up to per-event
+    integer rounding), and completions are size-ordered."""
+    _e, _r, flows = run_flows(sizes)
+    last = max(f.end_ns for f in flows)
+    total = sum(sizes)
+    assert abs(last - total) <= 2 * len(sizes)  # ceil per completion event
+    by_size = sorted(flows, key=lambda f: f.nbytes)
+    ends = [f.end_ns for f in by_size]
+    assert ends == sorted(ends)

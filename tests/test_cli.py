@@ -184,3 +184,37 @@ def test_blastradius_auto_with_memory_storage_rejected(capsys):
          "--checkpoint-every", "auto", "--storage", "memory"]
     ) == 2
     assert "cost-modeled" in capsys.readouterr().err
+
+
+def test_ioverlap_small_scale(capsys):
+    assert main(
+        ["ioverlap", "--ranks", "8", "--rpn", "2", "--apps", "minife"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "I/O overlap" in out
+    assert "sync" in out and "async" in out
+
+
+def test_ioverlap_explicit_storage(capsys):
+    assert main(
+        ["ioverlap", "--ranks", "8", "--rpn", "2", "--apps", "milc",
+         "--storage", "tiered:ram@1,pfs@2"]
+    ) == 0
+    assert "I/O overlap" in capsys.readouterr().out
+
+
+def test_ioverlap_rejects_async_spec(capsys):
+    assert main(
+        ["ioverlap", "--ranks", "8", "--rpn", "2",
+         "--storage", "tiered:ram@1,pfs@2:async"]
+    ) == 2
+    err = capsys.readouterr().err
+    assert "base" in err and "async" in err
+
+
+def test_ioverlap_rejects_malformed_storage(capsys):
+    assert main(
+        ["ioverlap", "--ranks", "8", "--rpn", "2",
+         "--storage", "tiered:floppy@1"]
+    ) == 2
+    assert "floppy" in capsys.readouterr().err
