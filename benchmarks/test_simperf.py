@@ -1,0 +1,70 @@
+"""simperf: wall-clock performance of the simulator itself.
+
+Two jobs:
+
+* the **perf-smoke gate** — run the quick scenario subset and fail on a
+  >30% machine-normalized regression against the committed baseline
+  (``benchmarks/results/simperf.json``, written once by
+  ``python -m repro simperf --json ...`` and updated deliberately);
+* the **warp acceptance shape** — the committed baseline must document
+  the PR-5 speedups: >=3x on the 128-rank sync scenario in exact mode
+  against the seed reference, and >=10x from ``--warp`` on the
+  failure-free 1024-rank scenario.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.harness.simperf import (
+    check_regression,
+    format_simperf,
+    simperf_quick,
+)
+
+BASELINE = pathlib.Path(__file__).resolve().parent / "results" / "simperf.json"
+
+
+def _baseline():
+    if not BASELINE.exists():
+        pytest.skip("no committed simperf baseline yet")
+    return json.loads(BASELINE.read_text())
+
+
+@pytest.mark.benchmark(group="simperf")
+def test_simperf_quick_no_regression(benchmark):
+    baseline = _baseline()
+    result = benchmark.pedantic(simperf_quick, rounds=1, iterations=1)
+    print()
+    print(format_simperf(result, baseline))
+    problems = check_regression(result, baseline)
+    assert not problems, "\n".join(problems)
+
+
+def test_committed_baseline_documents_the_overhaul():
+    """The committed JSON is the PR's before/after evidence: the seed
+    reference rows (measured on the pre-overhaul tree with the same
+    harness and calibration) must show the required speedups."""
+    baseline = _baseline()
+    seed = baseline.get("seed_reference")
+    assert seed, "baseline must carry seed_reference rows (before numbers)"
+    cur = {r["scenario"]: r for r in baseline["rows"]}
+    old = {r["scenario"]: r for r in seed["rows"]}
+
+    # >=3x on the 128-rank sync scenario, exact mode (normalized costs
+    # cancel the host, so the ratio is the genuine speedup).
+    s_new, s_old = cur["128:sync"], old["128:sync"]
+    speedup = s_old["norm_cost"] / s_new["norm_cost"]
+    assert speedup >= 3.0, f"128:sync exact-mode speedup {speedup:.2f}x < 3x"
+
+    # >=10x from --warp on the failure-free 1024-rank scenario (vs the
+    # same tree's exact mode, same scenario length).
+    w, e = cur["1024:warp"], cur["1024:warp-exact"]
+    warp_speedup = e["norm_cost"] / w["norm_cost"]
+    assert warp_speedup >= 10.0, (
+        f"1024-rank warp speedup {warp_speedup:.2f}x < 10x"
+    )
+    assert w["warped_iterations"] > 0
+    # Warp is exact: same simulated end time as exact mode.
+    assert w["makespan_ns"] == e["makespan_ns"]

@@ -34,7 +34,7 @@ def main(argv=None) -> int:
         "experiment",
         choices=[
             "table1", "table2", "fig5", "fig6", "ckptcost", "blastradius",
-            "deltachain", "ioverlap", "apps",
+            "deltachain", "ioverlap", "simperf", "apps",
         ],
         help="which artifact to regenerate",
     )
@@ -74,6 +74,33 @@ def main(argv=None) -> int:
         default=0.5,
         help="blastradius: node MTBF in (simulated) seconds driving the "
         "'auto' cadence (default 0.5)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="simperf: run the CI perf-smoke subset instead of the full "
+        "matrix (and gate against the committed baseline if present)",
+    )
+    parser.add_argument(
+        "--warp",
+        action="store_true",
+        help="simperf: include the steady-state warp pair at the largest "
+        "scale (on by default for the full matrix; this flag forces it "
+        "for reduced --ranks runs too)",
+    )
+    parser.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="simperf: also dump the results as JSON to PATH",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=str,
+        default="benchmarks/results/simperf.json",
+        metavar="PATH",
+        help="simperf: committed baseline to compare/gate against",
     )
     args = parser.parse_args(argv)
 
@@ -149,6 +176,32 @@ def main(argv=None) -> int:
             apps=subset or ex.DELTACHAIN_APPS, modes=modes, **kwargs
         )
         print(ex.format_deltachain(rows))
+    elif args.experiment == "simperf":
+        import json as _json
+
+        from repro.harness import simperf as sp
+
+        baseline = sp.load_baseline(args.baseline)
+        if args.quick:
+            result = sp.simperf_quick()
+        else:
+            ranks = (args.ranks,) if args.ranks else sp.SIMPERF_RANKS
+            result = sp.simperf(
+                ranks=ranks,
+                include_warp_pair=not args.ranks or args.warp,
+            )
+        print(sp.format_simperf(result, baseline))
+        if args.json:
+            with open(args.json, "w") as fh:
+                _json.dump(result, fh, indent=1)
+            print(f"(wrote {args.json})")
+        if args.quick and baseline is not None:
+            problems = sp.check_regression(result, baseline)
+            if problems:
+                for p in problems:
+                    print(f"PERF REGRESSION: {p}", file=sys.stderr)
+                return 1
+            print("perf-smoke: no regression vs committed baseline")
     elif args.experiment == "ioverlap":
         kwargs = {}
         if args.storage:

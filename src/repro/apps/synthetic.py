@@ -49,9 +49,24 @@ def ring_app(
         acc = resume_acc(state)
         right = (ctx.rank + 1) % ctx.size
         left = (ctx.rank - 1) % ctx.size
-        for i in range(start, iters):
+        if not allreduce_every:
+            # Warp contract (repro.sim.warp): one leading compute per
+            # body, warp_jump consulted right after it, and the skipped
+            # iterations' folds replayed analytically — iteration j
+            # delivers mix(0, left, j) from the left neighbor, exactly
+            # what the fold below would have folded.  (The allreduce
+            # variant breaks per-iteration periodicity, so it does not
+            # declare.)
+            ctx.declare_warpable()
+        i = start
+        while i < iters:
             yield from ctx.maybe_checkpoint(lambda i=i, acc=acc: {"iter": i, "acc": acc})
             yield from ctx.compute(compute_ns)
+            jump = ctx.warp_jump()
+            if jump:
+                for j in range(i, i + jump):
+                    acc = mix(acc, mix(0, left, j), j)
+                i += jump
             payload = mix(0, ctx.rank, i)
             status = yield from ctx.sendrecv(
                 right, payload, nbytes=msg_bytes, src=left, tag=7
@@ -60,6 +75,7 @@ def ring_app(
             if allreduce_every and (i + 1) % allreduce_every == 0:
                 total = yield from ctx.allreduce(acc & 0xFFFF, lambda a, b: a + b, nbytes=8)
                 acc = mix(acc, total)
+            i += 1
         return acc
 
     return factory
@@ -88,9 +104,21 @@ def halo2d_app(
         neighbors = [n for n in dict.fromkeys(neighbors) if n != ctx.rank]
         start = resume_iteration(state)
         acc = resume_acc(state)
-        for i in range(start, iters):
+        me = ctx.rank
+        # Warp contract: iteration j delivers mix(0, n, me, j) from each
+        # neighbor n (grid neighborhoods are symmetric), folded in
+        # neighbor-list order — replayed analytically on a jump.
+        ctx.declare_warpable()
+        i = start
+        while i < iters:
             yield from ctx.maybe_checkpoint(lambda i=i, acc=acc: {"iter": i, "acc": acc})
             yield from ctx.compute(compute_ns)
+            jump = ctx.warp_jump()
+            if jump:
+                for j in range(i, i + jump):
+                    for n in neighbors:
+                        acc = mix(acc, mix(0, n, me, j))
+                i += jump
             sends = [
                 ctx.isend(n, mix(0, ctx.rank, n, i), nbytes=msg_bytes, tag=2)
                 for n in neighbors
@@ -100,6 +128,7 @@ def halo2d_app(
             yield from ctx.waitall(sends)
             for s in statuses:
                 acc = mix(acc, s.payload)
+            i += 1
         return acc
 
     return factory

@@ -31,9 +31,16 @@ from typing import Any, Dict, Iterator, List, Set, Tuple
 from repro.util.units import mb_per_s
 
 
-@dataclass
+@dataclass(slots=True)
 class LogRecord:
-    """One logged message, exactly as it must be replayed."""
+    """One logged message, exactly as it must be replayed.
+
+    ``count`` is 1 for every real record.  Warp fast-forward (see
+    :mod:`repro.sim.warp`) coalesces a whole fast-forwarded span of a
+    channel into a single synthetic record (``payload=None``) whose
+    ``count``/``nbytes`` carry the span's record and byte totals, so the
+    store's accounting — residency, GC credit, Table 1 growth — stays
+    exact without materializing the skipped messages."""
 
     comm_id: int
     dst: int
@@ -43,6 +50,7 @@ class LogRecord:
     ident: Tuple[int, int]
     payload: Any
     send_time_ns: int
+    count: int = 1
 
 
 ChannelKey = Tuple[int, int]  # (comm_id, dst)
@@ -83,9 +91,9 @@ class LogStore:
             )
         self.channels.setdefault(key, []).append(rec)
         self.bytes_logged += rec.nbytes
-        self.records_logged += 1
+        self.records_logged += rec.count
         self.resident_bytes += rec.nbytes
-        self.resident_records += 1
+        self.resident_records += rec.count
 
     def last_seq(self, comm_id: int, dst: int) -> int:
         """Highest logged seqnum on a channel (0 if nothing logged),
@@ -220,10 +228,10 @@ class LogStore:
                 continue
             for rec in chan[:cut]:
                 self.collected_bytes += rec.nbytes
+                deleted += rec.count
                 if resident:
                     self.resident_bytes -= rec.nbytes
-                    self.resident_records -= 1
-            deleted += cut
+                    self.resident_records -= rec.count
             del chan[:cut]
             if not chan:
                 del area[key]

@@ -27,6 +27,7 @@ from repro.mpi.hooks import NativeHooks, ProtocolHooks
 from repro.mpi.runtime import World
 from repro.sim.network import NetworkParams
 from repro.sim.process import ProcessStatus
+from repro.sim.warp import WarpConfig, WarpController
 from repro.storage.backend import StorageBackend, make_backend
 
 AppFactory = Callable[[RankContext, Optional[dict]], Generator]
@@ -34,6 +35,17 @@ AppFactory = Callable[[RankContext, Optional[dict]], Generator]
 StorageSpec = Union[str, StorageBackend, None]
 
 CkptDataSpec = Union[str, CkptDataPlane, None]
+
+#: Warp spec accepted by the runners: a WarpConfig, or a plain int
+#: meaning WarpConfig(total_iters=<int>).
+WarpSpec = Union[WarpConfig, int, None]
+
+
+def _install_warp(world, warp: WarpSpec) -> None:
+    if warp is None:
+        return
+    cfg = warp if isinstance(warp, WarpConfig) else WarpConfig(total_iters=warp)
+    world.warp = WarpController(world, cfg)
 
 
 def _resolve_storage(cfg: SPBCConfig, storage: StorageSpec) -> None:
@@ -122,8 +134,13 @@ def run_app(
     net_params: Optional[NetworkParams] = None,
     trace: bool = True,
     until_ns: Optional[int] = None,
+    warp: WarpSpec = None,
 ) -> RunResult:
-    """Launch ``app_factory`` on every rank and run to completion."""
+    """Launch ``app_factory`` on every rank and run to completion.
+
+    ``warp`` opts into steady-state fast-forward (see
+    :mod:`repro.sim.warp`): pass the app's total iteration count (or a
+    :class:`WarpConfig`).  Default None = exact mode."""
     world = World(
         nranks,
         ranks_per_node=ranks_per_node,
@@ -132,6 +149,7 @@ def run_app(
         net_params=net_params,
         trace=trace,
     )
+    _install_warp(world, warp)
     for r in range(nranks):
         world.launch(r, app_factory(RankContext(world, r), None))
     world.run(until_ns=until_ns)
@@ -159,6 +177,7 @@ def run_spbc(
     storage: StorageSpec = None,
     ckpt_data: CkptDataSpec = None,
     profile: Optional[WriteLocalityProfile] = None,
+    warp: WarpSpec = None,
     **kw,
 ) -> RunResult:
     """Failure-free run under SPBC (logging + identifiers active).
@@ -173,7 +192,7 @@ def run_spbc(
         raise ValueError("config.clusters disagrees with the clusters argument")
     _resolve_storage(cfg, storage)
     _resolve_ckpt_data(cfg, ckpt_data, profile)
-    return run_app(app_factory, nranks, hooks=SPBC(cfg), **kw)
+    return run_app(app_factory, nranks, hooks=SPBC(cfg), warp=warp, **kw)
 
 
 def run_emulated_recovery(
@@ -259,13 +278,20 @@ def run_failure_schedule(
     storage: StorageSpec = None,
     ckpt_data: CkptDataSpec = None,
     profile: Optional[WriteLocalityProfile] = None,
+    warp: WarpSpec = None,
 ) -> OnlineResult:
     """Run with an arbitrary schedule of process/node crashes and full
     online recovery after each (the fuzz harness's entry point).
 
     ``schedule`` is a sequence of ``(at_ns, rank, kind)`` triples; kinds
     are validated up front so a malformed schedule fails before the run
-    starts rather than mid-simulation."""
+    starts rather than mid-simulation.
+
+    ``warp`` composes with failure schedules conservatively: pending
+    failure events veto the steady-state detector, so fast-forward can
+    only engage in the failure-free phase after the last injected crash
+    has been fully recovered (and in practice re-executed ranks push the
+    iteration horizon down, keeping post-failure warps rare and safe)."""
     cfg = config or SPBCConfig(clusters=clusters)
     _resolve_storage(cfg, storage)
     _resolve_ckpt_data(cfg, ckpt_data, profile)
@@ -278,6 +304,7 @@ def run_failure_schedule(
         net_params=net_params,
         trace=trace,
     )
+    _install_warp(world, warp)
     manager = RecoveryManager(
         world, hooks, app_factory, restart_delay_ns=restart_delay_ns
     )

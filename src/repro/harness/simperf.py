@@ -1,0 +1,319 @@
+"""simperf — wall-clock performance benchmark of the simulator itself.
+
+Every other experiment in this repository measures *simulated* quantities
+(log growth, overhead, recovery time).  ``simperf`` measures the
+*simulator*: how many engine events per wall-clock second it executes on
+a standard scenario matrix, and how long the Tier-1-shaped workloads
+take end to end.  Its committed results (``benchmarks/results/
+simperf.json``) are the perf baseline the CI perf-smoke job gates
+against, and its before/after columns document the hot-path overhaul.
+
+Scenario matrix
+---------------
+``{16, 128, 512, 1024} ranks × {sync, async, incr}`` on the ring
+kernel with paper-like parameters (4 KB messages, 200 µs compute,
+8 ranks/node, one cluster per node, 40 iterations with coordinated
+checkpoints every 8 — five rounds per run, a cadence in the realistic
+Young/Daly range — against a ram+pfs plan):
+
+* ``sync``  — blocking multi-level checkpoints (closed-form PFS burst);
+* ``async`` — background PFS flush on the event-driven I/O scheduler;
+* ``incr``  — incremental delta-chain payloads with zlib-like
+  compression on top of the sync plan.
+
+Plus the warp pair: the failure-free 1024-rank long ring run in exact
+mode vs ``--warp`` (steady-state fast-forward, ``repro.sim.warp``).
+
+Hardware normalization
+----------------------
+Raw wall-clock is machine-dependent, so each run also times a fixed
+pure-Python calibration loop (tuple/dict/heap churn — the same kind of
+work the simulator does, but *not* the simulator).  The gated metric is
+``wall / calibration_wall``: a dimensionless cost that cancels host
+speed but still moves when the simulator's per-event cost regresses.
+"""
+
+from __future__ import annotations
+
+import gc
+import heapq
+import json
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.synthetic import ring_app
+from repro.ckptdata.regions import TEST_PROFILE
+from repro.core.clusters import ClusterMap
+from repro.core.protocol import SPBCConfig
+from repro.harness.runner import run_spbc
+from repro.util.table import format_table
+
+#: The standard matrix (ISSUE 5): ranks × checkpoint modes.
+SIMPERF_RANKS = (16, 128, 512, 1024)
+SIMPERF_MODES = ("sync", "async", "incr")
+
+#: Ring-kernel parameters shared by every matrix cell.
+MSG_BYTES = 4096
+COMPUTE_NS = 200_000
+ITERS = 40
+CHECKPOINT_EVERY = 8
+STATE_NBYTES = 1 << 20
+
+#: The warp pair: failure-free long run at the largest scale.
+WARP_RANKS = 1024
+WARP_ITERS = 600
+
+#: Quick subset run by the CI perf-smoke job (same scenario ids as the
+#: committed full matrix, so normalized costs are directly comparable).
+QUICK_SCENARIOS = (
+    "16:sync", "128:sync", "128:async", "128:incr",
+    f"{WARP_RANKS}:warp",
+)
+
+#: Perf-smoke regression threshold on the normalized cost.
+REGRESSION_THRESHOLD = 0.30
+
+
+@dataclass
+class SimPerfRow:
+    scenario: str  # "<ranks>:<mode>"
+    nranks: int
+    mode: str
+    iters: int
+    wall_s: float
+    events: int
+    events_per_sec: float
+    makespan_ns: int
+    #: Simulated nanoseconds advanced per wall-clock second.
+    sim_ns_per_wall_s: float
+    #: wall / calibration-wall: the machine-normalized, gated metric.
+    norm_cost: float = 0.0
+    warps: int = 0
+    warped_iterations: int = 0
+
+
+def calibrate(target_items: int = 200_000) -> float:
+    """Fixed pure-Python workload timing the *host*, not the simulator.
+
+    Tuple construction, dict churn, and heap traffic — the same
+    primitive mix the engine's hot path uses — so the scenario/calib
+    ratio is stable across CPU generations and load levels."""
+    gc.collect()
+    t0 = time.perf_counter()
+    heap: list = []
+    d: dict = {}
+    push = heapq.heappush
+    pop = heapq.heappop
+    for i in range(target_items):
+        push(heap, (i ^ 0x2A5, i, None, int, ()))
+        d[(i & 1023, i & 63)] = i
+        if i & 3 == 3:
+            pop(heap)
+    while heap:
+        pop(heap)
+    t1 = time.perf_counter()
+    return t1 - t0
+
+
+def _scenario_config(nranks: int, mode: str) -> dict:
+    cm = ClusterMap.block(nranks, max(2, nranks // 8))
+    cfg = SPBCConfig(
+        clusters=cm,
+        checkpoint_every=CHECKPOINT_EVERY,
+        state_nbytes=STATE_NBYTES,
+    )
+    kw: dict = {"config": cfg}
+    spec = "tiered:ram@1,pfs@4"
+    if mode == "async":
+        spec += ":async"
+    kw["storage"] = spec
+    if mode == "incr":
+        kw["ckpt_data"] = "incr:4:zlib-like"
+        kw["profile"] = TEST_PROFILE
+    return {"cm": cm, "kw": kw}
+
+
+def run_scenario(
+    nranks: int, mode: str, iters: int = ITERS, warp: bool = False,
+    warp_iters: int = WARP_ITERS,
+) -> SimPerfRow:
+    """Run one matrix cell and measure it."""
+    if mode == "warp":
+        # Failure-free long ring; warp flag decides exact vs fast-forward.
+        cm = ClusterMap.block(nranks, max(2, nranks // 8))
+        factory = ring_app(
+            iters=warp_iters, msg_bytes=MSG_BYTES, compute_ns=COMPUTE_NS
+        )
+        gc.collect()
+        t0 = time.perf_counter()
+        res = run_spbc(
+            factory, nranks, cm, trace=False,
+            warp=warp_iters if warp else None,
+        )
+        wall = time.perf_counter() - t0
+        iters_run = warp_iters
+    else:
+        sc = _scenario_config(nranks, mode)
+        factory = ring_app(
+            iters=iters, msg_bytes=MSG_BYTES, compute_ns=COMPUTE_NS
+        )
+        gc.collect()
+        t0 = time.perf_counter()
+        res = run_spbc(factory, nranks, sc["cm"], trace=False, **sc["kw"])
+        wall = time.perf_counter() - t0
+        iters_run = iters
+    engine = res.world.engine
+    wctl = res.world.warp
+    return SimPerfRow(
+        scenario=f"{nranks}:{mode}",
+        nranks=nranks,
+        mode=mode,
+        iters=iters_run,
+        wall_s=wall,
+        events=engine.events_executed,
+        events_per_sec=engine.events_executed / wall if wall > 0 else 0.0,
+        makespan_ns=res.makespan_ns,
+        sim_ns_per_wall_s=res.makespan_ns / wall if wall > 0 else 0.0,
+        warps=wctl.warps if wctl is not None else 0,
+        warped_iterations=wctl.warped_iterations if wctl is not None else 0,
+    )
+
+
+def simperf(
+    ranks: Sequence[int] = SIMPERF_RANKS,
+    modes: Sequence[str] = SIMPERF_MODES,
+    iters: int = ITERS,
+    include_warp_pair: bool = True,
+    warp_iters: int = WARP_ITERS,
+    repeats: int = 3,
+) -> Dict:
+    """Run the matrix; returns {"calibration_wall_s", "rows": [...]}.
+
+    Each cell is run ``repeats`` times and the fastest wall kept (the
+    standard way to suppress scheduler noise in wall-clock benches).
+    The calibration loop runs immediately before every repetition and
+    the cell's ``norm_cost`` is the *minimum per-repetition ratio* —
+    pairing scenario and calibration under the same instantaneous
+    machine state makes the gated metric robust to host-speed drift
+    within and across runs."""
+    calib = min(calibrate() for _ in range(3))
+    rows: List[SimPerfRow] = []
+
+    def best(fn) -> SimPerfRow:
+        out = None
+        norm = None
+        for _ in range(repeats):
+            c = calibrate()
+            row = fn()
+            r = row.wall_s / c
+            if norm is None or r < norm:
+                norm = r
+            if out is None or row.wall_s < out.wall_s:
+                out = row
+        out.norm_cost = norm
+        return out
+
+    for n in ranks:
+        for mode in modes:
+            rows.append(best(lambda n=n, m=mode: run_scenario(n, m, iters)))
+    if include_warp_pair:
+        rows.append(best(lambda: run_scenario(
+            WARP_RANKS, "warp", warp=False, warp_iters=warp_iters)))
+        rows[-1] = SimPerfRow(**{**asdict(rows[-1]), "scenario":
+                                 f"{WARP_RANKS}:warp-exact",
+                                 "mode": "warp-exact"})
+        rows.append(best(lambda: run_scenario(
+            WARP_RANKS, "warp", warp=True, warp_iters=warp_iters)))
+    return {"calibration_wall_s": calib, "rows": [asdict(r) for r in rows]}
+
+
+def simperf_quick(scenarios: Sequence[str] = QUICK_SCENARIOS) -> Dict:
+    """The CI perf-smoke subset (same scenario ids as the full matrix,
+    same per-repetition calibration pairing as the full run)."""
+    calib = min(calibrate() for _ in range(3))
+    rows: List[SimPerfRow] = []
+    for sid in scenarios:
+        n_s, mode = sid.split(":")
+        n = int(n_s)
+        out = None
+        norm = None
+        for _ in range(3):
+            c = calibrate()
+            if mode == "warp":
+                row = run_scenario(n, "warp", warp=True)
+            else:
+                row = run_scenario(n, mode)
+            r = row.wall_s / c
+            if norm is None or r < norm:
+                norm = r
+            if out is None or row.wall_s < out.wall_s:
+                out = row
+        out.norm_cost = norm
+        rows.append(out)
+    return {"calibration_wall_s": calib, "rows": [asdict(r) for r in rows]}
+
+
+def check_regression(
+    current: Dict, baseline: Dict, threshold: float = REGRESSION_THRESHOLD
+) -> List[str]:
+    """Compare normalized costs against the committed baseline.
+
+    Returns a list of human-readable violations (empty = pass).  A
+    scenario regresses when its machine-normalized cost exceeds the
+    baseline's by more than ``threshold``."""
+    base_by = {r["scenario"]: r for r in baseline["rows"]}
+    problems: List[str] = []
+    for row in current["rows"]:
+        base = base_by.get(row["scenario"])
+        if base is None or base.get("norm_cost", 0) <= 0:
+            continue
+        ratio = row["norm_cost"] / base["norm_cost"]
+        if ratio > 1.0 + threshold:
+            problems.append(
+                f"{row['scenario']}: normalized cost {row['norm_cost']:.2f} "
+                f"is {ratio:.2f}x the committed baseline "
+                f"{base['norm_cost']:.2f} (threshold {1 + threshold:.2f}x)"
+            )
+    return problems
+
+
+def format_simperf(result: Dict, baseline: Optional[Dict] = None) -> str:
+    base_by = (
+        {r["scenario"]: r for r in baseline["rows"]} if baseline else {}
+    )
+    headers = [
+        "scenario", "iters", "wall (s)", "events", "kev/s",
+        "sim s/wall s", "norm cost", "warped",
+    ]
+    if base_by:
+        headers.append("vs baseline")
+    out = []
+    for r in result["rows"]:
+        line = [
+            r["scenario"], r["iters"], r["wall_s"], r["events"],
+            r["events_per_sec"] / 1e3, r["sim_ns_per_wall_s"] / 1e9,
+            r["norm_cost"],
+            r["warped_iterations"] or "-",
+        ]
+        if base_by:
+            b = base_by.get(r["scenario"])
+            line.append(
+                f"{r['norm_cost'] / b['norm_cost']:.2f}x" if b else "-"
+            )
+        out.append(line)
+    return format_table(
+        headers,
+        out,
+        title="simperf: simulator wall-clock performance "
+        f"(calibration {result['calibration_wall_s'] * 1e3:.1f} ms)",
+        float_fmt="{:.3f}",
+    )
+
+
+def load_baseline(path: str) -> Optional[Dict]:
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None

@@ -47,14 +47,23 @@ def barrier(rt, comm: Communicator) -> Generator:
         return
     me = comm.comm_rank(rt.rank)
     tag = _coll_tag(rt, comm)
+    wr = comm.world_ranks
     k = 1
     while k < n:
-        dst = comm.world_rank((me + k) % n)
-        src = comm.world_rank((me - k) % n)
+        dst = wr[(me + k) % n]
+        src = wr[(me - k) % n]
         sreq = rt.isend(dst, None, 8, tag, comm)
         rreq = rt.irecv(src, tag, comm)
-        yield from rt.wait(rreq)
-        yield from rt.wait(sreq)
+        # Fused debt-flush + receive wait (see MPIRuntime._recv_block),
+        # hot inside every coordinated checkpoint.
+        block = rt._recv_block(rreq)
+        if block is not None:
+            yield block
+        if not sreq.done:
+            if sreq.completes_at_ns >= 0:
+                rt._settle_or_schedule(sreq)
+            if not sreq.done:
+                yield sreq.trigger
         k *= 2
 
 
@@ -140,15 +149,24 @@ def allgather(rt, comm: Communicator, value: Any, nbytes: int = 0) -> Generator:
     if n == 1:
         return out
     tag = _coll_tag(rt, comm)
-    right = comm.world_rank((me + 1) % n)
-    left = comm.world_rank((me - 1) % n)
+    wr = comm.world_ranks
+    right = wr[(me + 1) % n]
+    left = wr[(me - 1) % n]
     # At step s every rank forwards the block it received at step s-1.
     block = me
     for _step in range(n - 1):
         sreq = rt.isend(right, (block, out[block]), nbytes, tag, comm)
-        status = yield from rt.recv(left, tag, comm)
-        yield from rt.wait(sreq)
-        block, payload = status.payload
+        rreq = rt.irecv(left, tag, comm)
+        # Fused debt-flush + receive wait (see MPIRuntime._recv_block).
+        block = rt._recv_block(rreq)
+        if block is not None:
+            yield block
+        if not sreq.done:
+            if sreq.completes_at_ns >= 0:
+                rt._settle_or_schedule(sreq)
+            if not sreq.done:
+                yield sreq.trigger
+        block, payload = rreq.status.payload
         out[block] = payload
     return out
 

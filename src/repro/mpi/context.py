@@ -29,6 +29,8 @@ from repro.mpi.request import RecvRequest, Request, SendRequest, Status
 class RankContext:
     """One rank's view of the world."""
 
+    __slots__ = ("world", "rt", "comm")
+
     def __init__(self, world, rank: int, comm: Optional[Communicator] = None) -> None:
         self.world = world
         self.rt = world.runtimes[rank]
@@ -120,11 +122,20 @@ class RankContext:
         comm: Optional[Communicator] = None,
     ) -> Generator:
         """Concurrent send+recv (the halo-exchange workhorse)."""
+        rt = self.rt
         sreq = self.isend(dst, payload, nbytes, tag, comm)
         rreq = self.irecv(src, tag, comm)
-        status = yield from self.rt.wait(rreq)
-        yield from self.rt.wait(sreq)
-        return status
+        # Fused debt-flush + receive wait (see MPIRuntime._recv_block),
+        # then the send request is settled directly.
+        block = rt._recv_block(rreq)
+        if block is not None:
+            yield block
+        if not sreq.done:
+            if sreq.completes_at_ns >= 0:
+                rt._settle_or_schedule(sreq)
+            if not sreq.done:
+                yield sreq.trigger
+        return rreq.status
 
     # ------------------------------------------------------------------
     # Completion
@@ -280,13 +291,52 @@ class RankContext:
     # Compute model / checkpointing / patterns
     # ------------------------------------------------------------------
     def compute(self, ns: int) -> Generator:
-        """Spend ``ns`` of virtual CPU time."""
-        yield from self.rt.compute(ns)
+        """Spend ``ns`` of virtual CPU time.
+
+        Body inlined from MPIRuntime.compute: one generator object per
+        compute phase instead of two (hot: once per app iteration)."""
+        rt = self.rt
+        if ns < 0:
+            raise ValueError("negative compute time")
+        rt.compute_total_ns += ns
+        debt, rt.cpu_debt_ns = rt.cpu_debt_ns, 0
+        total = ns + debt
+        warp = rt.world.warp
+        if warp is not None:
+            warp.on_compute(rt, total)
+        sleep = rt._csleep
+        sleep.delay_ns = total
+        yield sleep
 
     def maybe_checkpoint(self, state_fn: Callable[[], dict]) -> Generator:
         """Offer the protocol a checkpoint opportunity (app is quiescent)."""
         result = yield from self.rt.maybe_checkpoint(state_fn)
         return result
+
+    # ------------------------------------------------------------------
+    # Steady-state warp cooperation (repro.sim.warp)
+    # ------------------------------------------------------------------
+    def declare_warpable(self) -> None:
+        """Declare this rank's loop warp-capable.
+
+        Contract: the loop body starts with ``maybe_checkpoint`` followed
+        by exactly one leading ``compute`` phase, calls :meth:`warp_jump`
+        immediately after that compute, and — when granted a jump of K —
+        advances its *own* state (loop index, accumulators) by exactly
+        what K skipped iterations would have produced.  Warp mode only
+        engages when every live rank has declared."""
+        self.rt.warp_capable = True
+
+    def warp_jump(self) -> int:
+        """Iterations fast-forwarded for this rank since the last call.
+
+        Returns 0 in exact mode (and almost always): nonzero exactly
+        once per granted warp, at the first post-grant loop body."""
+        rt = self.rt
+        k = rt.warp_skip
+        if k:
+            rt.warp_skip = 0
+        return k
 
     def declare_pattern(self) -> int:
         """SPBC API: DECLARE_PATTERN — returns a fresh pattern id."""

@@ -65,6 +65,16 @@ class ProtocolHooks:
     def send_overhead_ns(self, runtime: "MPIRuntime", env: "Envelope") -> int:
         return 0
 
+    def on_send_with_cost(self, runtime: "MPIRuntime", env: "Envelope"):
+        """Combined send-path hook: ``(on_send decision, overhead ns)``.
+
+        The runtime calls this once per send; the default composes the
+        two simple hooks, so subclasses overriding ``on_send`` /
+        ``send_overhead_ns`` keep working.  A protocol may install a
+        fused implementation to avoid the double dispatch (and double
+        cluster resolution) on the hottest path — see SPBC."""
+        return self.on_send(runtime, env), self.send_overhead_ns(runtime, env)
+
     # -- receive path --------------------------------------------------
     def on_arrival(
         self,
@@ -86,6 +96,21 @@ class ProtocolHooks:
         pass
 
     # -- checkpointing ---------------------------------------------------
+    def checkpoint_noop(self, runtime: "MPIRuntime") -> bool:
+        """Fast predicate called once per ``maybe_checkpoint``: return
+        True when this call would be an immediate no-op, letting the
+        runtime skip the generator machinery on the per-iteration hot
+        path.  Implementations may use it to advance per-call counters
+        (it is guaranteed to run exactly once per application
+        ``maybe_checkpoint`` call, before ``maybe_checkpoint`` itself).
+
+        Defaults to False — the safe answer for subclasses that
+        override ``maybe_checkpoint`` without knowing about this fast
+        path (their checkpoints would otherwise be silently skipped).
+        Protocols with a real no-op case override it (SPBC;
+        NativeHooks below)."""
+        return False
+
     def maybe_checkpoint(
         self, runtime: "MPIRuntime", state_fn: Callable[[], dict]
     ) -> Generator:
@@ -100,3 +125,6 @@ class ProtocolHooks:
 
 class NativeHooks(ProtocolHooks):
     """Unmodified-MPI baseline (the paper's reference performance)."""
+
+    def checkpoint_noop(self, runtime: "MPIRuntime") -> bool:
+        return True  # native MPI never checkpoints

@@ -22,11 +22,14 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
 from repro.mpi.message import Envelope
 from repro.mpi.request import RecvRequest
 
 
 class MatchingEngine:
+    __slots__ = ("_match_allowed", "posted", "unexpected", "matches")
+
     def __init__(self, match_allowed: Callable[[RecvRequest, Envelope], bool]) -> None:
         self._match_allowed = match_allowed
         self.posted: List[RecvRequest] = []
@@ -42,10 +45,15 @@ class MatchingEngine:
         unexpected message satisfies it, else queues the request."""
         if req.matched_env is not None:
             raise AssertionError("request posted twice")
+        if not self.unexpected:  # fast path: nothing queued
+            self.posted.append(req)
+            return None
+        allowed = self._match_allowed
         for i, env in enumerate(self.unexpected):
-            if self.allowed(req, env):
+            if req.header_matches(env) and allowed(req, env):
                 del self.unexpected[i]
-                self._bind(req, env)
+                req.matched_env = env
+                self.matches += 1
                 return env
         self.posted.append(req)
         return None
@@ -53,10 +61,22 @@ class MatchingEngine:
     def arrive(self, env: Envelope) -> Optional[RecvRequest]:
         """Process an arriving envelope; returns the matched request if a
         posted request satisfies it, else queues the message."""
+        allowed = self._match_allowed
+        comm_id = env.comm_id
+        src = env.src
+        tag = env.tag
+        # header_matches inlined: this loop runs once per delivered
+        # message and the call overhead was measurable.
         for i, req in enumerate(self.posted):
-            if self.allowed(req, env):
+            if (
+                req.comm_id == comm_id
+                and (req.src == ANY_SOURCE or req.src == src)
+                and (req.tag == ANY_TAG or req.tag == tag)
+                and allowed(req, env)
+            ):
                 del self.posted[i]
-                self._bind(req, env)
+                req.matched_env = env  # _bind inlined (once per message)
+                self.matches += 1
                 return req
         self.unexpected.append(env)
         return None

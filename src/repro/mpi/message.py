@@ -15,7 +15,7 @@ from typing import Any, Optional, Tuple
 from repro.mpi.constants import DEFAULT_IDENT
 
 
-@dataclass
+@dataclass(slots=True)
 class Envelope:
     """Metadata + payload of one application-level message."""
 
@@ -51,14 +51,14 @@ class Envelope:
 # Wire-level payloads (what actually travels through repro.sim.network)
 # ----------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class EagerMsg:
     """Envelope + payload shipped in one shot (small messages)."""
 
     env: Envelope
 
 
-@dataclass
+@dataclass(slots=True)
 class RtsMsg:
     """Rendezvous request-to-send: envelope only, payload stays behind."""
 
@@ -66,14 +66,14 @@ class RtsMsg:
     send_req_id: int
 
 
-@dataclass
+@dataclass(slots=True)
 class CtsMsg:
     """Rendezvous clear-to-send, returned once the receive is matched."""
 
     send_req_id: int
 
 
-@dataclass
+@dataclass(slots=True)
 class RvzData:
     """Rendezvous payload transfer."""
 
@@ -81,7 +81,7 @@ class RvzData:
     send_req_id: int
 
 
-@dataclass
+@dataclass(slots=True)
 class ControlMsg:
     """Out-of-band protocol message (Rollback, lastMessage, coordinator
     traffic...).  Routed to the protocol hooks, never to MPI matching."""

@@ -10,13 +10,14 @@ per-rank posting sequence number (paper section 3.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import count
 from typing import Any, Optional, Tuple
 
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG, DEFAULT_IDENT
 from repro.sim.engine import Trigger
 
 
-@dataclass
+@dataclass(slots=True)
 class Status:
     """Completion information (MPI_Status subset + received payload)."""
 
@@ -27,19 +28,41 @@ class Status:
 
 
 class Request:
-    """Base request: a one-shot completion trigger plus a status."""
+    """Base request: a one-shot completion trigger plus a status.
 
-    __slots__ = ("done", "status", "trigger", "req_id", "cancelled")
+    The trigger is created lazily on first access: requests that complete
+    before anyone waits on them (eager sends finishing at NIC-inject
+    time, receives matched from the unexpected queue) never allocate one.
+    Until completion, ``status`` is a shared immutable-by-convention
+    placeholder — completion always installs a fresh Status.
+    """
 
-    _next_id = 0
+    __slots__ = (
+        "done", "status", "_trigger", "req_id", "cancelled", "completes_at_ns",
+    )
+
+    _ids = count(1)
+    _PENDING_STATUS = Status()
 
     def __init__(self) -> None:
         self.done = False
         self.cancelled = False
-        self.status = Status()
-        Request._next_id += 1
-        self.req_id = Request._next_id
-        self.trigger = Trigger(name=f"req{self.req_id}")
+        self.status = Request._PENDING_STATUS
+        self.req_id = next(Request._ids)
+        self._trigger: Optional[Trigger] = None
+        # >= 0: an eager send completing lazily at that virtual time (no
+        # engine event; the runtime settles it at observation points —
+        # see MPIRuntime._settle/_settle_or_schedule).  -1 otherwise.
+        self.completes_at_ns = -1
+
+    @property
+    def trigger(self) -> Trigger:
+        t = self._trigger
+        if t is None:
+            t = self._trigger = Trigger()
+            if self.done:
+                t.fire(self.status)
+        return t
 
     def complete(self, status: Optional[Status] = None) -> None:
         if self.done:
@@ -47,7 +70,8 @@ class Request:
         self.done = True
         if status is not None:
             self.status = status
-        self.trigger.fire(self.status)
+        if self._trigger is not None:
+            self._trigger.fire(self.status)
 
 
 class SendRequest(Request):
@@ -61,7 +85,13 @@ class SendRequest(Request):
     __slots__ = ("env", "post_seq", "complete_seq", "rendezvous", "suppressed")
 
     def __init__(self, env, post_seq: int, rendezvous: bool) -> None:
-        super().__init__()
+        # Base init inlined (one request per send on the hot path).
+        self.done = False
+        self.cancelled = False
+        self.status = Request._PENDING_STATUS
+        self.req_id = next(Request._ids)
+        self._trigger = None
+        self.completes_at_ns = -1
         self.env = env
         self.post_seq = post_seq
         self.complete_seq = -1
@@ -82,7 +112,13 @@ class RecvRequest(Request):
         req_seq: int,
         ident: Tuple[int, int] = DEFAULT_IDENT,
     ) -> None:
-        super().__init__()
+        # Base init inlined (one request per receive on the hot path).
+        self.done = False
+        self.cancelled = False
+        self.status = Request._PENDING_STATUS
+        self.req_id = next(Request._ids)
+        self._trigger = None
+        self.completes_at_ns = -1
         self.src = src  # world rank or ANY_SOURCE
         self.tag = tag
         self.comm_id = comm_id

@@ -35,7 +35,7 @@ from repro.mpi.message import (
 from repro.mpi.request import RecvRequest, Request, SendRequest, Status
 from repro.sim.engine import AllOf, AnyOf, Engine, SimError, Trigger
 from repro.sim.network import Network, NetworkParams, Packet, Topology
-from repro.sim.process import SimProcess
+from repro.sim.process import DebtWait, SimProcess, SleepMarker
 from repro.sim.tracing import CommEvent, Trace
 
 # CPU cost of handing a loopback (self) message through shared memory.
@@ -52,6 +52,17 @@ class MPIRuntime:
         self.engine: Engine = world.engine
         self.hooks: ProtocolHooks = world.hooks
         self.matching = MatchingEngine(self.hooks.match_allowed)
+        self.trace = world.trace  # cached: consulted on every send/recv
+        self._trace_on = world.trace.enabled  # immutable for a run
+        self._eager_threshold = world.eager_threshold
+        self._comms = world.comms.comms  # cached: one dict hit per deliver
+        # Identifier-stamping capability: set by the protocol at attach()
+        # (SPBC with ident_matching).  When False, messages/requests carry
+        # DEFAULT_IDENT without a per-call hook dispatch.
+        self.stamp_idents = False
+        # Protocol-owned per-rank state, cached here by SPBC at attach()
+        # and restore_rank() so the per-message hooks skip a dict lookup.
+        self.spbc_state = None
         self.alive = True
         self.incarnation = 0
 
@@ -87,7 +98,24 @@ class MPIRuntime:
         self.pattern_iters: Dict[int, int] = {}
 
         # Fires on every accepted arrival; blocking probe waits on it.
-        self._arrival_signal = Trigger(name=f"r{rank}.arrival")
+        self._arrival_signal = Trigger()
+
+        # Reusable sleep markers (repro.sim.process.SleepMarker): at most
+        # one sleep is ever outstanding per rank, so every virtual sleep
+        # mutates one of these two objects instead of allocating
+        # (_csleep for application compute phases, _sleep for CPU-debt
+        # flushes inside blocking calls — the warp detector tells them
+        # apart).
+        self._sleep = SleepMarker()
+        self._csleep = SleepMarker(is_compute=True)
+        # Fused debt-flush + trigger wait (repro.sim.process.DebtWait).
+        self._debt_gate = DebtWait()
+
+        # Steady-state warp cooperation (repro.sim.warp): an application
+        # declares itself warp-capable via RankContext.declare_warpable,
+        # and consumes granted iteration jumps via RankContext.warp_jump.
+        self.warp_capable = False
+        self.warp_skip = 0
 
         # Collective instance counters, per communicator.
         self._coll_seq: Dict[int, int] = {}
@@ -159,41 +187,49 @@ class MPIRuntime:
         comm = comm or self.world.comm_world
         if not self.alive:
             raise SimError(f"rank {self.rank}: isend on dead runtime")
+        # Inlined next_seqnum: one dict lookup on the hottest path.
+        comm_id = comm.comm_id
+        key = (comm_id, dst)
+        chan_seq = self.chan_seq
+        seqnum = chan_seq.get(key, 0) + 1
+        chan_seq[key] = seqnum
         env = Envelope(
-            src=self.rank,
-            dst=dst,
-            tag=tag,
-            comm_id=comm.comm_id,
-            seqnum=self.next_seqnum(comm.comm_id, dst),
-            nbytes=nbytes,
-            payload=payload,
-            ident=self.hooks.message_ident(self),
+            self.rank,
+            dst,
+            tag,
+            comm_id,
+            seqnum,
+            nbytes,
+            payload,
+            self.active_ident if self.stamp_idents else DEFAULT_IDENT,
         )
         self._send_post_seq += 1
         req = SendRequest(
             env,
             self._send_post_seq,
-            rendezvous=nbytes > self.world.eager_threshold and dst != self.rank,
+            rendezvous=nbytes > self._eager_threshold and dst != self.rank,
         )
-        self.send_post_order.append(env.message_key)
-        self.world.trace.record(
-            CommEvent(
-                kind="send",
-                rank=self.rank,
-                time_ns=self.engine.now,
-                channel=env.channel,
-                seqnum=env.seqnum,
-                tag=tag,
-                nbytes=nbytes,
-                ident=env.ident,
+        if self._trace_on:
+            # The send post/completion order logs (section 5.2.2) are
+            # offline-analysis artifacts like the trace itself: recorded
+            # only when tracing, never consulted by the simulation.
+            self.send_post_order.append(env.message_key)
+            self.trace.record(
+                CommEvent(
+                    kind="send",
+                    rank=self.rank,
+                    time_ns=self.engine.now,
+                    channel=env.channel,
+                    seqnum=env.seqnum,
+                    tag=tag,
+                    nbytes=nbytes,
+                    ident=env.ident,
+                )
             )
-        )
-        overhead = self.hooks.send_overhead_ns(self, env)
+        decision, overhead = self.hooks.on_send_with_cost(self, env)
         if overhead:
-            self.charge_cpu(overhead)
+            self.cpu_debt_ns += overhead
             self.overhead_total_ns += overhead
-
-        decision = self.hooks.on_send(self, env)
         if decision is False:
             # Destination already received this message (recovery filter,
             # Algorithm 1 line 7).
@@ -210,10 +246,17 @@ class MPIRuntime:
             # *before* the message reaches the wire: delay the physical
             # transfer by the same amount, serialized per sender.  This is
             # what makes logging visible end-to-end (Table 2) instead of
-            # disappearing into the receivers' waits.
+            # disappearing into the receivers' waits.  The transfer stays
+            # a scheduled event on purpose: folding the delay into the
+            # packet would assign the delivery its engine sequence number
+            # at isend time, which reorders same-timestamp ties and
+            # (measurably, on the ANY_SOURCE apps) changes executions —
+            # exact mode must stay bit-identical to the seed.
             at = max(self.engine.now, self._send_busy_until) + overhead
             self._send_busy_until = at
-            self.engine.schedule_at(at, self._transmit_evt, env, req, self.incarnation)
+            self.engine.schedule_at_fast(
+                at, self._transmit_evt, env, req, self.incarnation
+            )
         else:
             self._transmit(env, req)
         return req
@@ -221,13 +264,29 @@ class MPIRuntime:
     def _transmit_evt(self, env: Envelope, req: SendRequest, inc: int) -> None:
         if inc != self.incarnation or not self.alive:
             return
+        # Eager non-loopback path inlined from _transmit (this event runs
+        # once per protocol-charged send — the common SPBC case).
+        if not req.rendezvous and env.dst != self.rank:
+            pkt = self.world.network.send(
+                self.rank, env.dst, EagerMsg(env), env.nbytes + WIRE_HEADER_BYTES
+            )
+            if self._trace_on:
+                self.engine.schedule_at_fast(
+                    pkt.inject_done_at, self._complete_send_evt, req,
+                    self.incarnation,
+                )
+            else:
+                req.completes_at_ns = pkt.inject_done_at
+            return
         self._transmit(env, req)
 
     def _transmit(self, env: Envelope, req: SendRequest) -> None:
         """Physically move one envelope (eager, rendezvous, or loopback)."""
         if env.dst == self.rank:
             copy_ns = LOOPBACK_FIXED_NS + int(env.nbytes * LOOPBACK_NS_PER_BYTE)
-            self.engine.schedule(copy_ns, self._loopback_arrival, env, self.incarnation)
+            self.engine.schedule_fast(
+                copy_ns, self._loopback_arrival, env, self.incarnation
+            )
             self._complete_send(req)
             return
         if req.rendezvous:
@@ -239,10 +298,19 @@ class MPIRuntime:
             pkt = self.world.network.send(
                 self.rank, env.dst, EagerMsg(env), env.nbytes + WIRE_HEADER_BYTES
             )
-            # Local completion once the NIC finished injecting the payload.
-            self.engine.schedule_at(
-                pkt.inject_done_at, self._complete_send_evt, req, self.incarnation
-            )
+            # Local completion once the NIC finished injecting the
+            # payload.  With tracing off, no engine event is spent on
+            # it: the request completes lazily at its first observation
+            # (_settle/_settle_or_schedule) — same completion time, one
+            # event per send saved.  Tracing keeps the evented path so
+            # send_complete_order records the true global order.
+            if self._trace_on:
+                self.engine.schedule_at_fast(
+                    pkt.inject_done_at, self._complete_send_evt, req,
+                    self.incarnation,
+                )
+            else:
+                req.completes_at_ns = pkt.inject_done_at
 
     def isend_raw(self, env: Envelope) -> SendRequest:
         """Send a pre-built envelope verbatim (log replay).
@@ -283,13 +351,59 @@ class MPIRuntime:
             return
         self._complete_send(req)
 
+    def _recv_block(self, rreq: Request):
+        """Arm the fused debt-flush + receive-wait idiom; returns the
+        object to yield, or None when no blocking is needed.
+
+        One non-generator call shared by every inlined wait site
+        (RankContext.sendrecv, collectives.barrier/allgather): pending
+        CPU debt rides the receive wait as a DebtWait gate (resume at
+        max(debt deadline, completion)), a bare debt with the receive
+        already done becomes a plain sleep, and a debt-free incomplete
+        receive blocks on its trigger directly."""
+        debt = self.cpu_debt_ns
+        if debt > 0:
+            self.cpu_debt_ns = 0
+            if rreq.done:
+                sleep = self._sleep
+                sleep.delay_ns = debt
+                return sleep
+            gate = self._debt_gate
+            gate.deadline_ns = self.engine.now + debt
+            gate.trigger = rreq.trigger
+            return gate
+        if not rreq.done:
+            return rreq.trigger
+        return None
+
+    def _settle(self, req: Request) -> None:
+        """Complete a lazily-completing send whose time has passed
+        (nonblocking observation points: test/testall/testany)."""
+        if req.completes_at_ns <= self.engine.now:
+            req.completes_at_ns = -1
+            self._complete_send(req)
+
+    def _settle_or_schedule(self, req: Request) -> None:
+        """Blocking observation points: settle a due lazy completion, or
+        materialize the completion event so the wait's trigger fires."""
+        ca = req.completes_at_ns
+        req.completes_at_ns = -1
+        if ca <= self.engine.now:
+            self._complete_send(req)
+        else:
+            self.engine.schedule_at_fast(
+                ca, self._complete_send_evt, req, self.incarnation
+            )
+
     def _complete_send(self, req: SendRequest) -> None:
         if req.done:
             return
         self._send_complete_seq += 1
         req.complete_seq = self._send_complete_seq
-        self.send_complete_order.append(req.env.message_key)
-        req.complete(Status(source=-1, tag=req.env.tag, nbytes=req.env.nbytes))
+        if self._trace_on:
+            self.send_complete_order.append(req.env.message_key)
+        env = req.env
+        req.complete(Status(-1, env.tag, env.nbytes))
 
     def _loopback_arrival(self, env: Envelope, inc: int) -> None:
         if inc != self.incarnation or not self.alive:
@@ -316,20 +430,21 @@ class MPIRuntime:
             tag=tag,
             comm_id=comm.comm_id,
             req_seq=self._recv_post_seq,
-            ident=self.hooks.request_ident(self),
+            ident=self.active_ident if self.stamp_idents else DEFAULT_IDENT,
         )
-        self.world.trace.record(
-            CommEvent(
-                kind="post",
-                rank=self.rank,
-                time_ns=self.engine.now,
-                channel=(src, self.rank, comm.comm_id),
-                seqnum=-1,
-                tag=tag,
-                req_seq=req.req_seq,
-                ident=req.ident,
+        if self._trace_on:
+            self.trace.record(
+                CommEvent(
+                    kind="post",
+                    rank=self.rank,
+                    time_ns=self.engine.now,
+                    channel=(src, self.rank, comm.comm_id),
+                    seqnum=-1,
+                    tag=tag,
+                    req_seq=req.req_seq,
+                    ident=req.ident,
+                )
             )
-        )
         env = self.matching.post(req)
         if env is not None:
             self._on_matched(req, env)
@@ -344,28 +459,41 @@ class MPIRuntime:
         else:
             if rvz_send_req_id is not None:
                 self._rvz_unexpected[env.message_key] = rvz_send_req_id
-            self._on_matched(req, env)
-        # Wake blocked probes/waiters that poll the unexpected queue.
-        sig, self._arrival_signal = self._arrival_signal, Trigger(
-            name=f"r{self.rank}.arrival"
-        )
-        sig.fire()
+                self._on_matched(req, env)
+            elif self._trace_on or self._rvz_unexpected:
+                self._on_matched(req, env)
+            else:
+                # Flattened common path: eager match, no tracing, no
+                # rendezvous bookkeeping pending — complete in place.
+                self._complete_recv(req, env)
+        # Wake blocked probes/waiters that poll the unexpected queue.  An
+        # un-waited (still pending) signal can simply stay in place: a
+        # fresh trigger is only needed once this one fired for somebody.
+        sig = self._arrival_signal
+        if sig._waiters:
+            self._arrival_signal = Trigger()
+            sig.fire()
 
     def _on_matched(self, req: RecvRequest, env: Envelope) -> None:
-        self.world.trace.record(
-            CommEvent(
-                kind="match",
-                rank=self.rank,
-                time_ns=self.engine.now,
-                channel=env.channel,
-                seqnum=env.seqnum,
-                tag=env.tag,
-                nbytes=env.nbytes,
-                req_seq=req.req_seq,
-                ident=env.ident,
+        if self._trace_on:
+            self.trace.record(
+                CommEvent(
+                    kind="match",
+                    rank=self.rank,
+                    time_ns=self.engine.now,
+                    channel=env.channel,
+                    seqnum=env.seqnum,
+                    tag=env.tag,
+                    nbytes=env.nbytes,
+                    req_seq=req.req_seq,
+                    ident=env.ident,
+                )
             )
+        rvz_id = (
+            self._rvz_unexpected.pop(env.message_key, None)
+            if self._rvz_unexpected
+            else None
         )
-        rvz_id = self._rvz_unexpected.pop(env.message_key, None)
         if rvz_id is not None:
             # Rendezvous: grant the sender a CTS; completion at data arrival.
             self._rvz_awaiting_data[env.message_key] = req
@@ -376,43 +504,48 @@ class MPIRuntime:
         self._complete_recv(req, env)
 
     def _complete_recv(self, req: RecvRequest, env: Envelope) -> None:
-        comm = self.world.comms.comms[env.comm_id]
-        status = Status(
-            source=comm.comm_rank(env.src),
-            tag=env.tag,
-            nbytes=env.nbytes,
-            payload=env.payload,
-        )
-        self.world.trace.record(
-            CommEvent(
-                kind="deliver",
-                rank=self.rank,
-                time_ns=self.engine.now,
-                channel=env.channel,
-                seqnum=env.seqnum,
-                tag=env.tag,
-                nbytes=env.nbytes,
-                req_seq=req.req_seq,
-                ident=env.ident,
+        comm = self._comms[env.comm_id]
+        # Direct map hit (the sender is a member by construction); the
+        # checked comm_rank() accessor costs a try/except per delivery.
+        status = Status(comm._rank_of_world[env.src], env.tag, env.nbytes, env.payload)
+        if self._trace_on:
+            self.trace.record(
+                CommEvent(
+                    kind="deliver",
+                    rank=self.rank,
+                    time_ns=self.engine.now,
+                    channel=env.channel,
+                    seqnum=env.seqnum,
+                    tag=env.tag,
+                    nbytes=env.nbytes,
+                    req_seq=req.req_seq,
+                    ident=env.ident,
+                )
             )
-        )
         self.hooks.on_deliver(self, env)
-        req.complete(status)
+        # req.complete() inlined (once per delivered message).
+        if not req.done:
+            req.done = True
+            req.status = status
+            trigger = req._trigger
+            if trigger is not None:
+                trigger.fire(status)
 
     # ------------------------------------------------------------------
-    # Packet dispatch (network sink)
+    # Packet dispatch (net sink)
     # ------------------------------------------------------------------
     def _on_packet(self, pkt: Packet) -> None:
         payload = pkt.payload
-        if isinstance(payload, EagerMsg):
+        cls = payload.__class__  # exact wire types; no subclassing
+        if cls is EagerMsg:
             env = payload.env
             if self.hooks.on_arrival(self, env, None):
                 self.accept_arrival(env)
-        elif isinstance(payload, RtsMsg):
+        elif cls is RtsMsg:
             env = payload.env
             if self.hooks.on_arrival(self, env, payload.send_req_id):
                 self.accept_arrival(env, rvz_send_req_id=payload.send_req_id)
-        elif isinstance(payload, CtsMsg):
+        elif cls is CtsMsg:
             req = self._rvz_pending_cts.pop(payload.send_req_id, None)
             if req is None:
                 return  # sender restarted; stale CTS
@@ -422,15 +555,15 @@ class MPIRuntime:
                 RvzData(req.env, req.req_id),
                 req.env.nbytes + WIRE_HEADER_BYTES,
             )
-            self.engine.schedule_at(
+            self.engine.schedule_at_fast(
                 data_pkt.inject_done_at, self._complete_send_evt, req, self.incarnation
             )
-        elif isinstance(payload, RvzData):
+        elif cls is RvzData:
             req = self._rvz_awaiting_data.pop(payload.env.message_key, None)
             if req is None:
                 return  # receiver restarted; stale data
             self._complete_recv(req, payload.env)
-        elif isinstance(payload, ControlMsg):
+        elif cls is ControlMsg:
             self.hooks.on_control(self, payload)
         else:  # pragma: no cover - wiring error
             raise SimError(f"rank {self.rank}: unknown packet payload {payload!r}")
@@ -445,7 +578,9 @@ class MPIRuntime:
     def _flush_debt(self) -> Generator:
         if self.cpu_debt_ns > 0:
             debt, self.cpu_debt_ns = self.cpu_debt_ns, 0
-            yield self.engine.timeout(debt)
+            sleep = self._sleep
+            sleep.delay_ns = debt
+            yield sleep
 
     def compute(self, ns: int) -> Generator:
         """Model ``ns`` of local computation."""
@@ -453,16 +588,36 @@ class MPIRuntime:
             raise ValueError("negative compute time")
         self.compute_total_ns += ns
         debt, self.cpu_debt_ns = self.cpu_debt_ns, 0
-        yield self.engine.timeout(ns + debt)
+        total = ns + debt
+        warp = self.world.warp
+        if warp is not None:
+            warp.on_compute(self, total)
+        sleep = self._csleep
+        sleep.delay_ns = total
+        yield sleep
 
     def wait(self, req: Request) -> Generator:
-        yield from self._flush_debt()
+        if self.cpu_debt_ns > 0:
+            debt, self.cpu_debt_ns = self.cpu_debt_ns, 0
+            sleep = self._sleep
+            sleep.delay_ns = debt
+            yield sleep
         if not req.done:
-            yield req.trigger
+            if req.completes_at_ns >= 0:
+                self._settle_or_schedule(req)
+            if not req.done:
+                yield req.trigger
         return req.status
 
     def waitall(self, reqs: List[Request]) -> Generator:
-        yield from self._flush_debt()
+        if self.cpu_debt_ns > 0:
+            debt, self.cpu_debt_ns = self.cpu_debt_ns, 0
+            sleep = self._sleep
+            sleep.delay_ns = debt
+            yield sleep
+        for r in reqs:
+            if not r.done and r.completes_at_ns >= 0:
+                self._settle_or_schedule(r)
         pending = [r.trigger for r in reqs if not r.done]
         if pending:
             yield AllOf(pending)
@@ -478,6 +633,9 @@ class MPIRuntime:
         if not reqs:
             raise ValueError("waitany on empty request list")
         yield from self._flush_debt()
+        for r in reqs:
+            if not r.done and r.completes_at_ns >= 0:
+                self._settle_or_schedule(r)
         while True:
             for i, r in enumerate(reqs):
                 if r.done:
@@ -486,9 +644,14 @@ class MPIRuntime:
 
     def test(self, req: Request) -> Tuple[bool, Optional[Status]]:
         """MPI_Test: nonblocking completion check."""
+        if not req.done and req.completes_at_ns >= 0:
+            self._settle(req)
         return (True, req.status) if req.done else (False, None)
 
     def testall(self, reqs: List[Request]) -> Tuple[bool, Optional[List[Status]]]:
+        for r in reqs:
+            if not r.done and r.completes_at_ns >= 0:
+                self._settle(r)
         if all(r.done for r in reqs):
             return True, [r.status for r in reqs]
         return False, None
@@ -498,6 +661,8 @@ class MPIRuntime:
         request, or (False, -1, None).  Like MPI_Waitany, one of the
         paper's sources of timing non-determinism (section 3.2)."""
         for i, r in enumerate(reqs):
+            if not r.done and r.completes_at_ns >= 0:
+                self._settle(r)
             if r.done:
                 return True, i, r.status
         return False, -1, None
@@ -508,6 +673,9 @@ class MPIRuntime:
         if not reqs:
             raise ValueError("waitsome on empty request list")
         yield from self._flush_debt()
+        for r in reqs:
+            if not r.done and r.completes_at_ns >= 0:
+                self._settle_or_schedule(r)
         while True:
             done = [(i, r.status) for i, r in enumerate(reqs) if r.done]
             if done:
@@ -578,7 +746,19 @@ class MPIRuntime:
 
     def maybe_checkpoint(self, state_fn: Callable[[], dict]) -> Generator:
         """Cooperative checkpoint opportunity (delegated to the protocol)."""
-        yield from self._flush_debt()
+        warp = self.world.warp
+        if warp is not None:
+            warp.on_iteration(self)
+        if self.cpu_debt_ns > 0:
+            debt, self.cpu_debt_ns = self.cpu_debt_ns, 0
+            sleep = self._sleep
+            sleep.delay_ns = debt
+            yield sleep
+        if self.hooks.checkpoint_noop(self):
+            # Fast path: the protocol declined this call (cadence not
+            # due / checkpointing off) — skip the generator machinery
+            # entirely.  This is once per app iteration per rank.
+            return None
         result = yield from self.hooks.maybe_checkpoint(self, state_fn)
         return result
 
@@ -589,6 +769,7 @@ class MPIRuntime:
         """Crash this rank's library state (failure injection)."""
         self.alive = False
         self.incarnation += 1
+        self.warp_skip = 0  # an unconsumed jump dies with the incarnation
         self.world.network.detach(self.rank)
         self.matching.clear()
         self._rvz_pending_cts.clear()
@@ -605,7 +786,7 @@ class MPIRuntime:
         by the protocol (they are part of the checkpoint)."""
         self.alive = True
         self.matching = MatchingEngine(self.hooks.match_allowed)
-        self._arrival_signal = Trigger(name=f"r{self.rank}.arrival")
+        self._arrival_signal = Trigger()
         self.chan_seq = {}
         self._coll_seq = {}
         self._recv_post_seq = 0
@@ -670,7 +851,9 @@ class MPIRuntime:
         if dst == self.rank:
             # Local control delivery (e.g. a rank hosting a coordinator
             # role talking to itself): cheap in-process hop.
-            self.engine.schedule(LOOPBACK_FIXED_NS, self._local_control, msg, self.incarnation)
+            self.engine.schedule_fast(
+                LOOPBACK_FIXED_NS, self._local_control, msg, self.incarnation
+            )
             return
         self.world.network.send(
             self.rank, dst, msg, nbytes + WIRE_HEADER_BYTES
@@ -702,6 +885,8 @@ class World:
         self.comms = CommunicatorRegistry(nranks)
         self.hooks = hooks or NativeHooks()
         self.eager_threshold = eager_threshold
+        # Steady-state warp controller (repro.sim.warp); None = exact mode.
+        self.warp = None
         self.runtimes: List[MPIRuntime] = [MPIRuntime(self, r) for r in range(nranks)]
         for rt in self.runtimes:
             self.hooks.attach(rt)

@@ -2,21 +2,38 @@
 
 Design notes
 ------------
-* The event queue is a binary heap of ``(time_ns, seq, fn, args)`` where
-  ``seq`` is a global monotone counter assigned at scheduling time.  Two
-  events at the same virtual time therefore fire in scheduling order,
+* The event queue is a binary heap of ``(time_ns, seq, handle, fn, args)``
+  where ``seq`` is a global monotone counter assigned at scheduling time.
+  Two events at the same virtual time therefore fire in scheduling order,
   making whole executions reproducible byte-for-byte.
 * Blocking is expressed with :class:`Trigger` objects.  A process
   generator yields a trigger and is resumed with ``trigger.value`` once it
   fires.  Triggers are single-fire.  ``AnyOf``/``AllOf`` compose them.
 * The engine deliberately knows nothing about MPI or protocols; it only
   schedules callables and wakes trigger waiters.
+
+Fast paths (profiled on the Tier-1 workloads, see
+``tools/profile_hotpath.py`` and ``docs/performance.md``):
+
+* :meth:`Engine.schedule_fast` / :meth:`Engine.schedule_at_fast` skip the
+  :class:`EventHandle` allocation for the ~90% of events that are never
+  cancelled (process resumes, send completions, timer fires).
+* :meth:`Engine.timeout_pooled` recycles timeout triggers through a free
+  list, so the hottest pattern in every workload — a virtual sleep per
+  compute phase — allocates nothing in steady state.  Pooled triggers are
+  engine-internal: they must be waited on before they fire and must not
+  be composed or stored (the public :meth:`Engine.timeout` keeps the
+  allocate-per-call semantics for arbitrary composition).
+* The :meth:`Engine.run` loop binds its hot locals and pops directly in
+  the common no-deadline case.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from heapq import heappush as _heappush
 
 
 class SimError(RuntimeError):
@@ -47,12 +64,32 @@ class EventHandle:
 class Engine:
     """The virtual clock and event queue."""
 
+    __slots__ = (
+        "now",
+        "_heap",
+        "_seq",
+        "_running",
+        "_stopped",
+        "_timeout_pool",
+        "events_executed",
+        "compute_sleepers",
+        "processes",
+    )
+
     def __init__(self) -> None:
         self.now: int = 0
         self._heap: List[tuple] = []
         self._seq: int = 0
         self._running = False
         self._stopped = False
+        # Free list of recycled timeout triggers (see timeout_pooled).
+        self._timeout_pool: List["_Timeout"] = []
+        # Cumulative events executed across run() calls (simperf metric).
+        self.events_executed: int = 0
+        # Processes currently blocked in a *compute* sleep (maintained by
+        # the process driver; lets the warp detector gate its O(n)
+        # quiescence probe on an O(1) check).
+        self.compute_sleepers: int = 0
         # Processes register here so run() can detect deadlock; the engine
         # treats them opaquely (anything with .is_blocked and .name).
         self.processes: List[Any] = []
@@ -68,8 +105,21 @@ class Engine:
             raise ValueError(f"negative delay {delay_ns}")
         handle = EventHandle()
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay_ns, self._seq, handle, fn, args))
+        _heappush(self._heap, (self.now + delay_ns, self._seq, handle, fn, args))
         return handle
+
+    def schedule_fast(
+        self, delay_ns: int, fn: Callable[..., None], *args: Any
+    ) -> None:
+        """Like :meth:`schedule` but without a cancellation handle.
+
+        For the hot internal call sites that never cancel their events
+        (process resumes, timer fires, send completions): one tuple push,
+        no :class:`EventHandle` allocation."""
+        if delay_ns < 0:
+            raise ValueError(f"negative delay {delay_ns}")
+        self._seq += 1
+        _heappush(self._heap, (self.now + delay_ns, self._seq, None, fn, args))
 
     def schedule_at(
         self, time_ns: int, fn: Callable[..., None], *args: Any
@@ -79,10 +129,43 @@ class Engine:
             raise ValueError(f"cannot schedule in the past ({time_ns} < {self.now})")
         return self.schedule(time_ns - self.now, fn, *args)
 
+    def schedule_at_fast(
+        self, time_ns: int, fn: Callable[..., None], *args: Any
+    ) -> None:
+        """Absolute-time variant of :meth:`schedule_fast`."""
+        if time_ns < self.now:
+            raise ValueError(f"cannot schedule in the past ({time_ns} < {self.now})")
+        self._seq += 1
+        _heappush(self._heap, (time_ns, self._seq, None, fn, args))
+
     def timeout(self, delay_ns: int) -> "Trigger":
-        """A trigger that fires ``delay_ns`` from now (virtual sleep)."""
-        trig = Trigger(name=f"timeout+{delay_ns}")
-        self.schedule(delay_ns, trig.fire, None)
+        """A trigger that fires ``delay_ns`` from now (virtual sleep).
+
+        Allocates a fresh trigger every call; safe to compose (AnyOf /
+        AllOf) or inspect after the run.  Hot internal sleeps use
+        :meth:`timeout_pooled` instead."""
+        trig = Trigger()
+        self.schedule_fast(delay_ns, trig.fire, None)
+        return trig
+
+    def timeout_pooled(self, delay_ns: int) -> "Trigger":
+        """A free-listed virtual sleep for the hottest path.
+
+        The returned trigger is recycled into the engine's pool the
+        moment it fires, so steady-state sleeping allocates nothing.
+        Contract (engine-internal): the caller must register its waiter
+        before the deadline (in practice: yield it in the same event that
+        created it) and must not compose it into AnyOf/AllOf or read it
+        after it fired."""
+        pool = self._timeout_pool
+        if pool:
+            trig = pool.pop()
+            trig.fired = False
+            trig.value = None
+        else:
+            trig = _Timeout(pool)
+        self._seq += 1
+        _heappush(self._heap, (self.now + delay_ns, self._seq, None, trig.fire, ()))
         return trig
 
     # ------------------------------------------------------------------
@@ -105,26 +188,42 @@ class Engine:
         self._running = True
         self._stopped = False
         executed = 0
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap:
-                if self._stopped:
-                    break
-                time_ns, _seq, handle, fn, args = self._heap[0]
-                if until_ns is not None and time_ns > until_ns:
-                    self.now = until_ns
-                    break
-                heapq.heappop(self._heap)
-                if handle.cancelled:
-                    continue
-                self.now = time_ns
-                fn(*args)
-                executed += 1
-                if max_events is not None and executed >= max_events:
-                    raise SimError(
-                        f"exceeded max_events={max_events}; likely livelock"
-                    )
+            if until_ns is None and max_events is None:
+                # Hot loop: no deadline, no event budget — the common case
+                # for full-run simulations.
+                while heap:
+                    if self._stopped:
+                        break
+                    time_ns, _seq, handle, fn, args = pop(heap)
+                    if handle is not None and handle.cancelled:
+                        continue
+                    self.now = time_ns
+                    fn(*args)
+                    executed += 1
+            else:
+                while heap:
+                    if self._stopped:
+                        break
+                    time_ns = heap[0][0]
+                    if until_ns is not None and time_ns > until_ns:
+                        self.now = until_ns
+                        break
+                    time_ns, _seq, handle, fn, args = pop(heap)
+                    if handle is not None and handle.cancelled:
+                        continue
+                    self.now = time_ns
+                    fn(*args)
+                    executed += 1
+                    if max_events is not None and executed >= max_events:
+                        raise SimError(
+                            f"exceeded max_events={max_events}; likely livelock"
+                        )
         finally:
             self._running = False
+            self.events_executed += executed
         if detect_deadlock and not self._stopped and not self._heap:
             stuck = [p for p in self.processes if getattr(p, "is_blocked", False)]
             if stuck:
@@ -142,6 +241,19 @@ class Engine:
     def pending_events(self) -> int:
         return len(self._heap)
 
+    # ------------------------------------------------------------------
+    # Warp support (see repro.sim.warp): shift every pending event and
+    # the clock by a constant.  Adding the same delta to every key
+    # preserves the heap invariant and all same-time sequencing exactly.
+    # ------------------------------------------------------------------
+    def shift_pending(self, delta_ns: int) -> None:
+        if delta_ns < 0:
+            raise ValueError(f"negative warp shift {delta_ns}")
+        heap = self._heap  # mutate in place: run() holds a local alias
+        for i, (t, seq, handle, fn, args) in enumerate(heap):
+            heap[i] = (t + delta_ns, seq, handle, fn, args)
+        self.now += delta_ns
+
 
 class Trigger:
     """A single-fire wakeup condition.
@@ -150,14 +262,25 @@ class Trigger:
     process driver and composite triggers implement it).  ``fire`` may be
     called before any waiter registers; late waiters observe ``fired`` and
     do not block.
+
+    Waiters are kept in an insertion-ordered dict keyed by identity, so
+    wake order stays deterministic while ``discard_waiter`` is O(1)
+    (the old list-based removal was an O(n) scan on every wait
+    cancellation — hot under waitany-style composites).
     """
 
     __slots__ = ("fired", "value", "_waiters", "name")
 
+    #: True only for virtual-sleep wakeups (pooled timeouts / sleep
+    #: markers); is_compute further marks application compute phases —
+    #: the warp detector keys on both.
+    is_sleep = False
+    is_compute = False
+
     def __init__(self, name: str = "") -> None:
         self.fired = False
         self.value: Any = None
-        self._waiters: List[Any] = []
+        self._waiters: Dict[int, Any] = {}
         self.name = name
 
     def fire(self, value: Any = None) -> None:
@@ -166,44 +289,77 @@ class Trigger:
             return
         self.fired = True
         self.value = value
-        waiters, self._waiters = self._waiters, []
-        for w in waiters:
-            w._trigger_fired(self)
+        waiters = self._waiters
+        if waiters:
+            self._waiters = {}
+            for w in waiters.values():
+                w._trigger_fired(self)
 
     def add_waiter(self, waiter: Any) -> None:
         if self.fired:
             waiter._trigger_fired(self)
         else:
-            self._waiters.append(waiter)
+            self._waiters[id(waiter)] = waiter
 
     def discard_waiter(self, waiter: Any) -> None:
-        try:
-            self._waiters.remove(waiter)
-        except ValueError:
-            pass
+        self._waiters.pop(id(waiter), None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "fired" if self.fired else "pending"
         return f"<Trigger {self.name or id(self):x} {state}>"
 
 
+class _Timeout(Trigger):
+    """A pooled virtual-sleep trigger (see Engine.timeout_pooled).
+
+    Returns itself to the engine's free list as soon as it fires; by the
+    pooled-timeout contract every waiter registered before the deadline
+    and read ``value`` synchronously inside ``fire``, so nothing can
+    observe the recycled object afterwards.
+    """
+
+    __slots__ = ("_pool",)
+
+    is_sleep = True
+
+    def __init__(self, pool: List["_Timeout"]) -> None:
+        super().__init__()
+        self._pool = pool
+
+    def fire(self, value: Any = None) -> None:
+        if self.fired:
+            return
+        self.fired = True
+        self.value = value
+        waiters = self._waiters
+        if waiters:
+            self._waiters = {}
+            for w in waiters.values():
+                w._trigger_fired(self)
+        self._pool.append(self)
+
+
 class AnyOf(Trigger):
     """Fires when any child trigger fires; value = (index, child_value)."""
 
-    __slots__ = ("children",)
+    __slots__ = ("children", "_index")
 
     def __init__(self, children: Iterable[Trigger]) -> None:
         super().__init__(name="any")
         self.children = list(children)
         if not self.children:
             raise ValueError("AnyOf requires at least one child")
+        # Precomputed identity -> position map: _trigger_fired used to
+        # call children.index(child), an O(n) scan per completion that
+        # dominated waitany-heavy workloads.
+        self._index = {id(c): i for i, c in enumerate(self.children)}
         for child in self.children:
             child.add_waiter(self)
 
     def _trigger_fired(self, child: Trigger) -> None:
         if self.fired:
             return
-        idx = self.children.index(child)
+        idx = self._index[id(child)]
         for other in self.children:
             if other is not child:
                 other.discard_waiter(self)

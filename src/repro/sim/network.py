@@ -30,6 +30,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from heapq import heappush as _heappush
+
 from repro.sim.engine import Engine
 from repro.util.units import KB, US
 
@@ -92,7 +94,7 @@ class NetworkParams:
         return self.inject_fixed_ns + int(nbytes * self.inject_ns_per_byte)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One transfer on the wire (an MPI message fragment or control msg)."""
 
@@ -109,6 +111,23 @@ class Packet:
 class Network:
     """Connects ranks; delivers packets to a per-rank callback."""
 
+    __slots__ = (
+        "engine",
+        "topology",
+        "params",
+        "_rng",
+        "_pcache",
+        "_nranks",
+        "_chan_state",
+        "_nic_free",
+        "_node_of",
+        "_sinks",
+        "_in_flight",
+        "_flight_ids",
+        "packets_sent",
+        "bytes_sent",
+    )
+
     def __init__(
         self,
         engine: Engine,
@@ -119,18 +138,35 @@ class Network:
         self.engine = engine
         self.topology = topology
         self.params = params or NetworkParams()
+        p = self.params
+        # Hot-path constants unpacked per send in one tuple load.
+        self._pcache = (
+            p.inject_fixed_ns, p.inject_ns_per_byte,
+            p.alpha_intra_ns, p.beta_intra_ns_per_byte,
+            p.alpha_inter_ns, p.beta_inter_ns_per_byte,
+        )
         self._rng = random.Random(seed ^ 0x5B5C_2013)
-        # Per-directed-pair last-arrival time, to enforce FIFO.
-        self._last_arrival: Dict[Tuple[int, int], int] = {}
-        self._chan_seq: Dict[Tuple[int, int], int] = {}
+        # Per-directed-pair [last_arrival_ns, fifo_seq], stored in a flat
+        # src*nranks+dst list: one index per send instead of a tuple
+        # hash (FIFO enforcement + channel numbering share the entry).
+        self._nranks = topology.nranks
+        self._chan_state: List[Optional[List[int]]] = (
+            [None] * (topology.nranks * topology.nranks)
+        )
         # Per-rank NIC availability time (sender serialization).
         self._nic_free: List[int] = [0] * topology.nranks
+        # Cached rank -> node map (send-path: same-node test is two list
+        # indexings instead of a method call with range checks).
+        self._node_of: List[int] = [
+            topology.node_of(r) for r in range(topology.nranks)
+        ]
         # Delivery sinks, installed by the MPI runtimes.
         self._sinks: List[Optional[Callable[[Packet], None]]] = [
             None
         ] * topology.nranks
-        # In-flight bookkeeping for failure purge: handle + packet.
-        self._in_flight: Dict[int, Tuple[object, Packet]] = {}
+        # In-flight packets by flight id (failure purge removes entries;
+        # the delivery event then no-ops).
+        self._in_flight: Dict[int, Packet] = {}
         self._flight_ids = 0
         # Counters (useful for tests/benches).
         self.packets_sent = 0
@@ -157,44 +193,49 @@ class Network:
                              "messages are handled inside the MPI runtime")
         if nbytes < 0:
             raise ValueError("negative nbytes")
-        p = self.params
-        now = self.engine.now
-        inject = p.inject_time(nbytes)
-        start = max(now, self._nic_free[src])
-        self._nic_free[src] = start + inject
-        same = self.topology.same_node(src, dst)
-        jitter = self._rng.randrange(p.jitter_max_ns + 1) if p.jitter_max_ns else 0
-        arrival = start + inject + p.wire_time(same, nbytes) + jitter
-        key = (src, dst)
-        prev = self._last_arrival.get(key, 0)
-        if arrival <= prev:
-            arrival = prev + 1  # preserve FIFO and strict ordering
-        self._last_arrival[key] = arrival
-        seq = self._chan_seq.get(key, 0) + 1
-        self._chan_seq[key] = seq
+        inj_f, inj_b, a_in, b_in, a_ex, b_ex = self._pcache
+        engine = self.engine
+        now = engine.now
+        inject = inj_f + int(nbytes * inj_b)
+        nic_free = self._nic_free
+        start = nic_free[src]
+        if now > start:
+            start = now
+        nic_free[src] = start + inject
+        node_of = self._node_of
+        if node_of[src] == node_of[dst]:
+            wire = a_in + int(nbytes * b_in)
+        else:
+            wire = a_ex + int(nbytes * b_ex)
+        jitter_max = self.params.jitter_max_ns
+        jitter = self._rng.randrange(jitter_max + 1) if jitter_max else 0
+        arrival = start + inject + wire + jitter
+        idx = src * self._nranks + dst
+        state = self._chan_state[idx]
+        if state is None:
+            state = self._chan_state[idx] = [0, 0]
+        if arrival <= state[0]:
+            arrival = state[0] + 1  # preserve FIFO and strict ordering
+        state[0] = arrival
+        seq = state[1] + 1
+        state[1] = seq
 
-        pkt = Packet(
-            src=src,
-            dst=dst,
-            payload=payload,
-            nbytes=nbytes,
-            sent_at=now,
-            inject_done_at=start + inject,
-            arrives_at=arrival,
-            channel_seq=seq,
-        )
+        pkt = Packet(src, dst, payload, nbytes, now, start + inject, arrival, seq)
         fid = self._flight_ids = self._flight_ids + 1
-        handle = self.engine.schedule_at(arrival, self._deliver, fid)
-        self._in_flight[fid] = (handle, pkt)
+        # No cancellation handle: purging a packet removes it from the
+        # in-flight table, and the delivery event no-ops on the miss.
+        # (schedule_at_fast inlined — arrival >= now by construction.)
+        engine._seq += 1
+        _heappush(engine._heap, (arrival, engine._seq, None, self._deliver, (fid,)))
+        self._in_flight[fid] = pkt
         self.packets_sent += 1
         self.bytes_sent += nbytes
         return pkt
 
     def _deliver(self, fid: int) -> None:
-        entry = self._in_flight.pop(fid, None)
-        if entry is None:
-            return
-        _handle, pkt = entry
+        pkt = self._in_flight.pop(fid, None)
+        if pkt is None:
+            return  # purged at rollback time
         sink = self._sinks[pkt.dst]
         if sink is None:
             return  # destination dead and not yet restarted: packet lost
@@ -210,16 +251,23 @@ class Network:
         """
         doomed = [
             fid
-            for fid, (_h, pkt) in self._in_flight.items()
+            for fid, pkt in self._in_flight.items()
             if pkt.src in ranks or pkt.dst in ranks
         ]
         for fid in doomed:
-            handle, _pkt = self._in_flight.pop(fid)
-            handle.cancel()
+            del self._in_flight[fid]
         return len(doomed)
 
     def in_flight_count(self) -> int:
         return len(self._in_flight)
+
+    def chan_state_items(self):
+        """Active directed pairs as ((src, dst), [last_arrival, seq])
+        (warp snapshot/apply helper over the flat store)."""
+        n = self._nranks
+        for idx, state in enumerate(self._chan_state):
+            if state is not None:
+                yield divmod(idx, n), state
 
 
 DEFAULT_EAGER_THRESHOLD = 64 * KB

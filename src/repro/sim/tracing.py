@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommEvent:
     """One traced communication event.
 
@@ -45,9 +45,16 @@ class CommEvent:
 class Trace:
     """Append-only event log for one execution."""
 
+    __slots__ = ("enabled", "events", "warp_pair_bytes")
+
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self.events: List[CommEvent] = []
+        # Aggregate (src, dst) -> app bytes credited by warp fast-forward:
+        # warped iterations record no per-message events, but the byte
+        # totals they represent still feed comm_bytes_matrix so the
+        # clustering/Table-1 pipeline sees the full communication volume.
+        self.warp_pair_bytes: Dict[Tuple[int, int], int] = {}
 
     def record(self, event: CommEvent) -> None:
         if self.enabled:
@@ -100,6 +107,8 @@ class Trace:
         for e in self.sends():
             src, dst, _comm = e.channel
             mat[src, dst] += e.nbytes
+        for (src, dst), nbytes in self.warp_pair_bytes.items():
+            mat[src, dst] += nbytes
         return mat
 
     def __len__(self) -> int:

@@ -19,10 +19,13 @@ Used by :class:`~repro.storage.backend.TieredBackend` for
   with every rank's pipeline in flight concurrently;
 * **partner rebuild**: re-replication flows after a failed node returns.
 
-Simplification (documented): a tier's read and write sides are separate
-resources, so restart reads do not steal bandwidth from an in-flight
-flush on the same tier.  This matches the common modeling of PFS
-read/write lanes and keeps both sides processor-sharing-exact.
+By default a tier's read and write sides are separate resources, so
+restart reads do not steal bandwidth from an in-flight flush on the same
+tier (the common modeling of PFS read/write lanes, and the only sound
+choice when the tier declares an asymmetric read bandwidth).  Tiers
+built with ``StorageTier(unified_lane=True)`` instead share ONE lane
+between directions: a restore read slows a draining flush and vice
+versa, processor-sharing-exact across the mixed flow set.
 """
 
 from __future__ import annotations
@@ -50,12 +53,18 @@ class IOScheduler:
                 t.bandwidth_bytes_per_s,
                 shared=t.shared,
             )
-            self._read[t.name] = BandwidthResource(
-                engine,
-                f"{t.name}.read",
-                t.read_bandwidth_bytes_per_s or t.bandwidth_bytes_per_s,
-                shared=t.shared,
-            )
+            if t.unified_lane:
+                # One lane for both directions: restart reads and
+                # in-flight flushes genuinely contend for the same
+                # bandwidth (ROADMAP follow-up from PR 4).
+                self._read[t.name] = self._write[t.name]
+            else:
+                self._read[t.name] = BandwidthResource(
+                    engine,
+                    f"{t.name}.read",
+                    t.read_bandwidth_bytes_per_s or t.bandwidth_bytes_per_s,
+                    shared=t.shared,
+                )
         # Completed write flows on *shared* tiers, as (start_ns, end_ns,
         # rank, round_no) windows — the measured (not assumed) PFS burst
         # timeline behind ``SPBC.peak_concurrent_pfs_writers``.

@@ -31,6 +31,13 @@ class StorageTier:
     # side dodges the RAID/commit write penalty); None keeps the read
     # side equal to the write side.
     read_bandwidth_bytes_per_s: Optional[float] = None
+    # Event-driven I/O only (repro.storage.iosched): True makes reads
+    # and writes share ONE bandwidth lane, so a restart read genuinely
+    # steals bandwidth from an in-flight async flush on the same tier
+    # (the default keeps the classic separate read/write lane model).
+    # Incompatible with an asymmetric read bandwidth — one lane has one
+    # capacity.
+    unified_lane: bool = False
 
     def __post_init__(self) -> None:
         if (
@@ -38,6 +45,11 @@ class StorageTier:
             and self.read_bandwidth_bytes_per_s <= 0
         ):
             raise ValueError(f"{self.name}: read bandwidth must be positive")
+        if self.unified_lane and self.read_bandwidth_bytes_per_s is not None:
+            raise ValueError(
+                f"{self.name}: unified_lane shares one lane between reads "
+                "and writes, so an asymmetric read bandwidth cannot apply"
+            )
 
     def _xfer_time_ns(self, nbytes: int, bw: float, concurrent: int) -> int:
         if nbytes < 0:

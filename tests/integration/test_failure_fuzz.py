@@ -190,6 +190,68 @@ def test_fuzz_data_plane_modes_converge_deep(seed, ckpt_data):
     run_fuzz(seed, "partner:ram@1,partner@1,pfs@4", app(), ckpt_data=ckpt_data)
 
 
+# ----------------------------------------------------------------------
+# Warp acceptance pair: same seeds, --warp on/off, identical outcomes.
+# Pending failure events veto the steady-state detector, so warp can at
+# most engage in the post-recovery failure-free tail — and whether it
+# does or not, simulated time, results, and the Table 1 log counters
+# must match exact mode bit for bit.
+# ----------------------------------------------------------------------
+
+WARP_FUZZ_ITERS = 24
+
+
+def _warp_pair(seed, spec, schedule_from=None, iters=WARP_FUZZ_ITERS,
+               checkpoint_every=2):
+    factory = ring_app(iters=iters, msg_bytes=2048, compute_ns=200_000)
+    clusters = ClusterMap.block(NRANKS, 4)
+
+    def run(warp):
+        return run_failure_schedule(
+            factory,
+            NRANKS,
+            clusters,
+            schedule_from or [],
+            config=SPBCConfig(
+                clusters=clusters, checkpoint_every=checkpoint_every
+            ),
+            ranks_per_node=RPN,
+            storage=spec,
+            warp=iters if warp else None,
+        )
+
+    exact, warped = run(False), run(True)
+    assert warped.makespan_ns == exact.makespan_ns, (seed, spec)
+    assert warped.results == exact.results, (seed, spec)
+    eh, wh = exact.world.hooks, warped.world.hooks
+    assert wh.total_bytes_logged() == eh.total_bytes_logged(), (seed, spec)
+    assert wh.log_growth_rates_mb_s(
+        warped.makespan_ns
+    ) == eh.log_growth_rates_mb_s(exact.makespan_ns), (seed, spec)
+    return warped
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("spec", BACKENDS)
+@pytest.mark.parametrize("seed", range(10, 16))
+def test_fuzz_warp_acceptance_pair_with_failures(seed, spec):
+    """Nightly: randomized failure schedules with --warp on/off must be
+    indistinguishable (the detector stays conservative around crashes)."""
+    factory = ring_app(iters=WARP_FUZZ_ITERS, msg_bytes=2048,
+                       compute_ns=200_000)
+    ref = run_native(factory, NRANKS, ranks_per_node=RPN)
+    schedule = random_schedule(seed, ref.makespan_ns)
+    _warp_pair(seed, spec, schedule_from=schedule)
+
+
+def test_fuzz_warp_acceptance_pair_failure_free():
+    """PR gate: on a failure-free schedule (no checkpoint rounds to
+    interrupt the steady window) warp genuinely engages and still
+    reproduces exact mode's time and counters."""
+    out = _warp_pair(0, "memory", iters=40, checkpoint_every=None)
+    assert out.world.warp.warped_iterations > 0
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("seed", [7, 8, 9])
 def test_fuzz_halo_app_with_auto_interval(seed):

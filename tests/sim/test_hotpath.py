@@ -1,0 +1,226 @@
+"""Hot-path machinery: fast scheduling, pooled timeouts, sleep markers.
+
+Covers the PR-5 overhaul's engine-level contracts:
+
+* ``schedule_fast``/``schedule_at_fast`` interleave exactly with the
+  handle-carrying variants (global seq order);
+* pooled timeouts are recycled through the free list and never leak;
+* virtual sleeps allocate nothing in steady state — a tracemalloc bound
+  over many iterations (the satellite's no-per-iteration-growth
+  assertion);
+* the O(1) composite-trigger bookkeeping (AnyOf index map, dict-based
+  waiter discard) behaves like the old O(n) scans.
+"""
+
+import tracemalloc
+
+import pytest
+
+from repro.sim.engine import AnyOf, Engine, Trigger
+from repro.sim.process import SimProcess, SleepMarker
+
+
+def test_schedule_fast_interleaves_with_schedule():
+    eng = Engine()
+    order = []
+    eng.schedule(5, order.append, "handled")
+    eng.schedule_fast(5, order.append, "fast")
+    eng.schedule_at_fast(5, order.append, "at-fast")
+    eng.schedule(5, order.append, "handled2")
+    eng.run()
+    assert order == ["handled", "fast", "at-fast", "handled2"]
+
+
+def test_schedule_fast_rejects_negative_delay_and_past_times():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.schedule_fast(-1, lambda: None)
+    eng.schedule(10, lambda: None)
+    eng.run()
+    with pytest.raises(ValueError):
+        eng.schedule_at_fast(5, lambda: None)
+
+
+def test_cancelled_handle_skips_only_that_event():
+    eng = Engine()
+    fired = []
+    h = eng.schedule(10, fired.append, "cancelled")
+    eng.schedule_fast(10, fired.append, "fast")
+    h.cancel()
+    eng.run()
+    assert fired == ["fast"]
+
+
+def test_pooled_timeouts_recycle_through_the_free_list():
+    eng = Engine()
+    t1 = eng.timeout_pooled(5)
+    got = []
+    t1.add_waiter(type("W", (), {"_trigger_fired": lambda s, t: got.append(t)})())
+    eng.run()
+    assert got == [t1]
+    assert eng._timeout_pool == [t1]  # recycled after firing
+    t2 = eng.timeout_pooled(3)
+    assert t2 is t1  # reused, reset
+    assert not t2.fired
+    eng.run()
+    assert len(eng._timeout_pool) == 1
+
+
+def test_events_executed_accumulates_across_runs():
+    eng = Engine()
+    eng.schedule_fast(1, lambda: None)
+    eng.run()
+    eng.schedule_fast(1, lambda: None)
+    eng.schedule_fast(2, lambda: None)
+    eng.run()
+    assert eng.events_executed == 3
+
+
+def test_shift_pending_preserves_order_and_is_visible_to_run():
+    """Warp support: shifting mid-run must mutate the live heap (run()
+    holds a local alias) and keep same-time sequencing."""
+    eng = Engine()
+    order = []
+
+    def shift_and_record():
+        order.append(("pre", eng.now))
+        eng.shift_pending(1_000)
+
+    eng.schedule(5, shift_and_record)
+    eng.schedule(7, lambda: order.append(("a", eng.now)))
+    eng.schedule(7, lambda: order.append(("b", eng.now)))
+    eng.run()
+    assert order == [("pre", 5), ("a", 1_007), ("b", 1_007)]
+
+
+def test_sleep_markers_allocate_nothing_in_steady_state():
+    """The satellite's tracemalloc bound: after warm-up, a long stretch
+    of iterations (virtual sleeps + pooled timeouts) must not grow the
+    traced allocation footprint per iteration."""
+
+    def spin(n_iters):
+        eng = Engine()
+        marker = SleepMarker(is_compute=True)
+
+        def proc():
+            for _ in range(n_iters):
+                marker.delay_ns = 100
+                yield marker
+                t = eng.timeout_pooled(50)
+                yield t
+
+        SimProcess(eng, "spinner", proc()).start()
+        return eng
+
+    # Warm-up: interpreter caches, the pooled trigger, freelists.
+    eng = spin(50)
+    eng.run()
+
+    eng = spin(5_000)
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    eng.run()
+    after, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    # 5000 iterations x (1 sleep + 1 pooled timeout): a fixed overhead
+    # is fine (heap growth transients), per-iteration growth is not.
+    # The old allocate-a-trigger-per-sleep engine grew by ~100 bytes per
+    # iteration here (>500 KB); keep a hard ceiling far below that.
+    assert after - before < 64 * 1024, (before, after, peak)
+
+
+def test_engine_slots_reject_stray_attributes():
+    eng = Engine()
+    with pytest.raises(AttributeError):
+        eng.not_an_attribute = 1
+
+
+class _Waiter:
+    def __init__(self):
+        self.woken = []
+
+    def _trigger_fired(self, trig):
+        self.woken.append(trig.value)
+
+
+def test_anyof_index_map_matches_child_positions():
+    children = [Trigger() for _ in range(10)]
+    comp = AnyOf(children)
+    w = _Waiter()
+    comp.add_waiter(w)
+    children[7].fire("seven")
+    assert w.woken == [(7, "seven")]
+    # Losers were discarded in O(1) each; firing them later is inert.
+    children[2].fire("late")
+    assert w.woken == [(7, "seven")]
+
+
+def test_waiter_discard_is_order_preserving():
+    t = Trigger()
+    ws = [_Waiter() for _ in range(4)]
+    for w in ws:
+        t.add_waiter(w)
+    t.discard_waiter(ws[1])
+    t.fire("v")
+    assert [w.woken for w in ws] == [["v"], [], ["v"], ["v"]]
+
+
+def test_debtwait_stale_deadline_resume_cannot_wake_a_restarted_rank():
+    """A DebtWait whose trigger fired before the deadline schedules a
+    delayed resume.  If the rank crashes and a restarted incarnation
+    re-blocks on the *reused* gate before that deadline, the stale event
+    must not wake the new wait (incarnation counters restart at 0
+    across process objects, so the guard must use identity)."""
+    from repro.sim.engine import Engine, Trigger
+    from repro.sim.process import DebtWait, ProcessStatus, SimProcess
+
+    eng = Engine()
+    gate = DebtWait()
+    t1, t2 = Trigger(), Trigger()
+    progress = []
+
+    def first():
+        gate.deadline_ns = 1_000
+        gate.trigger = t1
+        yield gate
+        progress.append("first resumed")
+
+    def second():
+        gate.deadline_ns = 5_000
+        gate.trigger = t2
+        yield gate
+        progress.append("second resumed")
+
+    p1 = SimProcess(eng, "first", first())
+    p1.start()
+    eng.schedule(10, t1.fire)  # fire well before the 1000ns deadline
+    eng.run(until_ns=20)  # the delayed resume is now pending at t=1000
+    p1.kill()  # crash before the deadline; gate unhooked
+
+    p2 = SimProcess(eng, "second", second())
+    p2.start()
+    eng.schedule(3_000, t2.fire)  # the second wait's own completion
+    eng.run(until_ns=2_000)  # the stale t=1000 event fires here
+    # The new wait must still be blocked: its own trigger never fired.
+    assert progress == []
+    assert p2.status is ProcessStatus.BLOCKED
+    eng.run()
+    assert progress == ["second resumed"]
+
+
+def test_compute_sleeper_counter_balances_across_kill():
+    eng = Engine()
+    marker = SleepMarker(is_compute=True)
+
+    def sleeper():
+        marker.delay_ns = 1_000
+        yield marker
+
+    proc = SimProcess(eng, "s", sleeper())
+    proc.start()
+    eng.run(until_ns=10)
+    assert eng.compute_sleepers == 1
+    proc.kill()
+    assert eng.compute_sleepers == 0
+    eng.run()  # the stale wake no-ops
+    assert eng.compute_sleepers == 0

@@ -1,0 +1,187 @@
+"""Warp-vs-exact equivalence: the fast-forward's exactness contract.
+
+Every property here compares a full exact-mode run against the same
+scenario with ``warp=<iters>`` and requires *identical* observable
+outcomes: simulated end time, per-rank results, the Table 1 log
+counters (bytes and records logged, growth rates), the traced
+communication-byte matrix, and — when checkpointing — the commit
+history (rounds and timestamps).  The fuzzed-seed matrix varies rank
+counts, cluster maps, message sizes, and compute grain so the detector
+sees different pipeline skews and periods.
+"""
+
+import pytest
+
+from repro.apps.synthetic import halo2d_app, ring_app
+from repro.core.clusters import ClusterMap
+from repro.core.protocol import SPBCConfig
+from repro.harness.runner import run_spbc
+from repro.sim.warp import WarpConfig
+
+
+def run_pair(factory, iters, n, k, rpn=4, ckpt=None, storage=None):
+    cm = ClusterMap.block(n, k)
+
+    def kw():
+        d = {}
+        if ckpt is not None:
+            d["config"] = SPBCConfig(
+                clusters=cm, checkpoint_every=ckpt, state_nbytes=1 << 20
+            )
+            d["storage"] = storage
+        return d
+
+    exact = run_spbc(factory, n, cm, ranks_per_node=rpn, **kw())
+    warped = run_spbc(factory, n, cm, ranks_per_node=rpn, warp=iters, **kw())
+    return exact, warped
+
+
+def assert_equivalent(exact, warped, nranks, check_rounds=False):
+    assert warped.makespan_ns == exact.makespan_ns
+    assert warped.finish_ns == exact.finish_ns
+    assert warped.results == exact.results
+    # Table 1 counters: total and per-rank bytes/records logged.
+    assert (
+        warped.hooks.total_bytes_logged() == exact.hooks.total_bytes_logged()
+    )
+    for r in range(nranks):
+        le, lw = exact.hooks.state[r].log, warped.hooks.state[r].log
+        assert lw.bytes_logged == le.bytes_logged, r
+        assert lw.records_logged == le.records_logged, r
+    assert warped.hooks.log_growth_rates_mb_s(
+        warped.makespan_ns
+    ) == exact.hooks.log_growth_rates_mb_s(exact.makespan_ns)
+    # Clustering input: the communication-byte matrix.
+    assert (
+        warped.trace.comm_bytes_matrix(nranks)
+        == exact.trace.comm_bytes_matrix(nranks)
+    ).all()
+    if check_rounds:
+        be, bw = exact.hooks.storage, warped.hooks.storage
+        for r in range(nranks):
+            assert bw.rounds_of(r) == be.rounds_of(r), r
+            for rnd in be.rounds_of(r):
+                assert (
+                    bw.retrieve(r, rnd).ckpt.taken_at_ns
+                    == be.retrieve(r, rnd).ckpt.taken_at_ns
+                ), (r, rnd)
+
+
+#: Fuzzed scenario matrix: (seed-ish variation, nranks, clusters,
+#: msg_bytes, compute_ns, iters).
+RING_MATRIX = [
+    (16, 4, 2048, 150_000, 30),
+    (16, 8, 4096, 200_000, 25),
+    (32, 4, 4096, 200_000, 30),
+    (32, 8, 1024, 300_000, 24),
+    (48, 6, 8192, 250_000, 22),
+]
+
+
+@pytest.mark.parametrize("n,k,msg,comp,iters", RING_MATRIX)
+def test_ring_warp_is_exact(n, k, msg, comp, iters):
+    factory = ring_app(iters=iters, msg_bytes=msg, compute_ns=comp)
+    exact, warped = run_pair(factory, iters, n, k)
+    assert warped.world.warp.warped_iterations > 0, "warp never engaged"
+    assert_equivalent(exact, warped, n)
+
+
+def test_halo_warp_is_exact():
+    factory = halo2d_app(iters=25, msg_bytes=8192, compute_ns=400_000)
+    exact, warped = run_pair(factory, 25, 36, 6, rpn=6)
+    assert warped.world.warp.warped_iterations > 0
+    assert_equivalent(exact, warped, 36)
+
+
+def test_warp_with_checkpoints_preserves_commit_history():
+    """Checkpoint rounds always run exact; warp covers the iterations in
+    between (long cadence so the steady window is wide enough)."""
+    iters = 64
+    factory = ring_app(iters=iters, msg_bytes=2048, compute_ns=200_000)
+    exact, warped = run_pair(
+        factory, iters, 16, 4, ckpt=24, storage="tiered:ram@1,pfs@2"
+    )
+    assert warped.world.warp.warped_iterations > 0
+    assert_equivalent(exact, warped, 16, check_rounds=True)
+
+
+def test_warp_never_jumps_into_the_final_iteration():
+    """The horizon contract: at least the last iteration runs exact, so
+    loop-exit behavior is never extrapolated."""
+    iters = 20
+    factory = ring_app(iters=iters, msg_bytes=2048, compute_ns=200_000)
+    _exact, warped = run_pair(factory, iters, 16, 4)
+    w = warped.world.warp
+    for r, count in w.iter_count.items():
+        assert count <= iters, (r, count)
+
+
+def test_warp_declines_non_periodic_apps():
+    """The allreduce variant alternates iteration shapes (and does not
+    declare warpable): the run must silently stay exact."""
+    iters = 16
+    factory = ring_app(
+        iters=iters, msg_bytes=2048, compute_ns=200_000, allreduce_every=4
+    )
+    exact, warped = run_pair(factory, iters, 16, 4)
+    assert warped.world.warp.warps == 0
+    assert_equivalent(exact, warped, 16)
+
+
+def test_warp_declines_jittered_networks():
+    """Seeded jitter breaks per-iteration delta equality: no warp, and
+    the run still matches exact mode trivially."""
+    from repro.sim.network import NetworkParams
+
+    iters = 16
+    factory = ring_app(iters=iters, msg_bytes=2048, compute_ns=200_000)
+    cm = ClusterMap.block(16, 4)
+    params = NetworkParams(jitter_max_ns=2_000)
+    exact = run_spbc(
+        factory, 16, cm, ranks_per_node=4, net_params=params, seed=3
+    )
+    warped = run_spbc(
+        factory, 16, cm, ranks_per_node=4, net_params=params, seed=3,
+        warp=iters,
+    )
+    assert warped.world.warp.warps == 0
+    assert warped.makespan_ns == exact.makespan_ns
+    assert warped.results == exact.results
+
+
+def test_long_period_singleton_clusters_need_a_wider_search():
+    """Pure message logging (one rank per cluster) rotates the
+    last-to-compute rank around the whole ring: the steady period spans
+    ~nranks anchors, found only with a wider max_period — and the jump
+    is still exact."""
+    iters = 80
+    n = 16
+    factory = ring_app(iters=iters, msg_bytes=4096, compute_ns=200_000)
+    cm = ClusterMap.singletons(n)
+    exact = run_spbc(factory, n, cm, ranks_per_node=4)
+    default = run_spbc(factory, n, cm, ranks_per_node=4, warp=iters)
+    assert default.world.warp.warps == 0  # period 16 > default search 8
+    wide = run_spbc(
+        factory, n, cm, ranks_per_node=4,
+        warp=WarpConfig(total_iters=iters, max_period=20),
+    )
+    assert wide.world.warp.warped_iterations > 0
+    assert_equivalent(exact, wide, n)
+
+
+def test_warp_config_spec_forms():
+    """run_spbc accepts both a bare iteration count and a WarpConfig."""
+    iters = 24
+    factory = ring_app(iters=iters, msg_bytes=2048, compute_ns=200_000)
+    cm = ClusterMap.block(16, 4)
+    a = run_spbc(factory, 16, cm, ranks_per_node=4, warp=iters)
+    b = run_spbc(
+        factory, 16, cm, ranks_per_node=4,
+        warp=WarpConfig(total_iters=iters, max_chunk=5),
+    )
+    assert a.makespan_ns == b.makespan_ns
+    assert a.results == b.results
+    # max_chunk bounds each jump, so the capped run needs more of them.
+    assert b.world.warp.warps >= a.world.warp.warps
+    for w in (a, b):
+        assert w.world.warp.warped_iterations > 0

@@ -149,6 +149,48 @@ def test_flow_restore_measures_contention():
     assert got[0].read_ns > solo_ns  # shared read bandwidth split
 
 
+def test_unified_lane_restore_read_steals_bandwidth_from_a_flush():
+    """StorageTier(unified_lane=True): a restore read and an in-flight
+    async flush share ONE lane, so the flush measurably slows while the
+    restore reads — against the default split-lane tier the same flush
+    is unaffected by the concurrent read (the PR-4 follow-up)."""
+    from dataclasses import replace
+
+    def run(unified):
+        engine = Engine()
+        tier = replace(pfs_tier(), unified_lane=unified)
+        plan = MultiLevelPlan(tiers=[tier], periods=[1])
+        b = TieredBackend(plan, async_flush=True)
+        b.bind_engine(engine)
+        b.save(ckpt(0, 1, nbytes=200 * MB))
+        engine.run()  # round 1 durably lands for both ranks' restore base
+        b.save(ckpt(1, 1, nbytes=200 * MB))
+        engine.run(until_ns=engine.now + 1)  # admit the flush flow
+        # Rank 0 starts restoring while rank 1's flush still drains.
+        got = {}
+        b.start_restore(0, 1, on_done=lambda rec: got.setdefault(0, rec))
+        flush_start = engine.now
+        engine.run()
+        flush_end = max(e for _s, e, _r, _n in b.shared_flow_windows())
+        return got[0].read_ns, flush_end - flush_start
+
+    split_read, split_flush = run(unified=False)
+    uni_read, uni_flush = run(unified=True)
+    # On the unified lane both directions slow each other down...
+    assert uni_flush > split_flush
+    assert uni_read > split_read
+    # ...and with equal sizes sharing one lane, the restore takes about
+    # as long as the (slowed) flush instead of running for free.
+    assert uni_read > 1.5 * split_read
+
+
+def test_unified_lane_rejects_asymmetric_read_bandwidth():
+    from dataclasses import replace
+
+    with pytest.raises(ValueError, match="unified_lane"):
+        replace(pfs_tier(read_gb_s=40.0), unified_lane=True)
+
+
 def test_asymmetric_pfs_read_bandwidth_speeds_up_restores():
     def run_restore(read_gb_s):
         engine = Engine()

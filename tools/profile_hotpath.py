@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Profile the simulator's hot path on the Tier-1-shaped workloads.
+
+The profiling run behind the PR-5 hot-path overhaul, committed so the
+measurement is reproducible::
+
+    PYTHONPATH=src python tools/profile_hotpath.py                 # all
+    PYTHONPATH=src python tools/profile_hotpath.py logging --ranks 128
+    PYTHONPATH=src python tools/profile_hotpath.py sync --sort cumulative
+
+Workloads (the shapes the simperf matrix and docs/performance.md talk
+about):
+
+* ``logging`` — the Table 1 shape: ring under SPBC with singleton
+  clusters (every message logged), no checkpointing;
+* ``sync``    — coordinated checkpoints every 4 iterations against a
+  ram+pfs plan (collective-heavy);
+* ``halo``    — the 2-D halo exchange (waitall-heavy).
+
+Output: raw wall-clock (profiler off), events/sec, then the cProfile
+top-N by the requested sort key.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import time
+
+from repro.apps.synthetic import halo2d_app, ring_app
+from repro.core.clusters import ClusterMap
+from repro.core.protocol import SPBCConfig
+from repro.harness.runner import run_spbc
+
+WORKLOADS = ("logging", "sync", "halo")
+
+
+def build(workload: str, nranks: int):
+    if workload == "logging":
+        factory = ring_app(iters=20, msg_bytes=4096, compute_ns=200_000)
+        cm = ClusterMap.singletons(nranks)
+        return lambda: run_spbc(factory, nranks, cm, trace=False)
+    if workload == "sync":
+        factory = ring_app(iters=20, msg_bytes=4096, compute_ns=200_000)
+        cm = ClusterMap.block(nranks, max(2, nranks // 8))
+        cfg = lambda: SPBCConfig(  # noqa: E731 - fresh config per run
+            clusters=cm, checkpoint_every=4, state_nbytes=1 << 20
+        )
+        return lambda: run_spbc(
+            factory, nranks, cm, config=cfg(),
+            storage="tiered:ram@1,pfs@4", trace=False,
+        )
+    if workload == "halo":
+        factory = halo2d_app(iters=10, msg_bytes=8192, compute_ns=400_000)
+        cm = ClusterMap.block(nranks, max(2, nranks // 8))
+        return lambda: run_spbc(factory, nranks, cm, trace=False)
+    raise SystemExit(f"unknown workload {workload!r} (pick from {WORKLOADS})")
+
+
+def profile_one(workload: str, nranks: int, sort: str, top: int) -> None:
+    run = build(workload, nranks)
+    # Raw wall first (profiler overhead excluded), best of 3.
+    wall = min(_timed(run) for _ in range(3))
+    res = run()
+    events = res.world.engine.events_executed
+    print(f"== {workload} @ {nranks} ranks ==")
+    print(
+        f"wall {wall:.3f}s   events {events}   "
+        f"{events / wall / 1e3:.0f} kev/s"
+    )
+    pr = cProfile.Profile()
+    pr.enable()
+    run()
+    pr.disable()
+    buf = io.StringIO()
+    pstats.Stats(pr, stream=buf).sort_stats(sort).print_stats(top)
+    print(buf.getvalue())
+
+
+def _timed(run) -> float:
+    t0 = time.perf_counter()
+    run()
+    return time.perf_counter() - t0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "workload", nargs="?", default=None,
+        help=f"one of {WORKLOADS} (default: all)",
+    )
+    ap.add_argument("--ranks", type=int, default=128)
+    ap.add_argument(
+        "--sort", default="tottime",
+        help="pstats sort key (tottime, cumulative, ncalls, ...)",
+    )
+    ap.add_argument("--top", type=int, default=25)
+    args = ap.parse_args()
+    for w in [args.workload] if args.workload else WORKLOADS:
+        profile_one(w, args.ranks, args.sort, args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
