@@ -13,13 +13,19 @@ Two jobs:
 """
 
 import json
+import os
 import pathlib
 
 import pytest
 
 from repro.harness.simperf import (
+    SHARD_NSHARDS,
+    SHARD_RANKS,
     check_regression,
+    check_shard_speedup,
+    format_shard_pair,
     format_simperf,
+    shard_pair,
     simperf_quick,
 )
 
@@ -68,3 +74,51 @@ def test_committed_baseline_documents_the_overhaul():
     assert w["warped_iterations"] > 0
     # Warp is exact: same simulated end time as exact mode.
     assert w["makespan_ns"] == e["makespan_ns"]
+
+
+def test_committed_baseline_documents_the_shard_pair():
+    """The baseline must carry the 4096-rank shard pair (PR 6): the
+    sharded row reproduces the exact row's simulated end time (the
+    exactness evidence at scale), and either documents the >=3x
+    wall-clock speedup or records that it was measured on a host
+    without the cores to show one (the CI shard smoke then measures it
+    live on multi-core runners)."""
+    baseline = _baseline()
+    cur = {r["scenario"]: r for r in baseline["rows"]}
+    exact = cur[f"{SHARD_RANKS}:shard-exact"]
+    sharded = cur[f"{SHARD_RANKS}:shard{SHARD_NSHARDS}"]
+    # Sharded mode is exact: same simulated makespan.
+    assert sharded["makespan_ns"] == exact["makespan_ns"]
+    speedup = exact["norm_cost"] / sharded["norm_cost"]
+    cpus = sharded.get("host_cpus", baseline.get("host_cpus", 0))
+    if cpus >= SHARD_NSHARDS:
+        assert speedup >= 3.0, (
+            f"{SHARD_RANKS}-rank shard speedup {speedup:.2f}x < 3x "
+            f"on a {cpus}-cpu measurement host"
+        )
+    else:
+        # Measured without the cores for parallelism: the pair is the
+        # overhead reference, and must at least show the window
+        # protocol is not pathological even fully serialized.
+        assert speedup >= 0.5, (
+            f"sharded overhead {1 / speedup:.2f}x even time-shared on "
+            f"{cpus} cpu(s) — window sync cost blew up"
+        )
+
+
+@pytest.mark.slow
+@pytest.mark.benchmark(group="simperf")
+def test_shard_pair_speedup_live(benchmark):
+    """Nightly: measure the 4096-rank shard pair on this host and gate
+    the speedup when the host has the cores (single-core hosts report
+    only)."""
+    pair = benchmark.pedantic(
+        lambda: shard_pair(nranks=SHARD_RANKS, nshards=SHARD_NSHARDS),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_shard_pair(pair))
+    problems = check_shard_speedup(pair)
+    assert not problems, "\n".join(problems)
+    if len(os.sched_getaffinity(0)) < 2:
+        pytest.skip("single-core host: speedup informational only")

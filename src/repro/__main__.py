@@ -89,6 +89,16 @@ def main(argv=None) -> int:
         "for reduced --ranks runs too)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="simperf: run the sharded pair (single-process vs N "
+        "conservative PDES worker shards at --ranks or 4096 ranks) and "
+        "gate the wall-clock speedup on multi-core hosts; for the full "
+        "matrix this overrides the default shard count (8)",
+    )
+    parser.add_argument(
         "--json",
         type=str,
         default=None,
@@ -189,19 +199,43 @@ def main(argv=None) -> int:
             result = sp.simperf(
                 ranks=ranks,
                 include_warp_pair=not args.ranks or args.warp,
+                include_shard_pair=not args.ranks or bool(args.shards),
+                shard_ranks=args.ranks or sp.SHARD_RANKS,
+                shard_nshards=args.shards or sp.SHARD_NSHARDS,
             )
         print(sp.format_simperf(result, baseline))
         if args.json:
             with open(args.json, "w") as fh:
                 _json.dump(result, fh, indent=1)
             print(f"(wrote {args.json})")
+        rc = 0
         if args.quick and baseline is not None:
             problems = sp.check_regression(result, baseline)
             if problems:
                 for p in problems:
                     print(f"PERF REGRESSION: {p}", file=sys.stderr)
-                return 1
-            print("perf-smoke: no regression vs committed baseline")
+                rc = 1
+            else:
+                print("perf-smoke: no regression vs committed baseline")
+        if args.quick and args.shards:
+            # The sharded 4096-rank smoke: one calibrated pair, with the
+            # wall-clock speedup gated on hosts that have the cores.
+            pair = sp.shard_pair(
+                nranks=args.ranks or sp.SHARD_RANKS, nshards=args.shards
+            )
+            print()
+            print(sp.format_shard_pair(pair))
+            problems = sp.check_shard_speedup(pair)
+            if problems:
+                for p in problems:
+                    print(f"PERF REGRESSION: {p}", file=sys.stderr)
+                rc = 1
+            elif pair["host_cpus"] < 2:
+                print("shard pair: single-core host, speedup gate skipped")
+            else:
+                print("shard pair: speedup gate passed")
+        if rc:
+            return rc
     elif args.experiment == "ioverlap":
         kwargs = {}
         if args.storage:

@@ -120,11 +120,17 @@ class RecoveryManager:
         app_factory: AppFactory,
         restart_delay_ns: int = 2 * MS,
         topology: Optional[Topology] = None,
+        restart_stagger_ns: int = 0,
     ) -> None:
         self.world = world
         self.spbc = spbc
         self.app_factory = app_factory
         self.restart_delay_ns = restart_delay_ns
+        # When one blast radius rolls back several clusters, offset the
+        # i-th cluster's restart (and therefore its chain-read pipeline)
+        # by i * restart_stagger_ns, so the simultaneous PFS read bursts
+        # are spread out instead of melting the shared read lane.
+        self.restart_stagger_ns = restart_stagger_ns
         # Node -> ranks placement defining the node-failure blast radius
         # (defaults to the world's own topology).
         self.topology = topology or world.topology
@@ -139,6 +145,9 @@ class RecoveryManager:
         # stacking a duplicate incarnation on top of it.
         self._pending_restart: Dict[int, object] = {}
         self._last_event: Dict[int, FailureEvent] = {}
+        # Absolute times of the pending restart milestones (the shard
+        # coordinator's conservative hold points; see repro.sim.shard).
+        self._pending_at: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def inject_failure(self, at_ns: int, rank: int, kind: str = "process") -> None:
@@ -213,7 +222,7 @@ class RecoveryManager:
                 self._pending_restart[c].cancel()
                 self._restart(c)
         primary = clusters.cluster(rank)
-        for c in affected:
+        for stagger_idx, c in enumerate(affected):
             ckpt = self.spbc.storage.load_latest(clusters.members(c)[0])
             event = FailureEvent(
                 time_ns=self.world.engine.now,
@@ -232,16 +241,28 @@ class RecoveryManager:
             if prev is not None and c in self._pending_restart:
                 prev.superseded = True
             self._last_event[c] = event
+            if not self._owns_cluster(c):
+                # Sharded simulation: another shard drives this cluster's
+                # restart; this world only mirrors the crash side effects.
+                continue
             pending = self._pending_restart.get(c)
             if pending is not None:
                 pending.cancel()
+            delay = self.restart_delay_ns + stagger_idx * self.restart_stagger_ns
             self._pending_restart[c] = self.world.engine.schedule(
-                self.restart_delay_ns, self._restart, c
+                delay, self._restart, c
             )
+            self._pending_at[c] = self.world.engine.now + delay
 
     # ------------------------------------------------------------------
+    def _owns_cluster(self, cluster: int) -> bool:
+        """Whether this manager drives ``cluster``'s restart (always, in
+        single-process mode; shard workers override to their partition)."""
+        return True
+
     def _restart(self, cluster: int) -> None:
         self._pending_restart.pop(cluster, None)
+        self._pending_at.pop(cluster, None)
         members = self.spbc.clusters.members(cluster)
         # Defensive: if anything of the cluster is somehow still live
         # (e.g. overlapping failure schedules), take it down first.
@@ -308,6 +329,7 @@ class RecoveryManager:
             self._pending_restart[cluster] = self.world.engine.schedule(
                 delay_ns, self._complete_restart, cluster, restores
             )
+            self._pending_at[cluster] = self.world.engine.now + delay_ns
         else:
             self._complete_restart(cluster, restores)
 
@@ -333,6 +355,7 @@ class RecoveryManager:
         self, cluster: int, restores: Dict[int, Optional[RestoreReceipt]]
     ) -> None:
         self._pending_restart.pop(cluster, None)
+        self._pending_at.pop(cluster, None)
         members = self.spbc.clusters.members(cluster)
         # Bring every member's library back first, then restore protocol
         # state, then send Rollbacks, then start the apps: Rollbacks must
@@ -353,11 +376,7 @@ class RecoveryManager:
         # Failure notification to every survivor (paper line 16 reaches
         # all processes): survivors knowing channels the restarted side's
         # checkpoint predates ping back, extending the handshake.
-        failed = set(members)
-        for r in range(self.world.nranks):
-            rt = self.world.runtimes[r]
-            if r not in failed and rt.alive:
-                self.spbc.notify_failure(rt, failed)
+        self._notify_survivors(set(members))
         for r in members:
             rec = restores[r]
             state = rec.ckpt.app_state if rec is not None else None
@@ -383,6 +402,14 @@ class RecoveryManager:
             event.partner_rebuilds = self.spbc.storage.rebuild_partner_copies(
                 event.node
             )
+
+    def _notify_survivors(self, failed: set) -> None:
+        """Deliver the failure notification from every surviving rank
+        (shard workers override: each shard notifies its own ranks)."""
+        for r in range(self.world.nranks):
+            rt = self.world.runtimes[r]
+            if r not in failed and rt.alive:
+                self.spbc.notify_failure(rt, failed)
 
     def _initial_checkpoint(self, rank: int) -> Checkpoint:
         """Synthetic round-0 checkpoint: restart from the initial state.

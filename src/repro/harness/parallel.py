@@ -1,0 +1,587 @@
+"""Sharded parallel simulation: conservative PDES across worker processes.
+
+Exact-mode simulations of 4096-16384 ranks are bottlenecked by one
+Python interpreter churning through one global event heap.  This module
+splits a run into *shards* — each a worker process simulating the full
+world topology but executing application processes only for its assigned
+clusters — and synchronizes them conservatively, so the merged outcome
+is bit-identical to the single-process run (same makespan, results, log
+counters, commit history, and communication matrix).
+
+The synchronization is window-based (YAWNS):
+
+1.  Every shard reports its next local event time, its earliest pending
+    restart milestone (*hold*), and the cross-shard packets it produced.
+2.  The coordinator computes the global floor ``T`` — the minimum over
+    next-event times, undelivered packet arrivals, and unscheduled
+    mirror actions — and grants the horizon ``H = T + L``, where ``L``
+    is the network lookahead: any send issued at ``t >= T`` arrives no
+    earlier than ``t + L >= H``, so nothing a shard does inside the
+    window can affect another shard within the same window.
+3.  Shards inject the relayed packets (arrival times were fixed by the
+    sending shard's channel state, so delivery is exact), run up to but
+    excluding ``H``, and report again.
+
+Failure schedules are mirrored: every shard executes the crash side of
+each failure locally (the schedule is static), while the shard owning a
+rolled-back cluster drives the restart and publishes its completion as a
+milestone the coordinator rebroadcasts, so remote survivors deliver
+their failure notifications at the same instant.  Holds and a
+``failure time + restart delay`` horizon cap keep windows from skipping
+over these same-instant interactions.
+
+Sharding refuses configurations it cannot reproduce exactly: network
+jitter (seeded per-packet draws diverge across event orders), warp mode
+(the detector needs the global event stream), and async-flush storage
+(shared-tier drain flows contend globally in one bandwidth resource that
+cannot be decomposed per shard).  Synchronous storage decomposes
+exactly — closed-form write costs depend only on the static world size
+and restore reads only on cluster-local state.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ckptdata.regions import WriteLocalityProfile
+from repro.core.clusters import ClusterMap
+from repro.core.protocol import SPBCConfig
+from repro.core.recovery import FAILURE_KINDS, FailureEvent
+from repro.harness.runner import (
+    AppFactory,
+    CkptDataSpec,
+    FailureSpec,
+    StorageSpec,
+    _resolve_ckpt_data,
+    _resolve_storage,
+)
+from repro.sim.network import NetworkParams, Topology
+from repro.sim.shard import lookahead_ns, shard_worker_main
+from repro.util.units import mb_per_s
+
+
+@dataclass
+class ShardPlan:
+    """Everything one worker needs to build and run its shard.
+
+    Workers are forked, so the (unpicklable) application factory and the
+    shared config object travel by address-space inheritance; only the
+    window-protocol messages cross the pipes."""
+
+    shard_id: int
+    nshards: int
+    owned_clusters: frozenset
+    owned_ranks: frozenset
+    nranks: int
+    ranks_per_node: int
+    seed: int
+    net_params: Optional[NetworkParams]
+    trace: bool
+    config: SPBCConfig
+    app_factory: AppFactory
+    schedule: Tuple[FailureSpec, ...] = ()
+    restart_delay_ns: int = 2_000_000
+    restart_stagger_ns: int = 0
+
+
+def partition_shards(
+    clusters: ClusterMap,
+    nshards: int,
+    weights: Optional[np.ndarray] = None,
+) -> List[List[int]]:
+    """Assign whole clusters to shards (clusters never span shards — the
+    protocol's barriers, drains, and restarts are cluster-collective).
+
+    Default: contiguous cluster ranges balanced by rank count, which
+    preserves any node alignment of the cluster map.  With a rank-level
+    communication-weight matrix (e.g. from a traced run), clusters are
+    instead placed to keep heavy traffic shard-internal: a greedy k-way
+    seed when shard count divides cluster count (balanced refinement
+    otherwise) followed by Kernighan-Lin swaps on the cluster-contracted
+    matrix."""
+    ncl = clusters.nclusters
+    if not 1 <= nshards <= ncl:
+        raise ValueError(
+            f"need 1 <= shards <= {ncl} clusters, got {nshards}"
+        )
+    sizes = clusters.sizes()
+    if weights is None:
+        assignment = _contiguous_assignment(sizes, nshards)
+    else:
+        assignment = _weighted_assignment(clusters, sizes, nshards, weights)
+    out: List[List[int]] = [[] for _ in range(nshards)]
+    for c, s in enumerate(assignment):
+        out[s].append(c)
+    if any(not part for part in out):
+        raise ValueError("partition left an empty shard")
+    return out
+
+
+def _contiguous_assignment(sizes: Sequence[int], nshards: int) -> List[int]:
+    """Greedy contiguous split balanced by rank count: close the open
+    shard once it reached its proportional share (or when the remaining
+    clusters are only just enough to give every later shard one)."""
+    n = len(sizes)
+    total = sum(sizes)
+    assignment: List[int] = []
+    shard = 0
+    acc = 0  # ranks in the open shard
+    done = 0  # ranks in closed shards
+    for c, size in enumerate(sizes):
+        remaining_shards = nshards - shard
+        must_close = acc > 0 and remaining_shards > 1 and n - c == remaining_shards
+        met_share = (
+            acc > 0
+            and remaining_shards > 1
+            and acc >= (total - done) / remaining_shards
+        )
+        if must_close or met_share:
+            shard += 1
+            done += acc
+            acc = 0
+        assignment.append(shard)
+        acc += size
+    return assignment
+
+
+def _weighted_assignment(
+    clusters: ClusterMap,
+    sizes: Sequence[int],
+    nshards: int,
+    weights: np.ndarray,
+) -> List[int]:
+    from repro.clustering.partition import greedy_kway, refine_kl
+
+    ncl = clusters.nclusters
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != (clusters.nranks, clusters.nranks):
+        raise ValueError(
+            f"weights must be a {clusters.nranks}x{clusters.nranks} "
+            f"rank matrix, got {w.shape}"
+        )
+    # Contract the rank matrix to clusters (symmetrized: the cut does
+    # not care about direction).
+    cw = np.zeros((ncl, ncl))
+    for a in range(clusters.nranks):
+        ca = clusters.cluster(a)
+        for b in range(clusters.nranks):
+            cb = clusters.cluster(b)
+            if ca != cb:
+                cw[ca, cb] += w[a, b] + w[b, a]
+    if ncl % nshards == 0:
+        seed = greedy_kway(cw, nshards)
+    else:
+        seed = _contiguous_assignment(sizes, nshards)
+    return refine_kl(cw, seed)
+
+
+class _LogShim:
+    """Duck-type of a rank's sender-log counters (Table 1 views)."""
+
+    __slots__ = ("bytes_logged", "records_logged")
+
+    def __init__(self, bytes_logged: int, records_logged: int) -> None:
+        self.bytes_logged = bytes_logged
+        self.records_logged = records_logged
+
+    def growth_rate_mb_s(self, duration_ns: int) -> float:
+        return mb_per_s(self.bytes_logged, duration_ns)
+
+
+class _StateShim:
+    __slots__ = ("log",)
+
+    def __init__(self, log: _LogShim) -> None:
+        self.log = log
+
+
+class _HooksShim:
+    """The slice of :class:`~repro.core.protocol.SPBC` reporting that a
+    merged sharded run can reconstruct from per-shard summaries."""
+
+    def __init__(
+        self,
+        log: Dict[int, Tuple[int, int]],
+        pfs_write_windows: List[Tuple[int, int, int]],
+        shared_flow_windows: List[Tuple[int, int, int, int]],
+        ckpt_stall_ns: int,
+    ) -> None:
+        self.state = {
+            r: _StateShim(_LogShim(b, n)) for r, (b, n) in sorted(log.items())
+        }
+        self.pfs_write_windows = pfs_write_windows
+        self._shared_flow_windows = shared_flow_windows
+        self._ckpt_stall_ns = ckpt_stall_ns
+
+    def total_bytes_logged(self) -> int:
+        return sum(s.log.bytes_logged for s in self.state.values())
+
+    def log_growth_rates_mb_s(self, duration_ns: int) -> List[float]:
+        return [
+            self.state[r].log.growth_rate_mb_s(duration_ns)
+            for r in sorted(self.state)
+        ]
+
+    def peak_concurrent_pfs_writers(self) -> int:
+        events: List[Tuple[int, int]] = []
+        for start, end, _cluster in self.pfs_write_windows:
+            events.append((start, 1))
+            events.append((end, -1))
+        for start, end, _rank, _round in self._shared_flow_windows:
+            events.append((start, 1))
+            events.append((end, -1))
+        events.sort()
+        peak = current = 0
+        for _t, delta in events:
+            current += delta
+            peak = max(peak, current)
+        return peak
+
+    def total_checkpoint_stall_ns(self) -> int:
+        return self._ckpt_stall_ns
+
+
+class _TraceShim:
+    __slots__ = ("enabled", "_matrix")
+
+    def __init__(self, matrix: Optional[np.ndarray]) -> None:
+        self.enabled = matrix is not None
+        self._matrix = matrix
+
+    def comm_bytes_matrix(self, nranks: int) -> np.ndarray:
+        if self._matrix is None:
+            raise RuntimeError("run was traced with trace=False")
+        return self._matrix
+
+
+@dataclass
+class ShardedRunResult:
+    """Merged outcome of a sharded run — the sequential
+    :class:`~repro.harness.runner.RunResult` observables plus recovery
+    and engine accounting (``world`` is gone; each shard's world died
+    with its worker)."""
+
+    nranks: int
+    nshards: int
+    makespan_ns: int
+    finish_ns: Dict[int, int]
+    results: Dict[int, object]
+    hooks: _HooksShim
+    trace: _TraceShim
+    #: rank -> [(round_no, taken_at_ns)] for every committed round.
+    commit_history: Dict[int, List[Tuple[int, int]]]
+    failures: List[FailureEvent] = field(default_factory=list)
+    restarts: Dict[int, int] = field(default_factory=dict)
+    packets_sent: int = 0
+    bytes_sent: int = 0
+    events_executed: int = 0
+    overhead_ns: int = 0
+    compute_ns: int = 0
+    windows: int = 0
+    lookahead_ns: int = 0
+
+    @property
+    def restarted_ranks(self) -> set:
+        return set(self.restarts)
+
+
+def _validate(cfg: SPBCConfig, params: NetworkParams, warp) -> None:
+    if warp is not None:
+        raise ValueError(
+            "warp and shards are mutually exclusive: the steady-state "
+            "detector needs the globally ordered event stream"
+        )
+    if params.jitter_max_ns > 0:
+        raise ValueError(
+            "sharded runs require jitter_max_ns=0: per-packet jitter "
+            "draws depend on global event order and would diverge"
+        )
+    storage = cfg.storage
+    if storage is not None and getattr(storage, "async_flush", False):
+        raise ValueError(
+            "async-flush storage cannot be sharded: background drain "
+            "flows share one global bandwidth resource; use a "
+            "synchronous spec (closed-form costs decompose exactly)"
+        )
+
+
+def run_spbc_sharded(
+    app_factory: AppFactory,
+    nranks: int,
+    clusters: ClusterMap,
+    shards: int,
+    config: Optional[SPBCConfig] = None,
+    storage: StorageSpec = None,
+    ckpt_data: CkptDataSpec = None,
+    profile: Optional[WriteLocalityProfile] = None,
+    schedule: Sequence[FailureSpec] = (),
+    restart_delay_ns: int = 2_000_000,
+    restart_stagger_ns: int = 0,
+    ranks_per_node: int = 8,
+    seed: int = 0,
+    net_params: Optional[NetworkParams] = None,
+    trace: bool = True,
+    warp=None,
+    shard_weights: Optional[np.ndarray] = None,
+) -> ShardedRunResult:
+    """Run an SPBC simulation split across ``shards`` worker processes.
+
+    Accepts the union of :func:`~repro.harness.runner.run_spbc` and
+    :func:`~repro.harness.runner.run_failure_schedule` arguments (an
+    empty ``schedule`` is a failure-free run) and produces bit-identical
+    observables.  Requires a platform with ``fork`` (the application
+    factory is inherited, not pickled)."""
+    cfg = config or SPBCConfig(clusters=clusters)
+    if cfg.clusters is not clusters and cfg.clusters != clusters:
+        raise ValueError("config.clusters disagrees with the clusters argument")
+    _resolve_storage(cfg, storage)
+    _resolve_ckpt_data(cfg, ckpt_data, profile)
+    params = net_params or NetworkParams()
+    _validate(cfg, params, warp)
+    for _at, _rank, kind in schedule:
+        if kind not in FAILURE_KINDS:
+            raise ValueError(f"unknown failure kind {kind!r}")
+
+    parts = partition_shards(clusters, shards, weights=shard_weights)
+    shard_of_cluster: Dict[int, int] = {}
+    shard_of_rank = [0] * nranks
+    for sid, part in enumerate(parts):
+        for c in part:
+            shard_of_cluster[c] = sid
+            for r in clusters.members(c):
+                shard_of_rank[r] = sid
+    topology = Topology(nranks=nranks, ranks_per_node=ranks_per_node)
+    lookahead = lookahead_ns(params, topology, shard_of_rank)
+
+    plans = [
+        ShardPlan(
+            shard_id=sid,
+            nshards=shards,
+            owned_clusters=frozenset(part),
+            owned_ranks=frozenset(
+                r for c in part for r in clusters.members(c)
+            ),
+            nranks=nranks,
+            ranks_per_node=ranks_per_node,
+            seed=seed,
+            net_params=params,
+            trace=trace,
+            config=cfg,
+            app_factory=app_factory,
+            schedule=tuple(schedule),
+            restart_delay_ns=restart_delay_ns,
+            restart_stagger_ns=restart_stagger_ns,
+        )
+        for sid, part in enumerate(parts)
+    ]
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError as exc:  # pragma: no cover - platform dependent
+        raise RuntimeError(
+            "sharded simulation requires the fork start method "
+            "(application factories are closures and cannot be pickled)"
+        ) from exc
+
+    conns = []
+    workers = []
+    try:
+        for plan in plans:
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=shard_worker_main,
+                args=(child, plan),
+                daemon=True,
+                name=f"shard-{plan.shard_id}",
+            )
+            proc.start()
+            child.close()
+            conns.append(parent)
+            workers.append(proc)
+        summaries, windows = _coordinate(
+            conns,
+            shard_of_rank,
+            shard_of_cluster,
+            lookahead,
+            restart_delay_ns,
+            sorted(at for at, _r, _k in schedule),
+        )
+    finally:
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in workers:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - hang safety net
+                proc.terminate()
+                proc.join()
+
+    return _merge(
+        summaries, shard_of_cluster, nranks, shards, trace, windows, lookahead
+    )
+
+
+def _recv(conn, sid: int):
+    """One protocol message from shard ``sid`` (raises on worker death
+    or reported error)."""
+    try:
+        msg = conn.recv()
+    except EOFError:
+        raise RuntimeError(f"shard worker {sid} died unexpectedly") from None
+    if msg[0] == "error":
+        raise RuntimeError(f"shard worker {sid} failed:\n{msg[1]}")
+    return msg[1]
+
+
+def _coordinate(
+    conns,
+    shard_of_rank: List[int],
+    shard_of_cluster: Dict[int, int],
+    lookahead: int,
+    restart_delay_ns: int,
+    failure_times: List[int],
+):
+    """Drive the report/grant windows until every shard drains.
+
+    Returns the per-shard summaries and the number of windows granted."""
+    k = len(conns)
+    reports = [_recv(conns[i], i) for i in range(k)]
+    pending_imports: List[list] = [[] for _ in range(k)]
+    pending_actions: List[list] = [[] for _ in range(k)]
+    windows = 0
+    while True:
+        # Harvest: route packets to their destination shard, rebroadcast
+        # restart milestones to every *other* shard as mirror actions.
+        for sid, rep in enumerate(reports):
+            for export in rep["exports"]:
+                pending_imports[shard_of_rank[export[1]]].append(export)
+            for at_ns, cluster, members, node in rep["milestones"]:
+                for other in range(k):
+                    if other != sid:
+                        pending_actions[other].append(
+                            (at_ns, cluster, members, node)
+                        )
+        candidates = [
+            rep["next_ns"] for rep in reports if rep["next_ns"] is not None
+        ]
+        candidates += [e[6] for imp in pending_imports for e in imp]
+        candidates += [a[0] for act in pending_actions for a in act]
+        if not candidates:
+            if all(rep["done"] for rep in reports):
+                break
+            blocked = [
+                name for rep in reports for name in rep["blocked"]
+            ]
+            raise RuntimeError(
+                "sharded run deadlocked with no pending events; "
+                f"blocked processes: {', '.join(blocked)}"
+            )
+        floor = min(candidates)
+        # Failures already executed (the window floor moved past them)
+        # no longer constrain the horizon: their holds are now reported.
+        failure_times = [t for t in failure_times if t >= floor]
+        horizon = floor + lookahead
+        for rep in reports:
+            if rep["hold_ns"] is not None:
+                horizon = min(horizon, rep["hold_ns"] + 1)
+        if failure_times and failure_times[0] < horizon:
+            # A crash inside this window schedules a restart the other
+            # shards have not seen as a hold yet; its earliest possible
+            # completion is failure + restart delay.
+            horizon = min(horizon, failure_times[0] + restart_delay_ns + 1)
+        horizon = max(horizon, floor + 1)
+        for sid in range(k):
+            conns[sid].send(
+                ("grant", horizon, pending_imports[sid], pending_actions[sid])
+            )
+            pending_imports[sid] = []
+            pending_actions[sid] = []
+        reports = [_recv(conns[i], i) for i in range(k)]
+        windows += 1
+    for sid in range(k):
+        conns[sid].send(("finalize",))
+    summaries = [_recv(conns[i], i) for i in range(k)]
+    return summaries, windows
+
+
+def _merge(
+    summaries,
+    shard_of_cluster: Dict[int, int],
+    nranks: int,
+    nshards: int,
+    trace: bool,
+    windows: int,
+    lookahead: int,
+) -> ShardedRunResult:
+    finish: Dict[int, int] = {}
+    results: Dict[int, object] = {}
+    log: Dict[int, Tuple[int, int]] = {}
+    commits: Dict[int, List[Tuple[int, int]]] = {}
+    restarts: Dict[int, int] = {}
+    pfs_windows: List[Tuple[int, int, int]] = []
+    flow_windows: List[Tuple[int, int, int, int]] = []
+    matrix = np.zeros((nranks, nranks), dtype=np.int64) if trace else None
+    stall = overhead = compute = packets = nbytes = events = 0
+    # Failure events: every shard logs every injection (the crash side
+    # runs everywhere), but only the owner of a cluster knows its actual
+    # restart round/tier — take the owner's event and fold in the
+    # shard-local purge/invalidation counts.
+    owner_events: Dict[Tuple[int, int], dict] = {}
+    count_sums: Dict[Tuple[int, int], List[int]] = {}
+    for sid, summ in enumerate(summaries):
+        finish.update(summ["finish_ns"])
+        results.update(summ["results"])
+        log.update(summ["log"])
+        commits.update(summ["commits"])
+        restarts.update(summ["restarts"])
+        pfs_windows.extend(summ["pfs_write_windows"])
+        flow_windows.extend(summ["shared_flow_windows"])
+        stall += summ["ckpt_stall_ns"]
+        overhead += summ["overhead_ns"]
+        compute += summ["compute_ns"]
+        packets += summ["packets_sent"]
+        nbytes += summ["bytes_sent"]
+        events += summ["events_executed"]
+        if matrix is not None and summ["comm_matrix"] is not None:
+            matrix += summ["comm_matrix"]
+        for ev in summ["failures"]:
+            key = (ev["time_ns"], ev["cluster"])
+            sums = count_sums.setdefault(key, [0, 0, 0])
+            sums[0] += ev["purged_packets"]
+            sums[1] += ev["invalidated_copies"]
+            sums[2] += ev["cancelled_flushes"]
+            if shard_of_cluster[ev["cluster"]] == sid:
+                owner_events[key] = dict(ev)
+    failures = []
+    for key in sorted(owner_events):
+        ev = owner_events[key]
+        ev["purged_packets"], ev["invalidated_copies"], ev["cancelled_flushes"] = (
+            count_sums[key]
+        )
+        ev["killed_ranks"] = tuple(ev["killed_ranks"])
+        failures.append(FailureEvent(**ev))
+    return ShardedRunResult(
+        nranks=nranks,
+        nshards=nshards,
+        makespan_ns=max(finish.values()),
+        finish_ns=finish,
+        results=results,
+        hooks=_HooksShim(log, pfs_windows, flow_windows, stall),
+        trace=_TraceShim(matrix),
+        commit_history=commits,
+        failures=failures,
+        restarts=restarts,
+        packets_sent=packets,
+        bytes_sent=nbytes,
+        events_executed=events,
+        overhead_ns=overhead,
+        compute_ns=compute,
+        windows=windows,
+        lookahead_ns=lookahead,
+    )

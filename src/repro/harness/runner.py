@@ -178,15 +178,36 @@ def run_spbc(
     ckpt_data: CkptDataSpec = None,
     profile: Optional[WriteLocalityProfile] = None,
     warp: WarpSpec = None,
+    shards: Optional[int] = None,
     **kw,
-) -> RunResult:
+):
     """Failure-free run under SPBC (logging + identifiers active).
 
     ``storage`` selects the checkpoint backend (a spec string like
     ``"tiered:ram@1,pfs@4"`` or a ``StorageBackend``); ``ckpt_data``
     selects the incremental data plane (``"full"``/``"incr:4:zlib-like"``
     or a ``CkptDataPlane``) with ``profile`` as the app's write-locality
-    regions.  Both only matter when ``config.checkpoint_every`` is set."""
+    regions.  Both only matter when ``config.checkpoint_every`` is set.
+
+    ``shards=N`` (N > 1) splits the run over N conservative PDES worker
+    processes (see :mod:`repro.harness.parallel`) and returns the merged
+    :class:`~repro.harness.parallel.ShardedRunResult` — observables are
+    bit-identical to the single-process run."""
+    if shards is not None and shards > 1:
+        from repro.harness.parallel import run_spbc_sharded
+
+        return run_spbc_sharded(
+            app_factory,
+            nranks,
+            clusters,
+            shards,
+            config=config,
+            storage=storage,
+            ckpt_data=ckpt_data,
+            profile=profile,
+            warp=warp,
+            **kw,
+        )
     cfg = config or SPBCConfig(clusters=clusters)
     if cfg.clusters is not clusters and cfg.clusters != clusters:
         raise ValueError("config.clusters disagrees with the clusters argument")
@@ -271,6 +292,7 @@ def run_failure_schedule(
     schedule: Sequence[FailureSpec],
     config: Optional[SPBCConfig] = None,
     restart_delay_ns: int = 2_000_000,
+    restart_stagger_ns: int = 0,
     ranks_per_node: int = 8,
     seed: int = 0,
     net_params: Optional[NetworkParams] = None,
@@ -279,7 +301,8 @@ def run_failure_schedule(
     ckpt_data: CkptDataSpec = None,
     profile: Optional[WriteLocalityProfile] = None,
     warp: WarpSpec = None,
-) -> OnlineResult:
+    shards: Optional[int] = None,
+):
     """Run with an arbitrary schedule of process/node crashes and full
     online recovery after each (the fuzz harness's entry point).
 
@@ -291,7 +314,33 @@ def run_failure_schedule(
     failure events veto the steady-state detector, so fast-forward can
     only engage in the failure-free phase after the last injected crash
     has been fully recovered (and in practice re-executed ranks push the
-    iteration horizon down, keeping post-failure warps rare and safe)."""
+    iteration horizon down, keeping post-failure warps rare and safe).
+
+    ``shards=N`` (N > 1) runs the schedule under the conservative
+    sharded engine (failures mirrored on every shard, restarts driven by
+    the owning shard) and returns a
+    :class:`~repro.harness.parallel.ShardedRunResult`."""
+    if shards is not None and shards > 1:
+        from repro.harness.parallel import run_spbc_sharded
+
+        return run_spbc_sharded(
+            app_factory,
+            nranks,
+            clusters,
+            shards,
+            config=config,
+            storage=storage,
+            ckpt_data=ckpt_data,
+            profile=profile,
+            schedule=schedule,
+            restart_delay_ns=restart_delay_ns,
+            restart_stagger_ns=restart_stagger_ns,
+            ranks_per_node=ranks_per_node,
+            seed=seed,
+            net_params=net_params,
+            trace=trace,
+            warp=warp,
+        )
     cfg = config or SPBCConfig(clusters=clusters)
     _resolve_storage(cfg, storage)
     _resolve_ckpt_data(cfg, ckpt_data, profile)
@@ -306,7 +355,11 @@ def run_failure_schedule(
     )
     _install_warp(world, warp)
     manager = RecoveryManager(
-        world, hooks, app_factory, restart_delay_ns=restart_delay_ns
+        world,
+        hooks,
+        app_factory,
+        restart_delay_ns=restart_delay_ns,
+        restart_stagger_ns=restart_stagger_ns,
     )
     for r in range(nranks):
         world.launch(r, app_factory(RankContext(world, r), None))

@@ -24,6 +24,14 @@ Young/Daly range — against a ram+pfs plan):
 Plus the warp pair: the failure-free 1024-rank long ring run in exact
 mode vs ``--warp`` (steady-state fast-forward, ``repro.sim.warp``).
 
+Plus the shard pair: the 4096-rank sync scenario single-process vs
+``shards=8`` (conservative PDES across worker processes,
+``repro.sim.shard``).  The sharded row's wall-clock only improves when
+the host actually has cores to run the workers on, so each result
+records ``host_cpus`` and :func:`check_shard_speedup` gates the
+speedup only on capable hosts (single-core containers record the pair
+as an overhead reference and report instead of failing).
+
 Hardware normalization
 ----------------------
 Raw wall-clock is machine-dependent, so each run also times a fixed
@@ -63,6 +71,16 @@ STATE_NBYTES = 1 << 20
 #: The warp pair: failure-free long run at the largest scale.
 WARP_RANKS = 1024
 WARP_ITERS = 600
+
+#: The shard pair (ISSUE 6): the sync scenario at cluster-machine
+#: scale, single-process exact vs conservative PDES shards.
+SHARD_RANKS = 4096
+SHARD_NSHARDS = 8
+#: Required sharded-vs-exact wall-clock speedup when the host has at
+#: least SHARD_NSHARDS cores (scaled down to 2x on smaller multi-core
+#: hosts, skipped on single-core ones — process parallelism cannot
+#: beat one core).
+SHARD_SPEEDUP_TARGET = 3.0
 
 #: Quick subset run by the CI perf-smoke job (same scenario ids as the
 #: committed full matrix, so normalized costs are directly comparable).
@@ -139,7 +157,23 @@ def run_scenario(
     warp_iters: int = WARP_ITERS,
 ) -> SimPerfRow:
     """Run one matrix cell and measure it."""
-    if mode == "warp":
+    if mode == "shard-exact" or mode.startswith("shard"):
+        # The shard pair: the sync scenario, single-process
+        # ("shard-exact") or split over N worker shards ("shardN").
+        nshards = None if mode == "shard-exact" else int(mode[len("shard"):])
+        sc = _scenario_config(nranks, "sync")
+        factory = ring_app(
+            iters=iters, msg_bytes=MSG_BYTES, compute_ns=COMPUTE_NS
+        )
+        gc.collect()
+        t0 = time.perf_counter()
+        res = run_spbc(
+            factory, nranks, sc["cm"], trace=False, shards=nshards,
+            **sc["kw"],
+        )
+        wall = time.perf_counter() - t0
+        iters_run = iters
+    elif mode == "warp":
         # Failure-free long ring; warp flag decides exact vs fast-forward.
         cm = ClusterMap.block(nranks, max(2, nranks // 8))
         factory = ring_app(
@@ -163,21 +197,37 @@ def run_scenario(
         res = run_spbc(factory, nranks, sc["cm"], trace=False, **sc["kw"])
         wall = time.perf_counter() - t0
         iters_run = iters
-    engine = res.world.engine
-    wctl = res.world.warp
+    if hasattr(res, "world"):
+        events = res.world.engine.events_executed
+        wctl = res.world.warp
+    else:
+        # ShardedRunResult: events summed over the worker shards.
+        events = res.events_executed
+        wctl = None
     return SimPerfRow(
         scenario=f"{nranks}:{mode}",
         nranks=nranks,
         mode=mode,
         iters=iters_run,
         wall_s=wall,
-        events=engine.events_executed,
-        events_per_sec=engine.events_executed / wall if wall > 0 else 0.0,
+        events=events,
+        events_per_sec=events / wall if wall > 0 else 0.0,
         makespan_ns=res.makespan_ns,
         sim_ns_per_wall_s=res.makespan_ns / wall if wall > 0 else 0.0,
         warps=wctl.warps if wctl is not None else 0,
         warped_iterations=wctl.warped_iterations if wctl is not None else 0,
     )
+
+
+def _host_cpus() -> int:
+    try:
+        import os
+
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        import os
+
+        return os.cpu_count() or 1
 
 
 def simperf(
@@ -187,6 +237,9 @@ def simperf(
     include_warp_pair: bool = True,
     warp_iters: int = WARP_ITERS,
     repeats: int = 3,
+    include_shard_pair: bool = True,
+    shard_ranks: int = SHARD_RANKS,
+    shard_nshards: int = SHARD_NSHARDS,
 ) -> Dict:
     """Run the matrix; returns {"calibration_wall_s", "rows": [...]}.
 
@@ -225,7 +278,16 @@ def simperf(
                                  "mode": "warp-exact"})
         rows.append(best(lambda: run_scenario(
             WARP_RANKS, "warp", warp=True, warp_iters=warp_iters)))
-    return {"calibration_wall_s": calib, "rows": [asdict(r) for r in rows]}
+    if include_shard_pair:
+        for mode in ("shard-exact", f"shard{shard_nshards}"):
+            rows.append(best(
+                lambda m=mode: run_scenario(shard_ranks, m, iters)
+            ))
+    return {
+        "calibration_wall_s": calib,
+        "host_cpus": _host_cpus(),
+        "rows": [asdict(r) for r in rows],
+    }
 
 
 def simperf_quick(scenarios: Sequence[str] = QUICK_SCENARIOS) -> Dict:
@@ -251,7 +313,82 @@ def simperf_quick(scenarios: Sequence[str] = QUICK_SCENARIOS) -> Dict:
                 out = row
         out.norm_cost = norm
         rows.append(out)
-    return {"calibration_wall_s": calib, "rows": [asdict(r) for r in rows]}
+    return {
+        "calibration_wall_s": calib,
+        "host_cpus": _host_cpus(),
+        "rows": [asdict(r) for r in rows],
+    }
+
+
+def shard_pair(
+    nranks: int = SHARD_RANKS,
+    nshards: int = SHARD_NSHARDS,
+    iters: int = ITERS,
+    repeats: int = 1,
+) -> Dict:
+    """Run the sharded speedup pair: the ``nranks`` sync scenario
+    single-process vs ``shards=nshards``, one calibration-paired
+    measurement each (the pair is the CI shard smoke — it must fit the
+    perf-smoke budget, so no triple repetition at this scale)."""
+    calib = min(calibrate() for _ in range(2))
+    rows: List[SimPerfRow] = []
+    for mode in ("shard-exact", f"shard{nshards}"):
+        out = None
+        norm = None
+        for _ in range(repeats):
+            c = calibrate()
+            row = run_scenario(nranks, mode, iters)
+            r = row.wall_s / c
+            if norm is None or r < norm:
+                norm = r
+            if out is None or row.wall_s < out.wall_s:
+                out = row
+        out.norm_cost = norm
+        rows.append(out)
+    exact, sharded = rows
+    return {
+        "calibration_wall_s": calib,
+        "host_cpus": _host_cpus(),
+        "nshards": nshards,
+        "speedup": (
+            exact.norm_cost / sharded.norm_cost
+            if sharded.norm_cost > 0 else 0.0
+        ),
+        "rows": [asdict(r) for r in rows],
+    }
+
+
+def check_shard_speedup(
+    pair: Dict, target: float = SHARD_SPEEDUP_TARGET
+) -> List[str]:
+    """Gate the shard pair's wall-clock speedup, scaled to the host.
+
+    ``target`` (3x) applies when the host has at least as many cores as
+    shards; smaller multi-core hosts are held to 2x; a single-core host
+    cannot run worker processes in parallel at all, so the pair is
+    informational there (empty problem list — the exactness tests, not
+    wall-clock, carry the correctness guarantee)."""
+    cpus = pair["host_cpus"]
+    nshards = pair["nshards"]
+    if cpus < 2:
+        return []
+    required = target if cpus >= nshards else min(target, 2.0)
+    if pair["speedup"] < required:
+        return [
+            f"{pair['rows'][1]['scenario']}: sharded speedup "
+            f"{pair['speedup']:.2f}x < required {required:.2f}x "
+            f"(host has {cpus} cpus for {nshards} shards)"
+        ]
+    return []
+
+
+def format_shard_pair(pair: Dict) -> str:
+    body = format_simperf(pair)
+    return (
+        body
+        + f"\nsharded speedup: {pair['speedup']:.2f}x "
+        f"({pair['nshards']} shards on {pair['host_cpus']} cpus)"
+    )
 
 
 def check_regression(

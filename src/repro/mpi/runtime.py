@@ -880,7 +880,7 @@ class World:
     ) -> None:
         self.engine = Engine()
         self.topology = Topology(nranks=nranks, ranks_per_node=ranks_per_node)
-        self.network = Network(self.engine, self.topology, net_params, seed=seed)
+        self.network = self._make_network(net_params, seed)
         self.trace = Trace(enabled=trace)
         self.comms = CommunicatorRegistry(nranks)
         self.hooks = hooks or NativeHooks()
@@ -891,6 +891,11 @@ class World:
         for rt in self.runtimes:
             self.hooks.attach(rt)
         self.processes: Dict[int, SimProcess] = {}
+
+    def _make_network(self, net_params: Optional[NetworkParams], seed: int) -> Network:
+        """Subclass hook: the sharded world (repro.sim.shard) swaps in a
+        network that exports packets addressed outside the shard."""
+        return Network(self.engine, self.topology, net_params, seed=seed)
 
     @property
     def nranks(self) -> int:

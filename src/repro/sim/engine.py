@@ -241,6 +241,22 @@ class Engine:
     def pending_events(self) -> int:
         return len(self._heap)
 
+    def next_event_time(self) -> Optional[int]:
+        """Virtual time of the earliest live pending event, or ``None``.
+
+        Pops cancelled handles off the heap head so the answer is exact —
+        the lower bound the conservative shard coordinator
+        (:mod:`repro.harness.parallel`) builds its safe horizon from."""
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            handle = head[2]
+            if handle is not None and handle.cancelled:
+                heapq.heappop(heap)
+                continue
+            return head[0]
+        return None
+
     # ------------------------------------------------------------------
     # Warp support (see repro.sim.warp): shift every pending event and
     # the clock by a constant.  Adding the same delta to every key

@@ -410,10 +410,17 @@ class TieredBackend(StorageBackend):
 
     def deferred_tiers(self, round_no: int) -> List[StorageTier]:
         """Tiers this round flushes in the background instead of inside
-        the commit barrier: the shared (PFS) tiers, under async flush."""
+        the commit barrier, under async flush: the shared (PFS) tiers,
+        plus node-local tiers that declare ``background_drain`` (the
+        local SSD — its copy drains behind the commit exactly like a PFS
+        flush, and a node loss mid-drain cancels it)."""
         if not self.async_flush:
             return []
-        return [t for t in self.scheduled_tiers(round_no) if t.shared]
+        return [
+            t
+            for t in self.scheduled_tiers(round_no)
+            if t.shared or t.background_drain
+        ]
 
     def shared_write_cost_ns(
         self, ckpt: "Checkpoint", concurrent_writers: int = 1
@@ -430,15 +437,15 @@ class TieredBackend(StorageBackend):
         if not self.async_flush:
             return int(self.plan.amortized_cost_ns(nbytes, concurrent_writers))
         # Async flush: the app only stalls for the non-deferred tiers —
-        # the PFS drain overlaps compute, so the Young/Daly cadence must
-        # optimize against the *stall* cost, not the hidden drain.
+        # the PFS/SSD drains overlap compute, so the Young/Daly cadence
+        # must optimize against the *stall* cost, not the hidden drain.
         cycle = self.plan.periods[-1]
         total = 0
         for r in range(1, cycle + 1):
             total += sum(
                 t.write_time_ns(nbytes, concurrent_writers)
                 for t, period in zip(self.plan.tiers, self.plan.periods)
-                if r % period == 0 and not t.shared
+                if r % period == 0 and not (t.shared or t.background_drain)
             )
         return total // cycle
 
@@ -577,6 +584,14 @@ class TieredBackend(StorageBackend):
         if self.iosched is None:
             return []
         return list(self.iosched.shared_write_windows)
+
+    def shared_read_flow_windows(self) -> List[Tuple[int, int, int, int]]:
+        """Completed restart-read bursts on shared tiers, as
+        ``(start_ns, end_ns, rank, round_no)`` — the measured PFS read
+        timeline the cross-cluster restart stagger flattens."""
+        if self.iosched is None:
+            return []
+        return list(self.iosched.shared_read_windows)
 
     def invalidate_node_copies(self, ranks: Iterable[int]) -> int:
         dropped = 0

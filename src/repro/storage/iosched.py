@@ -69,6 +69,10 @@ class IOScheduler:
         # rank, round_no) windows — the measured (not assumed) PFS burst
         # timeline behind ``SPBC.peak_concurrent_pfs_writers``.
         self.shared_write_windows: List[Tuple[int, int, int, int]] = []
+        # Completed read flows on *shared* tiers (restart-read bursts),
+        # same shape — the timeline the cross-cluster restart stagger
+        # (``RecoveryManager(restart_stagger_ns=...)``) flattens.
+        self.shared_read_windows: List[Tuple[int, int, int, int]] = []
 
     def tier(self, name: str) -> StorageTier:
         return self._tiers[name]
@@ -119,8 +123,22 @@ class IOScheduler:
         tier = self._tiers[tier_name]
         meta = dict(meta or {})
         meta.setdefault("tier", tier_name)
+
+        def _done(flow: Flow) -> None:
+            if tier.shared:
+                self.shared_read_windows.append(
+                    (
+                        flow.start_ns,
+                        flow.end_ns,
+                        flow.meta.get("rank", -1),
+                        flow.meta.get("round_no", 0),
+                    )
+                )
+            if on_done is not None:
+                on_done(flow)
+
         return self._read[tier_name].start_flow(
-            nbytes, latency_ns=tier.latency_ns, on_done=on_done, meta=meta
+            nbytes, latency_ns=tier.latency_ns, on_done=_done, meta=meta
         )
 
     def cancel(self, flow: Flow) -> bool:

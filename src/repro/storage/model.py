@@ -38,6 +38,13 @@ class StorageTier:
     # Incompatible with an asymmetric read bandwidth — one lane has one
     # capacity.
     unified_lane: bool = False
+    # Under TieredBackend(async_flush=True), defer this tier's writes to
+    # the background I/O scheduler even though it is not shared.  Set on
+    # the node-local SSD: its write sits behind a local controller, so
+    # the checkpoint can commit on RAM and let the SSD copy drain
+    # overlapping compute (it becomes restorable only when the flow
+    # lands, like an async PFS flush).
+    background_drain: bool = False
 
     def __post_init__(self) -> None:
         if (
@@ -107,6 +114,7 @@ def local_ssd_tier(gb_s: float = 0.5) -> StorageTier:
         bandwidth_bytes_per_s=gb_s * GB,
         shared=False,
         survives_node_failure=False,
+        background_drain=True,
     )
 
 

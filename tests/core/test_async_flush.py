@@ -221,6 +221,70 @@ def test_async_auto_cadence_optimizes_against_the_stall_cost():
         assert async_rep[cluster]["every"] <= sync_rep[cluster]["every"]
 
 
+def test_async_ssd_drain_defers_the_local_copy():
+    """The node-local SSD declares ``background_drain``: under async
+    flush its writes leave the commit barrier too (FTI-style local
+    daemon), so only the RAM copy stalls the app — and the drained
+    copies still all land."""
+    from repro.storage.backend import make_backend
+
+    spec = "tiered:ram@1,ssd@2,pfs@4"
+    b = make_backend(spec + ":async")
+    # Round 2 schedules ram+ssd, round 4 ram+ssd+pfs: the SSD defers
+    # alongside the PFS, the RAM copy never does.
+    assert [t.name for t in b.deferred_tiers(2)] == ["local-ssd"]
+    assert [t.name for t in b.deferred_tiers(4)] == ["local-ssd", "pfs"]
+    assert b.amortized_write_cost_ns(STATE) < make_backend(
+        spec
+    ).amortized_write_cost_ns(STATE)
+
+    sync = run_mode(spec, iters=12)
+    asyn = run_mode(spec + ":async", iters=12)
+    assert asyn.results == sync.results
+    assert (
+        asyn.hooks.total_checkpoint_stall_ns()
+        < sync.hooks.total_checkpoint_stall_ns()
+    )
+    ab, sb = asyn.hooks.storage, sync.hooks.storage
+    # Every deferred SSD copy eventually drained: the same rounds hold
+    # local-ssd copies in both modes, they just landed off the barrier.
+    assert ab.tier_writes["local-ssd"] == sb.tier_writes["local-ssd"] > 0
+    assert ab.flush_flows_completed == ab.flush_flows_started > 0
+    for r in range(NRANKS):
+        assert ab.guaranteed_round(r) == sb.guaranteed_round(r)
+
+
+def test_async_ssd_drain_mid_flight_copy_is_not_restorable():
+    """A node failure while the SSD drain is in flight cancels it —
+    recovery restarts from a fully landed round, exactly like a PFS
+    flush cancellation (no time travel through the local daemon)."""
+    spec = "tiered:ram@1,ssd@2,pfs@4:async"
+    probe = run_mode(spec, iters=12)
+    b = probe.hooks.storage
+    assert b.flush_flows_started > 0
+    ref = run_native(app(iters=12), NRANKS, ranks_per_node=RPN)
+    # Fail a node just after round 2's commit barrier (RAM copy only),
+    # while the ~8 ms SSD drain is still in flight.
+    ck = b.retrieve(0, 2)
+    assert ck is not None
+    fail_at = (
+        ck.ckpt.taken_at_ns
+        + b.write_cost_ns(ck.ckpt, concurrent_writers=NRANKS)
+        + 1_000_000
+    )
+    cm = ClusterMap.block(NRANKS, K)
+    out = run_failure_schedule(
+        app(iters=12), NRANKS, cm,
+        [(fail_at, 0, "node")],
+        config=SPBCConfig(clusters=cm, checkpoint_every=2, state_nbytes=STATE),
+        ranks_per_node=RPN, storage=spec,
+    )
+    assert out.results == ref.results
+    ev = out.manager.failures[0]
+    assert ev.cancelled_flushes >= 1
+    assert ev.restarted_from_round < 2
+
+
 def test_async_spec_on_memory_backend_is_rejected():
     with pytest.raises(ValueError, match="memory backend takes no arguments"):
         from repro.storage.backend import make_backend

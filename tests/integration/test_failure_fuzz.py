@@ -139,6 +139,9 @@ def test_fuzz_random_schedules_converge_deep(seed, spec):
 ASYNC_BACKENDS = [
     "tiered:ram@1,pfs@2:async",
     "partner:ram@1,partner@1,pfs@4:async",
+    # The SSD drains in the background too (background_drain): a crash
+    # can land between the RAM commit and the SSD/PFS copies.
+    "tiered:ram@1,ssd@2,pfs@4:async",
 ]
 
 

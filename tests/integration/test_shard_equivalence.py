@@ -1,0 +1,306 @@
+"""Sharded-vs-sequential equivalence: the parallel engine's exactness
+contract.
+
+Every test runs the same scenario twice — single-process exact mode and
+``shards=N`` — and requires *bit-identical* observables: simulated
+makespan, per-rank finish times and results, the Table 1 log counters,
+the traced communication-byte matrix, the checkpoint commit history
+(rounds and timestamps), and under failure schedules the restart
+bookkeeping.  The fuzz matrix varies seeds, cluster counts, shard
+counts, and random process/node failure schedules, so the conservative
+windows are exercised across different partition shapes and crash
+timings.
+"""
+
+import random
+
+import pytest
+
+from repro.apps.minife import minife_app
+from repro.apps.synthetic import halo2d_app, ring_app
+from repro.core.clusters import ClusterMap
+from repro.core.protocol import SPBCConfig
+from repro.harness.parallel import partition_shards, run_spbc_sharded
+from repro.harness.runner import run_failure_schedule, run_spbc
+from repro.sim.network import NetworkParams
+
+NRANKS = 16
+RPN = 4
+
+
+def commit_history(backend, nranks):
+    hist = {}
+    for r in range(nranks):
+        rows = []
+        for rnd in backend.rounds_of(r):
+            rec = backend.retrieve(r, rnd)
+            if rec is not None and rec.ckpt is not None:
+                rows.append((rnd, rec.ckpt.taken_at_ns))
+        hist[r] = rows
+    return hist
+
+
+def assert_matches_sequential(sh, seq, nranks, note=""):
+    """``sh`` is a ShardedRunResult, ``seq`` a RunResult/OnlineResult."""
+    seq_world = seq.world
+    seq_hooks = seq_world.hooks
+    assert sh.makespan_ns == seq.makespan_ns, note
+    assert sh.results == seq.results, note
+    for r in range(nranks):
+        assert (
+            sh.hooks.state[r].log.bytes_logged
+            == seq_hooks.state[r].log.bytes_logged
+        ), (note, r)
+        assert (
+            sh.hooks.state[r].log.records_logged
+            == seq_hooks.state[r].log.records_logged
+        ), (note, r)
+    assert sh.hooks.log_growth_rates_mb_s(
+        sh.makespan_ns
+    ) == seq_hooks.log_growth_rates_mb_s(seq.makespan_ns), note
+    assert (
+        sh.trace.comm_bytes_matrix(nranks)
+        == seq_world.trace.comm_bytes_matrix(nranks)
+    ).all(), note
+    assert sh.commit_history == commit_history(seq_hooks.storage, nranks), note
+
+
+# ----------------------------------------------------------------------
+# Failure-free equivalence (the Table 1 / Table 2 configurations)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("shards", [2, 4])
+@pytest.mark.parametrize("k", [4, 8])
+def test_failure_free_runs_are_bit_identical(k, shards):
+    factory = ring_app(iters=12, msg_bytes=2048, compute_ns=200_000)
+    cm = ClusterMap.block(NRANKS, k)
+    seq = run_spbc(factory, NRANKS, cm, ranks_per_node=RPN)
+    sh = run_spbc(factory, NRANKS, cm, ranks_per_node=RPN, shards=shards)
+    assert sh.nshards == shards
+    assert_matches_sequential(sh, seq, NRANKS, f"k={k} shards={shards}")
+    assert sh.packets_sent == seq.world.network.packets_sent
+    assert sh.bytes_sent == seq.world.network.bytes_sent
+
+
+def test_paper_app_with_checkpoints_is_bit_identical():
+    """minife (ANY_SOURCE halo + allreduces) with coordinated
+    checkpoints on a tiered backend: commit rounds and timestamps must
+    survive the shard cut."""
+    factory = minife_app(iters=12, face_bytes=2048, compute_ns=300_000)
+    cm = ClusterMap.block(NRANKS, 4)
+    cfg = lambda: SPBCConfig(
+        clusters=cm, checkpoint_every=4, state_nbytes=1 << 18
+    )
+    seq = run_spbc(
+        factory, NRANKS, cm, config=cfg(), storage="tiered:ram@1,pfs@2",
+        ranks_per_node=RPN,
+    )
+    sh = run_spbc(
+        factory, NRANKS, cm, config=cfg(), storage="tiered:ram@1,pfs@2",
+        ranks_per_node=RPN, shards=4,
+    )
+    assert_matches_sequential(sh, seq, NRANKS, "minife ckpt")
+    assert sh.hooks.peak_concurrent_pfs_writers() == (
+        seq.hooks.peak_concurrent_pfs_writers()
+    )
+    assert sh.hooks.total_checkpoint_stall_ns() == (
+        seq.hooks.total_checkpoint_stall_ns()
+    )
+
+
+def test_node_splitting_partition_uses_intra_lookahead():
+    """Clusters smaller than a node force the intra-node alpha bound;
+    the run stays exact, just with tighter windows."""
+    factory = ring_app(iters=8, msg_bytes=2048, compute_ns=200_000)
+    cm = ClusterMap.block(16, 8)  # rpn=4: two clusters per node
+    seq = run_spbc(factory, 16, cm, ranks_per_node=4)
+    # One cluster per shard: both of a node's clusters land on
+    # different shards, so intra-node traffic crosses the cut.
+    sh = run_spbc(factory, 16, cm, ranks_per_node=4, shards=8)
+    params = NetworkParams()
+    assert sh.lookahead_ns == params.inject_fixed_ns + params.alpha_intra_ns
+    assert_matches_sequential(sh, seq, 16, "intra-split")
+
+
+# ----------------------------------------------------------------------
+# Failure-schedule fuzz matrix
+# ----------------------------------------------------------------------
+
+def random_schedule(seed, makespan_ns, max_failures=3):
+    rng = random.Random(seed)
+    n = rng.randint(1, max_failures)
+    times = sorted(
+        rng.randint(1, int(makespan_ns * 0.9)) for _ in range(n)
+    )
+    return [
+        (t, rng.randrange(NRANKS), rng.choice(("process", "node")))
+        for t in times
+    ]
+
+
+def _fuzz_case(seed, k, shards, storage="tiered:ram@1,pfs@2", stagger=0):
+    factory = ring_app(iters=14, msg_bytes=2048, compute_ns=200_000)
+    cm = ClusterMap.block(NRANKS, k)
+    probe = run_spbc(factory, NRANKS, cm, ranks_per_node=RPN)
+    schedule = random_schedule(seed, probe.makespan_ns)
+
+    def kw():
+        return dict(
+            config=SPBCConfig(
+                clusters=cm, checkpoint_every=3, state_nbytes=1 << 18
+            ),
+            storage=storage,
+            ranks_per_node=RPN,
+            restart_stagger_ns=stagger,
+        )
+
+    seq = run_failure_schedule(factory, NRANKS, cm, schedule, **kw())
+    sh = run_failure_schedule(
+        factory, NRANKS, cm, schedule, shards=shards, **kw()
+    )
+    note = f"seed={seed} k={k} shards={shards} schedule={schedule}"
+    assert_matches_sequential(sh, seq, NRANKS, note)
+    assert sh.restarts == dict(seq.manager.restarts), note
+    assert sh.restarted_ranks == seq.restarted_ranks, note
+    # Failure bookkeeping: same events, same globally summed purge and
+    # invalidation counts, same restart rounds and tiers.
+    assert len(sh.failures) == len(seq.manager.failures), note
+    seq_by_key = {
+        (ev.time_ns, ev.cluster): ev for ev in seq.manager.failures
+    }
+    for ev in sh.failures:
+        ref = seq_by_key[(ev.time_ns, ev.cluster)]
+        assert ev.killed_ranks == ref.killed_ranks, note
+        assert ev.purged_packets == ref.purged_packets, note
+        assert ev.invalidated_copies == ref.invalidated_copies, note
+        if not ref.superseded:
+            assert ev.restarted_from_round == ref.restarted_from_round, note
+            assert ev.restored_tier == ref.restored_tier, note
+
+
+@pytest.mark.parametrize("seed,k,shards", [
+    (1, 4, 2),
+    (2, 4, 4),
+    (3, 8, 4),
+])
+def test_fuzz_failure_schedules_are_bit_identical(seed, k, shards):
+    """PR-gate slice of the shard-determinism matrix."""
+    _fuzz_case(seed, k, shards)
+
+
+def test_fuzz_with_partner_copies_and_stagger():
+    _fuzz_case(
+        5, 8, 4, storage="partner:ram@1,partner@1,pfs@3", stagger=100_000
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("shards", [2, 4, 8])
+@pytest.mark.parametrize("k", [4, 8, 16])
+@pytest.mark.parametrize("seed", range(10, 16))
+def test_fuzz_failure_schedules_deep(seed, k, shards):
+    """Nightly slice: seeds x cluster counts x shard counts."""
+    if shards > k:
+        pytest.skip("more shards than clusters")
+    _fuzz_case(seed, k, shards)
+
+
+# ----------------------------------------------------------------------
+# Partitioning
+# ----------------------------------------------------------------------
+
+def test_partition_contiguous_balanced():
+    cm = ClusterMap.block(64, 8)
+    parts = partition_shards(cm, 4)
+    assert [len(p) for p in parts] == [2, 2, 2, 2]
+    assert sorted(c for p in parts for c in p) == list(range(8))
+    # Contiguity: each shard owns a consecutive cluster range.
+    for p in parts:
+        assert p == list(range(p[0], p[0] + len(p)))
+
+
+def test_partition_uneven_sizes_never_leaves_empty_shards():
+    cm = ClusterMap([0] * 10 + [1] * 2 + [2] * 2 + [3] * 2)
+    parts = partition_shards(cm, 3)
+    assert sorted(c for p in parts for c in p) == [0, 1, 2, 3]
+    assert all(p for p in parts)
+
+
+def test_partition_weighted_keeps_heavy_pairs_together():
+    import numpy as np
+
+    cm = ClusterMap.block(8, 4)  # clusters {0,1},{2,3},{4,5},{6,7}
+    w = np.zeros((8, 8))
+    # Heavy traffic between clusters 0 and 3, and between 1 and 2.
+    w[0, 7] = w[7, 0] = 100.0
+    w[2, 4] = w[4, 2] = 100.0
+    parts = partition_shards(cm, 2, weights=w)
+    shard_of = {}
+    for sid, p in enumerate(parts):
+        for c in p:
+            shard_of[c] = sid
+    assert shard_of[0] == shard_of[3]
+    assert shard_of[1] == shard_of[2]
+
+
+def test_partition_rejects_more_shards_than_clusters():
+    with pytest.raises(ValueError, match="clusters"):
+        partition_shards(ClusterMap.block(16, 4), 5)
+
+
+# ----------------------------------------------------------------------
+# Guard rails and worker-failure handling
+# ----------------------------------------------------------------------
+
+def test_shards_reject_warp():
+    factory = ring_app(iters=8, msg_bytes=2048, compute_ns=200_000)
+    cm = ClusterMap.block(16, 4)
+    with pytest.raises(ValueError, match="warp"):
+        run_spbc(factory, 16, cm, ranks_per_node=4, shards=2, warp=8)
+
+
+def test_shards_reject_jitter():
+    factory = ring_app(iters=8, msg_bytes=2048, compute_ns=200_000)
+    cm = ClusterMap.block(16, 4)
+    with pytest.raises(ValueError, match="jitter"):
+        run_spbc(
+            factory, 16, cm, ranks_per_node=4, shards=2,
+            net_params=NetworkParams(jitter_max_ns=1_000),
+        )
+
+
+def test_shards_reject_async_flush_storage():
+    factory = ring_app(iters=8, msg_bytes=2048, compute_ns=200_000)
+    cm = ClusterMap.block(16, 4)
+    with pytest.raises(ValueError, match="async"):
+        run_spbc(
+            factory, 16, cm, ranks_per_node=4, shards=2,
+            config=SPBCConfig(clusters=cm, checkpoint_every=4),
+            storage="tiered:ram@1,pfs@2:async",
+        )
+
+
+def test_crashing_app_surfaces_cleanly_without_hanging():
+    """A rank raising mid-run must fail the whole run with the worker's
+    error, terminate the other shards, and not deadlock the window
+    loop."""
+
+    def broken_factory(ctx, state):
+        def gen():
+            me = ctx.rank
+            for i in range(10):
+                if me == 5 and i == 3:
+                    raise RuntimeError("boom at iteration 3")
+                nxt = (me + 1) % ctx.size
+                prev = (me - 1) % ctx.size
+                req = ctx.irecv(src=prev, tag=0)
+                ctx.isend(nxt, i, nbytes=1024, tag=0)
+                yield from ctx.wait(req)
+                yield from ctx.compute(100_000)
+            return 0
+
+        return gen()
+
+    cm = ClusterMap.block(16, 4)
+    with pytest.raises(RuntimeError, match="boom|rank 5"):
+        run_spbc_sharded(broken_factory, 16, cm, shards=4, ranks_per_node=4)

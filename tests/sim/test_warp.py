@@ -12,6 +12,7 @@ sees different pipeline skews and periods.
 
 import pytest
 
+from repro.apps.minife import minife_app
 from repro.apps.synthetic import halo2d_app, ring_app
 from repro.core.clusters import ClusterMap
 from repro.core.protocol import SPBCConfig
@@ -91,6 +92,25 @@ def test_halo_warp_is_exact():
     exact, warped = run_pair(factory, 25, 36, 6, rpn=6)
     assert warped.world.warp.warped_iterations > 0
     assert_equivalent(exact, warped, 36)
+
+
+def test_minife_warp_is_exact():
+    """The paper app with ANY_SOURCE halo receives and two allreduces
+    per iteration: its analytic replay (cached global dot-product
+    totals) must reproduce exact mode bit-for-bit."""
+    factory = minife_app(iters=30, face_bytes=4096, compute_ns=400_000)
+    exact, warped = run_pair(factory, 30, 27, 9, rpn=3)
+    assert warped.world.warp.warped_iterations > 0, "warp never engaged"
+    assert_equivalent(exact, warped, 27)
+
+
+def test_minife_warp_with_checkpoints():
+    factory = minife_app(iters=48, face_bytes=2048, compute_ns=300_000)
+    exact, warped = run_pair(
+        factory, 48, 16, 4, ckpt=20, storage="tiered:ram@1,pfs@2"
+    )
+    assert warped.world.warp.warped_iterations > 0
+    assert_equivalent(exact, warped, 16, check_rounds=True)
 
 
 def test_warp_with_checkpoints_preserves_commit_history():
