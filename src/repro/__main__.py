@@ -13,6 +13,10 @@ Usage::
                                [--storage tiered:ram@1,pfs@4]
     python -m repro ioverlap [--storage tiered:ram@1,pfs@4]
     python -m repro apps            # list registered workloads
+    python -m repro journal out.journal --record [--app ring] [--ranks 32]
+                                    [--schedule 3:2:process,9:9:node]
+    python -m repro journal out.journal            # inspect / project
+    python -m repro replay out.journal [--shards N] [--resume]
 
 Equivalent to the pytest benchmarks but without the harness — handy for
 quick sweeps at custom scales.
@@ -34,9 +38,15 @@ def main(argv=None) -> int:
         "experiment",
         choices=[
             "table1", "table2", "fig5", "fig6", "ckptcost", "blastradius",
-            "deltachain", "ioverlap", "simperf", "apps",
+            "deltachain", "ioverlap", "simperf", "apps", "journal", "replay",
         ],
         help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="journal/replay: the journal file to record, inspect, or replay",
     )
     parser.add_argument("--ranks", type=int, default=None, help="simulated ranks")
     parser.add_argument("--rpn", type=int, default=None, help="ranks per node")
@@ -112,7 +122,46 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="simperf: committed baseline to compare/gate against",
     )
+    parser.add_argument(
+        "--record",
+        action="store_true",
+        help="journal: record a fresh run to PATH instead of inspecting it",
+    )
+    parser.add_argument(
+        "--app",
+        type=str,
+        default="ring",
+        help="journal --record: registered app to run (default ring)",
+    )
+    parser.add_argument(
+        "--iters",
+        type=int,
+        default=12,
+        help="journal --record: app iterations (default 12)",
+    )
+    parser.add_argument(
+        "--clusters",
+        type=int,
+        default=8,
+        metavar="SIZE",
+        help="journal --record: ranks per cluster (default 8)",
+    )
+    parser.add_argument(
+        "--schedule",
+        type=str,
+        default=None,
+        help="journal --record: failure schedule as MS:RANK:KIND[,...] "
+        "(KIND is process or node), e.g. 3:2:process,9:9:node",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay: complete a torn journal in place (verified re-run) "
+        "instead of strict replay",
+    )
     args = parser.parse_args(argv)
+    if args.path is not None and args.experiment not in ("journal", "replay"):
+        parser.error(f"{args.experiment} takes no journal path argument")
 
     if args.ranks:
         os.environ["REPRO_BENCH_RANKS"] = str(args.ranks)
@@ -133,6 +182,9 @@ def main(argv=None) -> int:
             print(f"{spec.name:14s} {spec.description}"
                   + (f"  [{', '.join(tags)}]" if tags else ""))
         return 0
+
+    if args.experiment in ("journal", "replay"):
+        return _journal_command(args)
 
     from repro.harness import experiments as ex
 
@@ -328,6 +380,129 @@ def main(argv=None) -> int:
         else:
             print()
             print(ex.format_auto_interval(arows))
+    return 0
+
+
+def _parse_schedule(spec):
+    """Parse ``MS:RANK:KIND[,...]`` into (time_ns, rank, kind) triples."""
+    from repro.util.units import MS
+
+    out = []
+    for part in spec.split(","):
+        fields = part.split(":")
+        if len(fields) != 3:
+            raise ValueError(
+                f"bad schedule entry {part!r}: expected MS:RANK:KIND"
+            )
+        t_ms, rank, kind = fields
+        if kind not in ("process", "node"):
+            raise ValueError(
+                f"bad failure kind {kind!r} in {part!r}: "
+                "expected 'process' or 'node'"
+            )
+        out.append((int(float(t_ms) * MS), int(rank), kind))
+    return out
+
+
+def _journal_command(args) -> int:
+    import json as _json
+
+    from repro.journal import (
+        DivergenceError,
+        Journal,
+        JournalError,
+        project,
+        replay_strict,
+        resume,
+    )
+    from repro.journal.project import summary
+
+    if args.path is None:
+        print(f"error: {args.experiment} requires a journal PATH",
+              file=sys.stderr)
+        return 2
+
+    if args.experiment == "journal" and args.record:
+        from repro.core.clusters import ClusterMap
+        from repro.core.protocol import SPBCConfig
+        from repro.harness.runner import run_failure_schedule, run_spbc
+        from repro.journal.recorder import journaled_app
+
+        nranks = args.ranks or 32
+        rpn = args.rpn or 8
+        try:
+            app = journaled_app(args.app, iters=args.iters)
+            schedule = _parse_schedule(args.schedule) if args.schedule else []
+        except (KeyError, ValueError) as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        clusters = ClusterMap.block(nranks, args.clusters)
+        cfg = SPBCConfig(clusters=clusters, checkpoint_every=3,
+                         state_nbytes=1 << 12)
+        storage = args.storage or "tiered:ram@1,pfs@4"
+        common = dict(ranks_per_node=rpn, storage=storage, config=cfg,
+                      shards=args.shards, journal=args.path)
+        if schedule:
+            run_failure_schedule(app, nranks, clusters, schedule, **common)
+        else:
+            run_spbc(app, nranks, clusters, **common)
+        jr = Journal.load(args.path)
+        print(f"recorded {len(jr.events)} events to {args.path}")
+        print(_json.dumps(summary(jr), indent=1, default=str))
+        return 0
+
+    try:
+        journal = Journal.load(args.path)
+    except (OSError, JournalError) as e:
+        print(f"error: cannot load {args.path!r}: {e}", file=sys.stderr)
+        return 2
+
+    if args.experiment == "journal":
+        print(_json.dumps(summary(journal), indent=1, default=str))
+        if journal.complete:
+            from repro.journal.project import (
+                commit_intervals_ns,
+                committed_bytes,
+                downtime_ns,
+                gc_notice_count,
+                rework_ns,
+            )
+
+            projections = {
+                "committed_bytes": project(journal, committed_bytes),
+                "gc_notices": project(journal, gc_notice_count),
+                "downtime_ns": project(journal, downtime_ns),
+                "rework_ns": project(journal, rework_ns),
+                "commit_interval_count": len(
+                    project(journal, commit_intervals_ns)
+                ),
+            }
+            print(_json.dumps({"projections": projections}, indent=1))
+        return 0
+
+    # replay
+    if args.resume:
+        try:
+            res = resume(args.path, shards=args.shards)
+        except JournalError as e:
+            print(f"error: resume failed: {e}", file=sys.stderr)
+            return 1
+        verb = "re-simulated" if res.resimulated else "already complete"
+        print(f"resume: {verb}; makespan {res.makespan_ns} ns, "
+              f"{len(res.finish_ns)} ranks finished")
+        return 0
+    try:
+        res = replay_strict(args.path, shards=args.shards)
+    except DivergenceError as e:
+        print(f"REPLAY DIVERGED at LSN {e.lsn}:", file=sys.stderr)
+        print(f"  recorded: {e.recorded}", file=sys.stderr)
+        print(f"  replayed: {e.replayed}", file=sys.stderr)
+        return 1
+    except JournalError as e:
+        print(f"error: replay failed: {e}", file=sys.stderr)
+        return 1
+    print(f"replay-strict: OK ({len(journal.events)} events bit-identical; "
+          f"makespan {res.makespan_ns} ns)")
     return 0
 
 

@@ -292,6 +292,9 @@ class SPBC(ProtocolHooks):
         if type(self) is SPBC:
             self.on_send_with_cost = self._on_send_with_cost_fused
         self.state: Dict[int, _RankState] = {}
+        # Journal event sink (anything with .emit(kind, t, **fields));
+        # installed by the runners when a run is being recorded.
+        self.journal = None
         self._world = None
         self._cluster_comms: Dict[int, Any] = {}
         self.storage: StorageBackend = config.storage or InMemoryBackend()
@@ -739,6 +742,19 @@ class SPBC(ProtocolHooks):
             )
         else:
             receipt = self.storage.save(ckpt, concurrent_writers=writers)
+        if self.journal is not None:
+            # The committed-checkpoint observable: keyed by the cut's
+            # taken_at time (the commit-history invariant's timestamp),
+            # not the save instant, so canonical order is engine-free.
+            self.journal.emit(
+                "commit",
+                t=ckpt.taken_at_ns,
+                rank=runtime.rank,
+                round=st.ckpt_round,
+                nbytes=ckpt.nbytes,
+                durable=bool(receipt.durable),
+                committed_at_ns=runtime.engine.now,
+            )
         if receipt.durable:
             # The commit reached a tier that survives node failure: the
             # snapshot now covers every resident record, so the sender's
@@ -797,6 +813,14 @@ class SPBC(ProtocolHooks):
                 by_peer.setdefault(src, {})[cid] = lr_val
         for peer, lr_map in sorted(by_peer.items()):
             runtime.control_send(peer, LOG_GC, {"lr": lr_map}, nbytes=32)
+        if self.journal is not None and by_peer:
+            self.journal.emit(
+                "gc",
+                t=runtime.engine.now,
+                rank=runtime.rank,
+                round=st.gc_round_sent,
+                peers=len(by_peer),
+            )
 
     @staticmethod
     def _drained(ccomm, counters) -> bool:

@@ -140,6 +140,11 @@ class RecoveryManager:
             spbc.storage.bind_topology(topology)
         self.failures: List[FailureEvent] = []
         self.restarts: Dict[int, int] = {}  # rank -> number of restarts
+        # Journal event sink (see repro.journal): completed restarts are
+        # emitted here; the crash-side failure facts are journaled by
+        # the runner from ``failures`` after the run (their counts are
+        # only engine-independent in the merged/final view).
+        self.journal = None
         # One pending restart per cluster: a second crash of a cluster
         # that is still down supersedes the queued restart instead of
         # stacking a duplicate incarnation on top of it.
@@ -401,6 +406,17 @@ class RecoveryManager:
         ):
             event.partner_rebuilds = self.spbc.storage.rebuild_partner_copies(
                 event.node
+            )
+        if self.journal is not None:
+            # Only restarts that actually ran reach this point, so the
+            # journaled round/tier are never the preliminary values a
+            # superseding crash would have invalidated.
+            self.journal.emit(
+                "restart",
+                t=self.world.engine.now,
+                cluster=cluster,
+                round=event.restarted_from_round if event else 0,
+                tier=event.restored_tier if event else None,
             )
 
     def _notify_survivors(self, failed: set) -> None:

@@ -86,6 +86,9 @@ class ShardPlan:
     schedule: Tuple[FailureSpec, ...] = ()
     restart_delay_ns: int = 2_000_000
     restart_stagger_ns: int = 0
+    # Collect owned-rank journal events (commits, gc, restarts) into a
+    # ListSink and ship them back in the worker summary.
+    journal: bool = False
 
 
 def partition_shards(
@@ -327,6 +330,7 @@ def run_spbc_sharded(
     trace: bool = True,
     warp=None,
     shard_weights: Optional[np.ndarray] = None,
+    journal=None,
 ) -> ShardedRunResult:
     """Run an SPBC simulation split across ``shards`` worker processes.
 
@@ -334,10 +338,40 @@ def run_spbc_sharded(
     :func:`~repro.harness.runner.run_failure_schedule` arguments (an
     empty ``schedule`` is a failure-free run) and produces bit-identical
     observables.  Requires a platform with ``fork`` (the application
-    factory is inherited, not pickled)."""
+    factory is inherited, not pickled).
+
+    ``journal`` records the run (see :mod:`repro.journal`): workers
+    stream their owned ranks' events back in the summaries and the
+    coordinator writes one journal whose canonical event stream is
+    identical to the sequential recording's."""
     cfg = config or SPBCConfig(clusters=clusters)
     if cfg.clusters is not clusters and cfg.clusters != clusters:
         raise ValueError("config.clusters disagrees with the clusters argument")
+    writer = None
+    if journal is not None:
+        from repro.journal.recorder import prepare_writer
+
+        # Before the spec strings are resolved into live objects: the
+        # header records the specs themselves.
+        writer = prepare_writer(
+            journal,
+            app_factory=app_factory,
+            nranks=nranks,
+            clusters=clusters,
+            config=cfg,
+            schedule=schedule,
+            storage=storage,
+            ckpt_data=ckpt_data,
+            profile=profile,
+            warp=warp,
+            restart_delay_ns=restart_delay_ns,
+            restart_stagger_ns=restart_stagger_ns,
+            ranks_per_node=ranks_per_node,
+            seed=seed,
+            net_params=net_params,
+            trace=trace,
+            recorded_shards=shards,
+        )
     _resolve_storage(cfg, storage)
     _resolve_ckpt_data(cfg, ckpt_data, profile)
     params = net_params or NetworkParams()
@@ -375,6 +409,7 @@ def run_spbc_sharded(
             schedule=tuple(schedule),
             restart_delay_ns=restart_delay_ns,
             restart_stagger_ns=restart_stagger_ns,
+            journal=writer is not None,
         )
         for sid, part in enumerate(parts)
     ]
@@ -422,9 +457,26 @@ def run_spbc_sharded(
                 proc.terminate()
                 proc.join()
 
-    return _merge(
+    result = _merge(
         summaries, shard_of_cluster, nranks, shards, trace, windows, lookahead
     )
+    if writer is not None:
+        from repro.journal.recorder import finalize_run, log_counters_of
+
+        finalize_run(
+            writer,
+            failures=result.failures,
+            finish_ns=result.finish_ns,
+            makespan_ns=result.makespan_ns,
+            results=result.results,
+            log=log_counters_of(result.hooks),
+            restarts=result.restarts,
+            commit_history=result.commit_history,
+            worker_events=[
+                ev for summ in summaries for ev in summ.get("journal_events", ())
+            ],
+        )
+    return result
 
 
 def _recv(conn, sid: int):

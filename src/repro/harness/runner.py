@@ -179,6 +179,7 @@ def run_spbc(
     profile: Optional[WriteLocalityProfile] = None,
     warp: WarpSpec = None,
     shards: Optional[int] = None,
+    journal=None,
     **kw,
 ):
     """Failure-free run under SPBC (logging + identifiers active).
@@ -192,7 +193,18 @@ def run_spbc(
     ``shards=N`` (N > 1) splits the run over N conservative PDES worker
     processes (see :mod:`repro.harness.parallel`) and returns the merged
     :class:`~repro.harness.parallel.ShardedRunResult` — observables are
-    bit-identical to the single-process run."""
+    bit-identical to the single-process run.
+
+    ``journal`` (a path, or a :class:`repro.journal.JournalWriter`)
+    records the run as an LSN-stamped event journal for strict replay,
+    crash-resume, and metric projection (see :mod:`repro.journal`);
+    it requires spec-string ``storage``/``ckpt_data`` (live backend
+    objects are not serializable into the header)."""
+    cfg = config or SPBCConfig(clusters=clusters)
+    # Validate *before* the shard dispatch: a mismatched config must
+    # fail identically whichever engine runs it.
+    if cfg.clusters is not clusters and cfg.clusters != clusters:
+        raise ValueError("config.clusters disagrees with the clusters argument")
     if shards is not None and shards > 1:
         from repro.harness.parallel import run_spbc_sharded
 
@@ -201,19 +213,56 @@ def run_spbc(
             nranks,
             clusters,
             shards,
-            config=config,
+            config=cfg,
             storage=storage,
             ckpt_data=ckpt_data,
             profile=profile,
             warp=warp,
+            journal=journal,
             **kw,
         )
-    cfg = config or SPBCConfig(clusters=clusters)
-    if cfg.clusters is not clusters and cfg.clusters != clusters:
-        raise ValueError("config.clusters disagrees with the clusters argument")
+    writer = None
+    if journal is not None:
+        from repro.journal.recorder import prepare_writer
+
+        writer = prepare_writer(
+            journal,
+            app_factory=app_factory,
+            nranks=nranks,
+            clusters=clusters,
+            config=cfg,
+            storage=storage,
+            ckpt_data=ckpt_data,
+            profile=profile,
+            warp=warp,
+            ranks_per_node=kw.get("ranks_per_node", 8),
+            seed=kw.get("seed", 0),
+            net_params=kw.get("net_params"),
+            trace=kw.get("trace", True),
+        )
     _resolve_storage(cfg, storage)
     _resolve_ckpt_data(cfg, ckpt_data, profile)
-    return run_app(app_factory, nranks, hooks=SPBC(cfg), warp=warp, **kw)
+    hooks = SPBC(cfg)
+    hooks.journal = writer
+    result = run_app(app_factory, nranks, hooks=hooks, warp=warp, **kw)
+    if writer is not None:
+        from repro.journal.recorder import (
+            commit_history_of,
+            finalize_run,
+            log_counters_of,
+        )
+
+        finalize_run(
+            writer,
+            failures=(),
+            finish_ns=result.finish_ns,
+            makespan_ns=result.makespan_ns,
+            results=result.results,
+            log=log_counters_of(hooks),
+            restarts={},
+            commit_history=commit_history_of(hooks),
+        )
+    return result
 
 
 def run_emulated_recovery(
@@ -302,6 +351,7 @@ def run_failure_schedule(
     profile: Optional[WriteLocalityProfile] = None,
     warp: WarpSpec = None,
     shards: Optional[int] = None,
+    journal=None,
 ):
     """Run with an arbitrary schedule of process/node crashes and full
     online recovery after each (the fuzz harness's entry point).
@@ -319,7 +369,17 @@ def run_failure_schedule(
     ``shards=N`` (N > 1) runs the schedule under the conservative
     sharded engine (failures mirrored on every shard, restarts driven by
     the owning shard) and returns a
-    :class:`~repro.harness.parallel.ShardedRunResult`."""
+    :class:`~repro.harness.parallel.ShardedRunResult`.
+
+    ``journal`` records the run (path or writer; see
+    :mod:`repro.journal`) — sharded and unsharded recordings of the
+    same config journal identical canonical event streams."""
+    cfg = config or SPBCConfig(clusters=clusters)
+    # Same guard as run_spbc, and before the shard dispatch: a config
+    # whose cluster map disagrees with the ``clusters`` argument would
+    # otherwise silently simulate the config's clustering.
+    if cfg.clusters is not clusters and cfg.clusters != clusters:
+        raise ValueError("config.clusters disagrees with the clusters argument")
     if shards is not None and shards > 1:
         from repro.harness.parallel import run_spbc_sharded
 
@@ -328,7 +388,7 @@ def run_failure_schedule(
             nranks,
             clusters,
             shards,
-            config=config,
+            config=cfg,
             storage=storage,
             ckpt_data=ckpt_data,
             profile=profile,
@@ -340,11 +400,34 @@ def run_failure_schedule(
             net_params=net_params,
             trace=trace,
             warp=warp,
+            journal=journal,
         )
-    cfg = config or SPBCConfig(clusters=clusters)
+    writer = None
+    if journal is not None:
+        from repro.journal.recorder import prepare_writer
+
+        writer = prepare_writer(
+            journal,
+            app_factory=app_factory,
+            nranks=nranks,
+            clusters=clusters,
+            config=cfg,
+            schedule=schedule,
+            storage=storage,
+            ckpt_data=ckpt_data,
+            profile=profile,
+            warp=warp,
+            restart_delay_ns=restart_delay_ns,
+            restart_stagger_ns=restart_stagger_ns,
+            ranks_per_node=ranks_per_node,
+            seed=seed,
+            net_params=net_params,
+            trace=trace,
+        )
     _resolve_storage(cfg, storage)
     _resolve_ckpt_data(cfg, ckpt_data, profile)
     hooks = SPBC(cfg)
+    hooks.journal = writer
     world = World(
         nranks,
         ranks_per_node=ranks_per_node,
@@ -361,6 +444,7 @@ def run_failure_schedule(
         restart_delay_ns=restart_delay_ns,
         restart_stagger_ns=restart_stagger_ns,
     )
+    manager.journal = writer
     for r in range(nranks):
         world.launch(r, app_factory(RankContext(world, r), None))
     for at_ns, rank, kind in schedule:
@@ -368,11 +452,29 @@ def run_failure_schedule(
     world.run()
     _check_world(world)
     finish = {r: p.finish_time for r, p in world.processes.items()}
+    results = {r: p.result for r, p in world.processes.items()}
+    if writer is not None:
+        from repro.journal.recorder import (
+            commit_history_of,
+            finalize_run,
+            log_counters_of,
+        )
+
+        finalize_run(
+            writer,
+            failures=manager.failures,
+            finish_ns=finish,
+            makespan_ns=max(finish.values()),
+            results=results,
+            log=log_counters_of(hooks),
+            restarts=dict(manager.restarts),
+            commit_history=commit_history_of(hooks),
+        )
     return OnlineResult(
         world=world,
         manager=manager,
         makespan_ns=max(finish.values()),
-        results={r: p.result for r, p in world.processes.items()},
+        results=results,
         restarted_ranks=set(manager.restarts),
     )
 
@@ -385,6 +487,7 @@ def run_online_failure(
     fail_rank: int = 0,
     config: Optional[SPBCConfig] = None,
     restart_delay_ns: int = 2_000_000,
+    restart_stagger_ns: int = 0,
     ranks_per_node: int = 8,
     seed: int = 0,
     net_params: Optional[NetworkParams] = None,
@@ -393,9 +496,14 @@ def run_online_failure(
     storage: StorageSpec = None,
     ckpt_data: CkptDataSpec = None,
     profile: Optional[WriteLocalityProfile] = None,
-) -> OnlineResult:
+    warp: WarpSpec = None,
+    shards: Optional[int] = None,
+    journal=None,
+):
     """Run with a single crash at ``fail_at_ns`` and full online recovery
-    (Algorithm 1 lines 16-26).
+    (Algorithm 1 lines 16-26) — sugar over :func:`run_failure_schedule`,
+    forwarding every knob the schedule path has (stagger, warp, shards,
+    journal), so single-failure callers are not a feature island.
 
     ``failure_kind="node"`` kills the physical node hosting
     ``fail_rank``: checkpoint copies hosted there in non-surviving tiers
@@ -408,6 +516,7 @@ def run_online_failure(
         [(fail_at_ns, fail_rank, failure_kind)],
         config=config,
         restart_delay_ns=restart_delay_ns,
+        restart_stagger_ns=restart_stagger_ns,
         ranks_per_node=ranks_per_node,
         seed=seed,
         net_params=net_params,
@@ -415,4 +524,7 @@ def run_online_failure(
         storage=storage,
         ckpt_data=ckpt_data,
         profile=profile,
+        warp=warp,
+        shards=shards,
+        journal=journal,
     )

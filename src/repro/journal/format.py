@@ -1,0 +1,225 @@
+"""Journal file format: LSN-stamped JSON-lines records.
+
+A journal is an append-only text file dogfooding the paper's own idea on
+the simulator itself: a send-deterministic execution is fully described
+by its inputs plus the stream of observable events, so a run can be
+*recorded* once and later *replayed* (bit-identical verification),
+*resumed* (crash-restart of a killed campaign), or *projected* (new
+metrics from old events, no re-simulation).
+
+Line 1 is the **header** record: the serialized run configuration
+(application spec, cluster map, failure schedule, storage/data-plane
+specs, seeds, network parameters) plus a SHA-256 ``fingerprint`` over
+its canonical JSON — replay refuses a journal whose configuration it
+cannot rebuild exactly.  Every following ``ev`` record carries a *log
+sequence number* (LSN): a dense append counter stamped by the writer,
+so a torn tail (the recording process was killed mid-run) is detected
+as a gap/truncation, never as silent corruption.  A complete journal
+ends with exactly one ``end`` record holding the run's final
+observables (makespan, per-rank results and finish times, the Table 1
+log counters, restart counts).
+
+Event records are appended in *emission order* (the order the sinks saw
+them), which is deterministic for a given single-process run but not
+identical between the sequential engine and the sharded coordinator
+(same-instant events interleave differently).  Comparison therefore
+happens in **canonical order** — the total order by
+:func:`canonical_key` — under which a sequential recording, a sharded
+recording, and any strict replay of either produce the *same* sequence.
+``replay_strict`` reports the first divergent position of that sequence
+by the stored LSN of the recorded event.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+JOURNAL_VERSION = 1
+
+#: Event kinds, in tie-break order for same-instant events.
+EVENT_KINDS = ("failure", "restart", "commit", "gc", "finish")
+
+_KIND_ORDER = {k: i for i, k in enumerate(EVENT_KINDS)}
+
+
+class JournalError(RuntimeError):
+    """Malformed journal file or unreplayable configuration."""
+
+
+class DivergenceError(JournalError):
+    """Strict replay produced an observable the journal did not record.
+
+    ``lsn`` is the recorded event's LSN at the first divergent canonical
+    position (None when the divergence is in the final observables or
+    past the recorded tail); ``recorded``/``replayed`` are the two sides
+    of the first mismatch."""
+
+    def __init__(
+        self,
+        message: str,
+        lsn: Optional[int] = None,
+        recorded: Any = None,
+        replayed: Any = None,
+    ) -> None:
+        super().__init__(message)
+        self.lsn = lsn
+        self.recorded = recorded
+        self.replayed = replayed
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace variance."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint(header: Dict[str, Any]) -> str:
+    """SHA-256 over the header's canonical JSON (sans the fingerprint
+    field itself)."""
+    body = {k: v for k, v in header.items() if k != "fingerprint"}
+    return hashlib.sha256(canonical_json(body).encode()).hexdigest()
+
+
+def canonical_key(event: Dict[str, Any]) -> Tuple:
+    """Total order on events, identical across recording modes.
+
+    Primary: simulated time.  Ties: kind (failures before the restarts
+    and commits they precede causally), then the acting rank/cluster,
+    then round, then the full canonical JSON (so any two distinct
+    events order deterministically and two equal-keyed events are
+    byte-equal)."""
+    return (
+        event.get("t", 0),
+        _KIND_ORDER.get(event.get("k"), len(EVENT_KINDS)),
+        event.get("rank", event.get("cluster", -1)),
+        event.get("round", -1),
+        canonical_json({k: v for k, v in event.items() if k != "lsn"}),
+    )
+
+
+def strip_lsn(event: Dict[str, Any]) -> Dict[str, Any]:
+    return {k: v for k, v in event.items() if k != "lsn"}
+
+
+@dataclass
+class Journal:
+    """A parsed journal: header + events (+ final observables, when the
+    recording ran to completion)."""
+
+    path: Optional[str]
+    header: Dict[str, Any]
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    result: Optional[Dict[str, Any]] = None
+    #: True when the on-disk tail was torn mid-record (the recorder was
+    #: killed while appending) and the partial line was dropped.
+    torn_tail: bool = False
+
+    @property
+    def complete(self) -> bool:
+        """A complete journal recorded its ``end`` observables."""
+        return self.result is not None
+
+    @property
+    def last_lsn(self) -> int:
+        return self.events[-1]["lsn"] if self.events else 0
+
+    def canonical_events(self) -> List[Dict[str, Any]]:
+        """Events in the mode-independent canonical order (see module
+        docstring), LSNs preserved for reporting."""
+        return sorted(self.events, key=canonical_key)
+
+    # -- consumers' structured views -----------------------------------
+    def commit_history(self) -> Dict[int, List[Tuple[int, int]]]:
+        """rank -> [(round, taken_at_ns)], the shard-equivalence
+        invariant's shape, rebuilt from commit events."""
+        hist: Dict[int, List[Tuple[int, int]]] = {
+            r: [] for r in range(self.header["nranks"])
+        }
+        for ev in self.canonical_events():
+            if ev["k"] == "commit":
+                hist[ev["rank"]].append((ev["round"], ev["t"]))
+        return hist
+
+    def failures(self) -> List[Dict[str, Any]]:
+        return [ev for ev in self.canonical_events() if ev["k"] == "failure"]
+
+    def restarts(self) -> List[Dict[str, Any]]:
+        return [ev for ev in self.canonical_events() if ev["k"] == "restart"]
+
+    def finish_ns(self) -> Dict[int, int]:
+        return {
+            ev["rank"]: ev["t"]
+            for ev in self.events
+            if ev["k"] == "finish"
+        }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path) -> "Journal":
+        """Parse a journal file, tolerating a torn final line (the
+        recorder died mid-append); every structural problem *before* the
+        tail raises :class:`JournalError`."""
+        path = str(path)
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        if not lines:
+            raise JournalError(f"{path}: empty journal")
+        records: List[Dict[str, Any]] = []
+        torn = False
+        for i, line in enumerate(lines):
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    torn = True  # killed mid-append: drop the partial line
+                    break
+                raise JournalError(
+                    f"{path}: corrupt record on line {i + 1} "
+                    "(not the final line, so not a torn tail)"
+                ) from None
+        header = records[0]
+        if header.get("type") != "header":
+            raise JournalError(f"{path}: first record is not a header")
+        if header.get("version") != JOURNAL_VERSION:
+            raise JournalError(
+                f"{path}: journal version {header.get('version')!r}, "
+                f"this reader speaks {JOURNAL_VERSION}"
+            )
+        if fingerprint(header) != header.get("fingerprint"):
+            raise JournalError(
+                f"{path}: header fingerprint mismatch (edited journal?)"
+            )
+        events: List[Dict[str, Any]] = []
+        result: Optional[Dict[str, Any]] = None
+        expect_lsn = 1
+        for rec in records[1:]:
+            kind = rec.get("type")
+            if kind == "ev":
+                if result is not None:
+                    raise JournalError(f"{path}: event after the end record")
+                if rec.get("lsn") != expect_lsn:
+                    raise JournalError(
+                        f"{path}: LSN gap (expected {expect_lsn}, "
+                        f"got {rec.get('lsn')})"
+                    )
+                expect_lsn += 1
+                events.append({k: v for k, v in rec.items() if k != "type"})
+            elif kind == "end":
+                if result is not None:
+                    raise JournalError(f"{path}: duplicate end record")
+                result = {k: v for k, v in rec.items() if k != "type"}
+            else:
+                raise JournalError(
+                    f"{path}: unknown record type {kind!r}"
+                )
+        return cls(
+            path=path,
+            header=header,
+            events=events,
+            result=result,
+            torn_tail=torn,
+        )

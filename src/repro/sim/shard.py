@@ -241,6 +241,13 @@ def build_shard_world(plan) -> Tuple[World, "SPBC", Optional[ShardRecoveryManage
     from repro.core.protocol import SPBC
 
     hooks = SPBC(plan.config)
+    if plan.journal:
+        # Owned-rank journal events (commits, gc, restarts) accumulate
+        # in-process; the summary ships them to the coordinator, which
+        # owns the actual journal file.
+        from repro.journal.recorder import ListSink
+
+        hooks.journal = ListSink()
     world = _ShardWorld(
         plan.owned_ranks,
         plan.nranks,
@@ -263,6 +270,7 @@ def build_shard_world(plan) -> Tuple[World, "SPBC", Optional[ShardRecoveryManage
             owned_clusters=plan.owned_clusters,
             owned_ranks=plan.owned_ranks,
         )
+        manager.journal = hooks.journal
         for at_ns, rank, kind in plan.schedule:
             manager.inject_failure(at_ns, rank, kind=kind)
     return world, hooks, manager
@@ -305,6 +313,9 @@ def _summarize(world, spbc, manager, owned_ranks: FrozenSet[int]) -> Dict[str, A
         "events_executed": world.engine.events_executed,
         "failures": [asdict(e) for e in manager.failures] if manager else [],
         "restarts": dict(manager.restarts) if manager else {},
+        "journal_events": (
+            list(spbc.journal.events) if spbc.journal is not None else []
+        ),
     }
 
 

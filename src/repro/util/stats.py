@@ -42,10 +42,14 @@ def summarize(values: Iterable[float]) -> SummaryStats:
     n = len(vals)
     total = float(sum(vals))
     lo, hi = float(min(vals)), float(max(vals))
-    # total/n can exceed max(vals) by an ULP (e.g. [0.05]*3): keep the
-    # min <= mean <= max invariant exact.
-    mean = min(hi, max(lo, total / n))
-    var = sum((v - mean) ** 2 for v in vals) / n
+    # Variance is computed around the true arithmetic mean; only the
+    # *reported* mean is clamped.  total/n can exceed max(vals) by an
+    # ULP (e.g. [0.05]*3) and the clamp keeps the min <= mean <= max
+    # invariant exact — but centering the squared deviations on the
+    # clamped value would bias stddev whenever the clamp engages.
+    true_mean = total / n
+    var = sum((v - true_mean) ** 2 for v in vals) / n
+    mean = min(hi, max(lo, true_mean))
     return SummaryStats(
         count=n,
         mean=mean,

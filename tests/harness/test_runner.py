@@ -57,6 +57,82 @@ def test_run_spbc_mismatched_config_rejected():
         run_spbc(app, 4, ClusterMap.block(4, 2), config=cfg, ranks_per_node=2)
 
 
+def test_run_spbc_sharded_mismatched_config_rejected():
+    """The check runs before the shard dispatch: a sharded run must not
+    silently simulate the config's cluster map instead of the argument."""
+    from repro.core.protocol import SPBCConfig
+
+    app = ring_app(iters=1)
+    cfg = SPBCConfig(clusters=ClusterMap.block(4, 4))
+    with pytest.raises(ValueError, match="disagrees"):
+        run_spbc(app, 4, ClusterMap.block(4, 2), config=cfg,
+                 ranks_per_node=2, shards=2)
+
+
+@pytest.mark.parametrize("shards", [None, 2])
+def test_run_failure_schedule_mismatched_config_rejected(shards):
+    """run_failure_schedule historically skipped the clusters-vs-config
+    check entirely; the recovery manager then restarted clusters from a
+    map the schedule's targets were never placed on."""
+    from repro.core.protocol import SPBCConfig
+    from repro.harness.runner import run_failure_schedule
+
+    app = ring_app(iters=1)
+    cfg = SPBCConfig(clusters=ClusterMap.block(4, 4))
+    with pytest.raises(ValueError, match="disagrees"):
+        run_failure_schedule(
+            app, 4, ClusterMap.block(4, 2), [(1000, 0, "process")],
+            config=cfg, ranks_per_node=2, shards=shards,
+        )
+
+
+def test_run_online_failure_forwards_every_knob(monkeypatch):
+    """restart_stagger_ns/warp/shards/journal used to be silently
+    dropped on the sugar path; assert they all reach the schedule
+    runner."""
+    from repro.harness import runner
+
+    seen = {}
+
+    def fake(app, nranks, clusters, schedule, **kw):
+        seen.update(kw, schedule=schedule)
+        return "ran"
+
+    monkeypatch.setattr(runner, "run_failure_schedule", fake)
+    out = runner.run_online_failure(
+        ring_app(iters=1), 4, ClusterMap.block(4, 2), 5_000,
+        fail_rank=3, failure_kind="node", restart_stagger_ns=77,
+        warp=9, shards=2, journal="x.journal", ranks_per_node=2,
+    )
+    assert out == "ran"
+    assert seen["schedule"] == [(5_000, 3, "node")]
+    assert seen["restart_stagger_ns"] == 77
+    assert seen["warp"] == 9
+    assert seen["shards"] == 2
+    assert seen["journal"] == "x.journal"
+
+
+def test_run_online_failure_sharded_end_to_end():
+    """The forwarded shards= actually engages the sharded engine and
+    reproduces the sequential observables."""
+    from repro.core.protocol import SPBCConfig
+    from repro.harness.runner import run_online_failure
+
+    app = ring_app(iters=6, msg_bytes=1024, compute_ns=100_000)
+    clusters = ClusterMap.block(8, 4)
+
+    def go(shards):
+        return run_online_failure(
+            app, 8, clusters, 1_000_000, fail_rank=1,
+            config=SPBCConfig(clusters=clusters, checkpoint_every=2),
+            ranks_per_node=2, storage="memory", shards=shards,
+        )
+
+    seq, sh = go(None), go(2)
+    assert sh.makespan_ns == seq.makespan_ns
+    assert sh.results == seq.results
+
+
 def test_recovery_result_normalization():
     app = ring_app(iters=3, msg_bytes=256, compute_ns=10_000)
     clusters = ClusterMap.block(4, 2)

@@ -282,6 +282,82 @@ def test_fuzz_halo_app_with_auto_interval(seed):
 
 
 # ----------------------------------------------------------------------
+# Journal round-trip property: every fuzzed schedule must (1) record,
+# (2) strict-replay clean — the re-execution reproduces the recorded
+# event stream and observables bit for bit — and (3) resume after a
+# mid-run kill to the same final observables as the uninterrupted run.
+# ----------------------------------------------------------------------
+
+
+def _journal_app():
+    from repro.journal.recorder import journaled_app
+
+    return journaled_app(
+        "ring", iters=8, msg_bytes=2048, compute_ns=200_000
+    )
+
+
+def run_fuzz_journal_roundtrip(seed, spec, tmp_path):
+    from repro.journal import Journal, replay_strict, resume
+    from repro.journal.recorder import JournalWriter
+
+    factory = _journal_app()
+    ref = reference(("ring", NRANKS), app())
+    schedule = random_schedule(seed, ref.makespan_ns)
+    clusters = ClusterMap.block(NRANKS, 4)
+
+    def go(journal):
+        return run_failure_schedule(
+            factory,
+            NRANKS,
+            clusters,
+            schedule,
+            config=SPBCConfig(clusters=clusters, checkpoint_every=2),
+            ranks_per_node=RPN,
+            storage=spec,
+            journal=journal,
+        )
+
+    # record + strict replay
+    path = tmp_path / f"fuzz-{seed}.journal"
+    out = go(str(path))
+    assert out.results == ref.results
+    journal = Journal.load(path)
+    assert journal.complete
+    res = replay_strict(str(path))
+    assert res.makespan_ns == out.makespan_ns
+    assert res.results == out.results
+
+    # kill mid-run (torn tail), then resume: same final observables
+    kill_at = max(1, journal.last_lsn // 2)
+    torn_path = tmp_path / f"fuzz-{seed}-torn.journal"
+    go(JournalWriter(str(torn_path), crash_at_lsn=kill_at))
+    assert Journal.load(torn_path).torn_tail
+    resumed = resume(str(torn_path))
+    assert resumed.resimulated
+    assert resumed.makespan_ns == out.makespan_ns
+    assert resumed.results == out.results
+    healed = Journal.load(torn_path)
+    assert healed.complete
+    assert len(healed.events) == len(journal.events)
+
+
+@pytest.mark.parametrize("spec", BACKENDS)
+@pytest.mark.parametrize("seed", [1, 2])
+def test_fuzz_journal_roundtrip(seed, spec, tmp_path):
+    """PR-gate slice: record / strict-replay / kill-and-resume."""
+    run_fuzz_journal_roundtrip(seed, spec, tmp_path)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("spec", BACKENDS + ASYNC_BACKENDS)
+@pytest.mark.parametrize("seed", range(10, 20))
+def test_fuzz_journal_roundtrip_deep(seed, spec, tmp_path):
+    """Nightly slice: ten more seeds per backend, async flush included."""
+    run_fuzz_journal_roundtrip(seed, spec, tmp_path)
+
+
+# ----------------------------------------------------------------------
 # The acceptance pair: partner copy vs no partner copy, same schedule
 # ----------------------------------------------------------------------
 

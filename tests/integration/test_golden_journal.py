@@ -1,0 +1,49 @@
+"""Golden-journal regression pin: the committed recording must keep
+replaying bit-identically.
+
+``tests/data/golden.journal`` is a 16-rank ring run with one process and
+one node failure, recorded by::
+
+    python -m repro journal tests/data/golden.journal --record \
+        --ranks 16 --rpn 4 --clusters 4 --iters 12 \
+        --schedule 3:2:process,9:9:node
+
+Any change that shifts the simulated timeline, the commit/GC/restart
+event stream, or the final observables breaks strict replay here — like
+the Table 1 golden pin, an intentional model change must re-record the
+journal *in the same PR*, so behaviour can't drift silently.  The
+nightly CI job additionally runs ``python -m repro replay`` against the
+same file as a named step.
+"""
+
+import os
+
+import pytest
+
+from repro.journal import Journal, replay_strict
+
+GOLDEN = os.path.join(
+    os.path.dirname(__file__), os.pardir, "data", "golden.journal"
+)
+
+
+def test_golden_journal_loads_and_is_complete():
+    j = Journal.load(GOLDEN)
+    assert j.complete and not j.torn_tail
+    assert j.header["nranks"] == 16
+    assert j.header["app"] == {"name": "ring", "params": {"iters": 12}}
+    assert len(j.header["schedule"]) == 2
+    assert {ev["k"] for ev in j.events} == {
+        "commit", "gc", "failure", "restart", "finish",
+    }
+
+
+def test_golden_journal_replays_bit_identically():
+    res = replay_strict(GOLDEN)
+    assert res.resimulated
+    assert res.makespan_ns == Journal.load(GOLDEN).result["makespan_ns"]
+
+
+@pytest.mark.slow
+def test_golden_journal_replays_on_the_sharded_engine():
+    replay_strict(GOLDEN, shards=4)

@@ -1,0 +1,74 @@
+"""Shared fixtures: one recorded failure-schedule run per session.
+
+The recording is the expensive part (a full 16-rank SPBC run); every
+consumer test loads the same journal file.  Tests that need to mutate a
+journal copy it first.
+"""
+
+import shutil
+
+import pytest
+
+from repro.core.clusters import ClusterMap
+from repro.core.protocol import SPBCConfig
+from repro.harness.runner import run_failure_schedule
+from repro.journal import Journal
+from repro.journal.recorder import journaled_app
+from repro.util.units import MS
+
+NRANKS = 16
+RPN = 4
+CLUSTER = 4
+SCHEDULE = [(3 * MS, 2, "process"), (9 * MS, 9, "node")]
+STORAGE = "tiered:ram@1,pfs@4"
+
+
+def make_config():
+    return SPBCConfig(
+        clusters=ClusterMap.block(NRANKS, CLUSTER),
+        checkpoint_every=3,
+        state_nbytes=4096,
+    )
+
+
+def record(path, *, shards=None, journal=None):
+    """Record the canonical fixture run; returns the runner result."""
+    clusters = ClusterMap.block(NRANKS, CLUSTER)
+    return run_failure_schedule(
+        journaled_app("ring", iters=12),
+        NRANKS,
+        clusters,
+        SCHEDULE,
+        ranks_per_node=RPN,
+        storage=STORAGE,
+        config=make_config(),
+        shards=shards,
+        journal=journal if journal is not None else path,
+    )
+
+
+@pytest.fixture(scope="session")
+def record_run():
+    """The recording helper itself, for tests that re-record variants."""
+    return record
+
+
+@pytest.fixture(scope="session")
+def recorded(tmp_path_factory):
+    """(path, runner result) of a sequentially recorded run."""
+    path = tmp_path_factory.mktemp("journal") / "run.journal"
+    out = record(str(path))
+    return str(path), out
+
+
+@pytest.fixture(scope="session")
+def journal(recorded):
+    return Journal.load(recorded[0])
+
+
+@pytest.fixture
+def journal_copy(recorded, tmp_path):
+    """A private on-disk copy, safe to tamper with or rewrite."""
+    dst = tmp_path / "copy.journal"
+    shutil.copy(recorded[0], dst)
+    return str(dst)

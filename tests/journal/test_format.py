@@ -1,0 +1,191 @@
+"""Journal file format: canonical ordering, fingerprints, loader checks."""
+
+import json
+
+import pytest
+
+from repro.journal.format import (
+    EVENT_KINDS,
+    JOURNAL_VERSION,
+    Journal,
+    JournalError,
+    canonical_json,
+    canonical_key,
+    fingerprint,
+    strip_lsn,
+)
+
+
+def test_canonical_json_is_key_order_independent():
+    assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+    assert canonical_json({"a": 2, "b": 1}) == '{"a":2,"b":1}'
+
+
+def test_fingerprint_excludes_itself_and_tracks_content():
+    h = {"nranks": 8, "app": None}
+    fp = fingerprint(h)
+    assert fingerprint({**h, "fingerprint": fp}) == fp
+    assert fingerprint({**h, "nranks": 9}) != fp
+
+
+def test_canonical_key_orders_time_then_kind():
+    evs = [
+        {"k": "finish", "t": 5, "rank": 0},
+        {"k": "commit", "t": 5, "rank": 0, "round": 1},
+        {"k": "restart", "t": 5, "cluster": 0, "round": 1},
+        {"k": "failure", "t": 5, "rank": 0, "cluster": 0},
+        {"k": "commit", "t": 3, "rank": 2, "round": 1},
+    ]
+    ordered = sorted(evs, key=canonical_key)
+    # earlier time first; same-instant ties break failure < restart <
+    # commit < finish (the causal order of a crash at that instant)
+    assert [e["k"] for e in ordered] == [
+        "commit", "failure", "restart", "commit", "finish",
+    ]
+    assert ordered[0]["t"] == 3
+
+
+def test_canonical_key_ties_break_by_rank_then_round():
+    a = {"k": "commit", "t": 5, "rank": 1, "round": 1}
+    b = {"k": "commit", "t": 5, "rank": 2, "round": 1}
+    c = {"k": "commit", "t": 5, "rank": 2, "round": 2}
+    assert sorted([c, b, a], key=canonical_key) == [a, b, c]
+
+
+def test_canonical_key_ignores_lsn():
+    a = {"k": "commit", "t": 5, "rank": 1, "round": 1, "lsn": 9}
+    b = {"k": "commit", "t": 5, "rank": 1, "round": 1, "lsn": 2}
+    assert canonical_key(a) == canonical_key(b)
+    assert strip_lsn(a) == strip_lsn(b)
+    assert "lsn" not in strip_lsn(a)
+
+
+def _header(**over):
+    h = {"type": "header", "version": JOURNAL_VERSION, "nranks": 4,
+         "schedule": [], "app": None}
+    h.update(over)
+    h["fingerprint"] = fingerprint(h)
+    return h
+
+
+def _write(path, records):
+    with open(path, "w") as fh:
+        for rec in records:
+            fh.write(canonical_json(rec) + "\n")
+
+
+def _ev(lsn, **fields):
+    ev = {"type": "ev", "lsn": lsn, "k": "finish", "t": lsn, "rank": 0}
+    ev.update(fields)
+    return ev
+
+
+def test_load_roundtrip_and_views(tmp_path):
+    p = tmp_path / "j.journal"
+    _write(p, [
+        _header(),
+        _ev(1, k="commit", rank=1, round=1, t=10),
+        _ev(2, k="finish", rank=0, t=20),
+        {"type": "end", "makespan_ns": 20},
+    ])
+    j = Journal.load(p)
+    assert j.complete and not j.torn_tail
+    assert j.last_lsn == 2
+    assert j.commit_history()[1] == [(1, 10)]
+    assert j.finish_ns() == {0: 20}
+    assert j.result["makespan_ns"] == 20
+
+
+def test_load_rejects_empty_file(tmp_path):
+    p = tmp_path / "j.journal"
+    p.write_text("")
+    with pytest.raises(JournalError, match="empty"):
+        Journal.load(p)
+
+
+def test_load_rejects_non_header_first_record(tmp_path):
+    p = tmp_path / "j.journal"
+    _write(p, [{"type": "ev", "lsn": 1}])
+    with pytest.raises(JournalError, match="not a header"):
+        Journal.load(p)
+
+
+def test_load_rejects_version_mismatch(tmp_path):
+    p = tmp_path / "j.journal"
+    _write(p, [_header(version=JOURNAL_VERSION + 1)])
+    with pytest.raises(JournalError, match="version"):
+        Journal.load(p)
+
+
+def test_load_rejects_edited_header(tmp_path):
+    p = tmp_path / "j.journal"
+    h = _header()
+    h["nranks"] = 8  # edit after fingerprinting
+    _write(p, [h])
+    with pytest.raises(JournalError, match="fingerprint"):
+        Journal.load(p)
+
+
+def test_load_rejects_lsn_gap(tmp_path):
+    p = tmp_path / "j.journal"
+    _write(p, [_header(), _ev(1), _ev(3)])
+    with pytest.raises(JournalError, match="LSN gap"):
+        Journal.load(p)
+
+
+def test_load_rejects_duplicate_end(tmp_path):
+    p = tmp_path / "j.journal"
+    _write(p, [_header(), {"type": "end"}, {"type": "end"}])
+    with pytest.raises(JournalError, match="duplicate end"):
+        Journal.load(p)
+
+
+def test_load_rejects_event_after_end(tmp_path):
+    p = tmp_path / "j.journal"
+    _write(p, [_header(), {"type": "end"}, _ev(1)])
+    with pytest.raises(JournalError, match="after the end"):
+        Journal.load(p)
+
+
+def test_load_rejects_unknown_record_type(tmp_path):
+    p = tmp_path / "j.journal"
+    _write(p, [_header(), {"type": "checkpoint?"}])
+    with pytest.raises(JournalError, match="unknown record type"):
+        Journal.load(p)
+
+
+def test_load_tolerates_torn_final_line_only(tmp_path):
+    p = tmp_path / "j.journal"
+    line = canonical_json(_ev(2))
+    with open(p, "w") as fh:
+        fh.write(canonical_json(_header()) + "\n")
+        fh.write(canonical_json(_ev(1)) + "\n")
+        fh.write(line[: len(line) // 2])  # torn mid-append, no newline
+    j = Journal.load(p)
+    assert j.torn_tail and not j.complete
+    assert j.last_lsn == 1
+
+    # The same corruption anywhere else is an error, not a torn tail.
+    p2 = tmp_path / "j2.journal"
+    with open(p2, "w") as fh:
+        fh.write(canonical_json(_header()) + "\n")
+        fh.write(line[: len(line) // 2] + "\n")
+        fh.write(canonical_json(_ev(2)) + "\n")
+    with pytest.raises(JournalError, match="corrupt record on line 2"):
+        Journal.load(p2)
+
+
+def test_event_kinds_cover_the_observable_surface():
+    assert EVENT_KINDS == ("failure", "restart", "commit", "gc", "finish")
+
+
+def test_recorded_journal_is_valid_jsonl(recorded):
+    path, _ = recorded
+    with open(path) as fh:
+        lines = fh.read().splitlines()
+    types = [json.loads(ln)["type"] for ln in lines]
+    assert types[0] == "header"
+    assert types[-1] == "end"
+    assert set(types[1:-1]) == {"ev"}
+    lsns = [json.loads(ln)["lsn"] for ln in lines[1:-1]]
+    assert lsns == list(range(1, len(lsns) + 1))

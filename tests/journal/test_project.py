@@ -1,0 +1,70 @@
+"""Projection: derived metrics from recorded journals, no simulation."""
+
+from repro.journal import Journal, project
+from repro.journal.project import (
+    commit_intervals_ns,
+    committed_bytes,
+    downtime_ns,
+    gc_notice_count,
+    rework_ns,
+    summary,
+)
+from repro.journal.recorder import JournalWriter
+
+
+def test_project_accepts_path_or_journal(recorded, journal):
+    fn = lambda j: len(j.events)
+    assert project(recorded[0], fn) == project(journal, fn) == len(journal.events)
+
+
+def test_committed_bytes_counts_every_commit(journal):
+    commits = [ev for ev in journal.events if ev["k"] == "commit"]
+    assert commits
+    assert committed_bytes(journal) == sum(ev["nbytes"] for ev in commits)
+
+
+def test_commit_intervals_are_positive_gaps(journal):
+    intervals = commit_intervals_ns(journal)
+    assert set(intervals) <= set(range(journal.header["nranks"]))
+    for gaps in intervals.values():
+        assert all(g > 0 for g in gaps)
+
+
+def test_downtime_covers_every_failed_cluster(journal):
+    failed = {ev["cluster"] for ev in journal.failures()}
+    down = downtime_ns(journal)
+    assert set(down) == failed
+    assert all(v > 0 for v in down.values())
+
+
+def test_rework_is_bounded_by_the_makespan(journal):
+    lost = rework_ns(journal)
+    assert 0 < lost < journal.result["makespan_ns"] * len(journal.failures())
+
+
+def test_gc_notices_match_event_count(journal):
+    assert gc_notice_count(journal) == sum(
+        1 for ev in journal.events if ev["k"] == "gc"
+    )
+
+
+def test_summary_is_the_one_screen_view(journal, recorded):
+    s = summary(journal)
+    assert s["complete"] and not s["torn_tail"]
+    assert s["events"] == s["last_lsn"] == len(journal.events)
+    assert s["app"] == "ring" and s["schedule"] == 2
+    assert s["makespan_ns"] == recorded[1].makespan_ns
+    assert sum(s["by_kind"].values()) == s["events"]
+
+
+def test_projections_fold_over_torn_journals(record_run, tmp_path):
+    """A killed campaign's partial journal is still inspectable."""
+    p = tmp_path / "torn.journal"
+    record_run(None, journal=JournalWriter(str(p), crash_at_lsn=25))
+    torn = Journal.load(p)
+    assert torn.torn_tail
+    s = summary(torn)
+    assert not s["complete"] and s["makespan_ns"] is None
+    assert s["events"] == 25
+    assert committed_bytes(torn) >= 0
+    assert isinstance(downtime_ns(torn), dict)

@@ -218,3 +218,76 @@ def test_ioverlap_rejects_malformed_storage(capsys):
          "--storage", "tiered:floppy@1"]
     ) == 2
     assert "floppy" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# journal / replay subcommands
+# ----------------------------------------------------------------------
+
+def _record_args(path):
+    return [
+        "journal", str(path), "--record", "--ranks", "8", "--rpn", "2",
+        "--clusters", "4", "--iters", "8",
+        "--schedule", "3:2:process",
+    ]
+
+
+def test_journal_record_inspect_replay_resume(tmp_path, capsys):
+    path = tmp_path / "run.journal"
+    assert main(_record_args(path)) == 0
+    out = capsys.readouterr().out
+    assert "recorded" in out and '"complete": true' in out
+
+    assert main(["journal", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert '"app": "ring"' in out and '"projections"' in out
+
+    assert main(["replay", str(path)]) == 0
+    assert "replay-strict: OK" in capsys.readouterr().out
+
+    assert main(["replay", str(path), "--shards", "2"]) == 0
+    assert "replay-strict: OK" in capsys.readouterr().out
+
+    assert main(["replay", str(path), "--resume"]) == 0
+    assert "already complete" in capsys.readouterr().out
+
+
+def test_replay_reports_divergence(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "run.journal"
+    assert main(_record_args(path)) == 0
+    capsys.readouterr()
+    lines = path.read_text().splitlines()
+    for i, ln in enumerate(lines):
+        rec = json.loads(ln)
+        if rec.get("k") == "commit":
+            rec["nbytes"] += 1
+            lines[i] = json.dumps(rec)
+            break
+    path.write_text("\n".join(lines) + "\n")
+    assert main(["replay", str(path)]) == 1
+    assert "REPLAY DIVERGED at LSN" in capsys.readouterr().err
+
+
+def test_journal_requires_path(capsys):
+    assert main(["journal"]) == 2
+    assert "requires a journal PATH" in capsys.readouterr().err
+    assert main(["replay"]) == 2
+    assert "requires a journal PATH" in capsys.readouterr().err
+
+
+def test_journal_rejects_bad_inputs(tmp_path, capsys):
+    assert main(["journal", str(tmp_path / "nope.journal")]) == 2
+    assert "cannot load" in capsys.readouterr().err
+    assert main(
+        ["journal", str(tmp_path / "x.journal"), "--record",
+         "--schedule", "3:2:meteor"]
+    ) == 2
+    assert "meteor" in capsys.readouterr().err
+
+
+def test_journal_path_rejected_for_other_experiments(capsys):
+    with pytest.raises(SystemExit):
+        main(["table1", "stray.journal"])
+    assert "no journal path" in capsys.readouterr().err

@@ -29,6 +29,25 @@ def test_summarize_basic():
     assert s.stddev == pytest.approx((2 / 3) ** 0.5)
 
 
+def test_summarize_stddev_unbiased_by_mean_clamp():
+    """Regression: variance must center on the true total/n, with only
+    the *reported* mean clamped.  [0.05]*3 sums to 0.15000000000000002,
+    so total/n lands one ULP above max() and the clamp engages."""
+    vals = [0.05] * 3
+    s = summarize(vals)
+    true_mean = sum(vals) / len(vals)
+    assert true_mean > max(vals)  # the ULP overshoot that trips the clamp
+    assert s.mean == max(vals)  # reported mean is clamped into range
+    # stddev is sqrt(sum((v - total/n)^2)/n) — the definition, not a
+    # recentering on the clamped value.
+    expected = (sum((v - true_mean) ** 2 for v in vals) / len(vals)) ** 0.5
+    assert s.stddev == expected
+    assert s.stddev == pytest.approx(0.0, abs=1e-12)
+    # A case where the clamp does not engage is unaffected.
+    s2 = summarize([1.0, 3.0])
+    assert s2.mean == 2.0 and s2.stddev == 1.0
+
+
 def test_summarize_empty_rejected():
     with pytest.raises(ValueError):
         summarize([])
