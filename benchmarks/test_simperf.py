@@ -23,10 +23,13 @@ from repro.harness.simperf import (
     SHARD_RANKS,
     check_regression,
     check_shard_speedup,
+    check_telemetry_overhead,
     format_shard_pair,
     format_simperf,
+    format_telemetry_overhead,
     shard_pair,
     simperf_quick,
+    telemetry_overhead,
 )
 
 BASELINE = pathlib.Path(__file__).resolve().parent / "results" / "simperf.json"
@@ -45,6 +48,23 @@ def test_simperf_quick_no_regression(benchmark):
     print()
     print(format_simperf(result, baseline))
     problems = check_regression(result, baseline)
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.benchmark(group="simperf")
+def test_telemetry_off_overhead(benchmark):
+    """Telemetry-off fast path guard (docs/observability.md): a run with
+    telemetry wired but disabled must cost the same wall-clock as the
+    default entry path, within 2%.  One wider retry absorbs a noisy
+    first pair — the pair runs identical code, so a persistent gap is a
+    real fast-path regression, not noise."""
+    pair = benchmark.pedantic(telemetry_overhead, rounds=1, iterations=1)
+    problems = check_telemetry_overhead(pair)
+    if problems:
+        pair = telemetry_overhead(pairs=75)
+        problems = check_telemetry_overhead(pair)
+    print()
+    print(format_telemetry_overhead(pair))
     assert not problems, "\n".join(problems)
 
 

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Trace a run: record a timeline + metrics while simulating.
+
+Runs a small ring workload under SPBC with a node failure injected
+mid-run, telemetry enabled (``repro.obs``), and then:
+
+* writes a Chrome trace-event file — open it at https://ui.perfetto.dev
+  or ``chrome://tracing`` to see per-rank compute / mpi-wait /
+  checkpoint / restart lanes, the engine's queue-depth counter, and the
+  storage-tier flow lanes;
+* prints the metrics snapshot as the same tables ``--metrics`` prints.
+
+Recording is observation-only: the run's observables are bit-identical
+with telemetry on or off (tests/obs/test_telemetry_off.py gates this).
+
+Run:  python examples/trace_a_run.py [out.trace.json]
+"""
+
+import json
+import sys
+
+from repro import ClusterMap, SPBCConfig
+from repro.apps.synthetic import ring_app
+from repro.harness.runner import run_failure_schedule
+from repro.obs import Telemetry, format_metrics
+from repro.obs.schema import trace_lane_counts, validate_chrome_trace
+
+NRANKS = 32
+
+
+def main(out_path: str = "ring_failure.trace.json") -> int:
+    cm = ClusterMap.block(NRANKS, 8)
+    tele = Telemetry()
+    res = run_failure_schedule(
+        ring_app(iters=12, msg_bytes=4096, compute_ns=200_000),
+        NRANKS,
+        cm,
+        # One node failure at t=3 ms: kills a node, rolls back its
+        # cluster, restarts from the latest durable checkpoint.
+        [(3_000_000, 5, "node")],
+        config=SPBCConfig(clusters=cm, checkpoint_every=3,
+                          state_nbytes=1 << 16),
+        storage="tiered:ram@1,pfs@4:async",
+        ranks_per_node=8,
+        telemetry=tele,
+    )
+    print(f"makespan: {res.makespan_ns / 1e6:.2f} ms simulated, "
+          f"restarted ranks: {sorted(res.restarted_ranks)}")
+
+    doc = tele.to_chrome()
+    problems = validate_chrome_trace(doc)
+    assert not problems, problems
+    with open(out_path, "w") as fh:
+        json.dump(doc, fh)
+    lanes = ", ".join(
+        f"{name}={n}" for name, n in sorted(trace_lane_counts(doc).items())
+    )
+    print(f"wrote {len(doc['traceEvents'])} trace events to {out_path} "
+          f"({lanes})")
+    print("open it at https://ui.perfetto.dev or chrome://tracing")
+    print()
+    print(format_metrics(tele.metrics_snapshot()))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))

@@ -17,6 +17,8 @@ Usage::
                                     [--schedule 3:2:process,9:9:node]
     python -m repro journal out.journal            # inspect / project
     python -m repro replay out.journal [--shards N] [--resume]
+                                       [--metrics] [--trace-out t.json]
+    python -m repro trace out.journal [--trace-out t.json] [--run]
 
 Equivalent to the pytest benchmarks but without the harness — handy for
 quick sweeps at custom scales.
@@ -39,6 +41,7 @@ def main(argv=None) -> int:
         choices=[
             "table1", "table2", "fig5", "fig6", "ckptcost", "blastradius",
             "deltachain", "ioverlap", "simperf", "apps", "journal", "replay",
+            "trace",
         ],
         help="which artifact to regenerate",
     )
@@ -46,7 +49,8 @@ def main(argv=None) -> int:
         "path",
         nargs="?",
         default=None,
-        help="journal/replay: the journal file to record, inspect, or replay",
+        help="journal/replay/trace: the journal file to record, inspect, "
+        "replay, or render as a timeline",
     )
     parser.add_argument("--ranks", type=int, default=None, help="simulated ranks")
     parser.add_argument("--rpn", type=int, default=None, help="ranks per node")
@@ -159,8 +163,33 @@ def main(argv=None) -> int:
         help="replay: complete a torn journal in place (verified re-run) "
         "instead of strict replay",
     )
+    parser.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace-event JSON file (load it in Perfetto "
+        "or chrome://tracing); for 'trace' defaults to "
+        "<journal>.trace.json, for 'journal --record'/'replay' it turns "
+        "on live telemetry during the run",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="journal --record / replay / trace: print the run's metrics "
+        "snapshot as tables (counters, gauges, timing spans)",
+    )
+    parser.add_argument(
+        "--run",
+        action="store_true",
+        help="trace: re-simulate the journal under strict replay with "
+        "live telemetry (full compute/MPI-wait/storage lanes) instead of "
+        "projecting the coarse timeline from the journal events",
+    )
     args = parser.parse_args(argv)
-    if args.path is not None and args.experiment not in ("journal", "replay"):
+    if args.path is not None and args.experiment not in (
+        "journal", "replay", "trace",
+    ):
         parser.error(f"{args.experiment} takes no journal path argument")
 
     if args.ranks:
@@ -183,7 +212,7 @@ def main(argv=None) -> int:
                   + (f"  [{', '.join(tags)}]" if tags else ""))
         return 0
 
-    if args.experiment in ("journal", "replay"):
+    if args.experiment in ("journal", "replay", "trace"):
         return _journal_command(args)
 
     from repro.harness import experiments as ex
@@ -269,6 +298,16 @@ def main(argv=None) -> int:
                 rc = 1
             else:
                 print("perf-smoke: no regression vs committed baseline")
+        if args.quick:
+            # Telemetry-off fast path: a run with telemetry wired but
+            # disabled must cost the same as the default entry path.
+            pair = sp.telemetry_overhead()
+            print(sp.format_telemetry_overhead(pair))
+            problems = sp.check_telemetry_overhead(pair)
+            if problems:
+                for p in problems:
+                    print(f"PERF REGRESSION: {p}", file=sys.stderr)
+                rc = 1
         if args.quick and args.shards:
             # The sharded 4096-rank smoke: one calibrated pair, with the
             # wall-clock speedup gated on hosts that have the cores.
@@ -440,8 +479,9 @@ def _journal_command(args) -> int:
         cfg = SPBCConfig(clusters=clusters, checkpoint_every=3,
                          state_nbytes=1 << 12)
         storage = args.storage or "tiered:ram@1,pfs@4"
+        tele = _make_telemetry(args)
         common = dict(ranks_per_node=rpn, storage=storage, config=cfg,
-                      shards=args.shards, journal=args.path)
+                      shards=args.shards, journal=args.path, telemetry=tele)
         if schedule:
             run_failure_schedule(app, nranks, clusters, schedule, **common)
         else:
@@ -449,6 +489,7 @@ def _journal_command(args) -> int:
         jr = Journal.load(args.path)
         print(f"recorded {len(jr.events)} events to {args.path}")
         print(_json.dumps(summary(jr), indent=1, default=str))
+        _emit_telemetry(args, tele)
         return 0
 
     try:
@@ -456,6 +497,9 @@ def _journal_command(args) -> int:
     except (OSError, JournalError) as e:
         print(f"error: cannot load {args.path!r}: {e}", file=sys.stderr)
         return 2
+
+    if args.experiment == "trace":
+        return _trace_command(args, journal)
 
     if args.experiment == "journal":
         print(_json.dumps(summary(journal), indent=1, default=str))
@@ -491,8 +535,9 @@ def _journal_command(args) -> int:
         print(f"resume: {verb}; makespan {res.makespan_ns} ns, "
               f"{len(res.finish_ns)} ranks finished")
         return 0
+    tele = _make_telemetry(args)
     try:
-        res = replay_strict(args.path, shards=args.shards)
+        res = replay_strict(args.path, shards=args.shards, telemetry=tele)
     except DivergenceError as e:
         print(f"REPLAY DIVERGED at LSN {e.lsn}:", file=sys.stderr)
         print(f"  recorded: {e.recorded}", file=sys.stderr)
@@ -503,6 +548,85 @@ def _journal_command(args) -> int:
         return 1
     print(f"replay-strict: OK ({len(journal.events)} events bit-identical; "
           f"makespan {res.makespan_ns} ns)")
+    _emit_telemetry(args, tele)
+    return 0
+
+
+def _make_telemetry(args):
+    """A live telemetry sink when ``--metrics``/``--trace-out`` ask for
+    one, else None (the zero-overhead default)."""
+    if not (args.metrics or args.trace_out):
+        return None
+    from repro.obs import Telemetry
+
+    return Telemetry()
+
+
+def _emit_telemetry(args, tele) -> None:
+    """Write ``--trace-out`` and print ``--metrics`` for a live run."""
+    import json as _json
+
+    if tele is None:
+        return
+    if args.trace_out:
+        doc = tele.to_chrome()
+        with open(args.trace_out, "w") as fh:
+            _json.dump(doc, fh)
+        print(f"wrote {len(doc['traceEvents'])} trace events "
+              f"to {args.trace_out}")
+    if args.metrics:
+        from repro.obs import format_metrics
+
+        print()
+        print(format_metrics(tele.metrics_snapshot()))
+
+
+def _trace_command(args, journal) -> int:
+    """Render a journal as a Chrome trace-event file.
+
+    Default: project the coarse timeline straight from the journal's
+    events (milliseconds, no simulation).  ``--run``: re-execute under
+    strict replay with live telemetry for the full-fidelity lanes."""
+    import json as _json
+
+    from repro.obs.schema import trace_lane_counts
+    from repro.util.table import format_table
+
+    if args.run:
+        from repro.journal import DivergenceError, JournalError, replay_strict
+        from repro.obs import Telemetry
+
+        tele = Telemetry()
+        try:
+            replay_strict(journal, shards=args.shards, telemetry=tele)
+        except DivergenceError as e:
+            print(f"REPLAY DIVERGED at LSN {e.lsn}:", file=sys.stderr)
+            return 1
+        except JournalError as e:
+            print(f"error: trace --run failed: {e}", file=sys.stderr)
+            return 1
+        source = "strict replay"
+    else:
+        from repro.obs.convert import timeline_from_journal
+
+        tele = timeline_from_journal(journal)
+        source = "journal projection"
+    doc = tele.to_chrome()
+    out = args.trace_out or f"{args.path}.trace.json"
+    with open(out, "w") as fh:
+        _json.dump(doc, fh)
+    counts = trace_lane_counts(doc)
+    print(format_table(
+        ["lane group", "events"],
+        [[k, counts[k]] for k in sorted(counts)],
+        title=f"Timeline of {args.path} ({source})",
+    ))
+    print(f"wrote {len(doc['traceEvents'])} trace events to {out}")
+    if args.metrics:
+        from repro.obs import format_metrics
+
+        print()
+        print(format_metrics(tele.metrics_snapshot()))
     return 0
 
 

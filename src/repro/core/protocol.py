@@ -715,6 +715,7 @@ class SPBC(ProtocolHooks):
             # Under async flush this is the *local* tiers only — the
             # shared tier drains in the background.
             yield from runtime.compute(write_ns)
+        write_end_ns = runtime.engine.now
         if shared_round and write_ns > 0 and not async_mode:
             # Within the burst the local tiers are modeled first, so the
             # shared-tier (PFS) phase is the tail — record only it: the
@@ -780,6 +781,29 @@ class SPBC(ProtocolHooks):
             self.ckpt_stall_ns.get(runtime.rank, 0)
             + (runtime.engine.now - stall_from_ns)
         )
+        tele = runtime.engine.telemetry
+        if tele.enabled:
+            tele.rank_span(
+                "checkpoint",
+                runtime.rank,
+                stall_from_ns,
+                runtime.engine.now,
+                args={
+                    "round": st.ckpt_round,
+                    "nbytes": ckpt.nbytes,
+                    "durable": bool(receipt.durable),
+                },
+            )
+            if write_end_ns > write_start_ns:
+                tele.rank_span(
+                    "ckpt-write",
+                    runtime.rank,
+                    write_start_ns,
+                    write_end_ns,
+                    args={"round": st.ckpt_round},
+                )
+            tele.inc("spbc.commits")
+            tele.inc("spbc.ckpt_bytes", ckpt.nbytes)
         return receipt
 
     def _deferred_gc(self, runtime, st: _RankState, members) -> None:
@@ -821,6 +845,16 @@ class SPBC(ProtocolHooks):
                 round=st.gc_round_sent,
                 peers=len(by_peer),
             )
+        if by_peer:
+            tele = runtime.engine.telemetry
+            if tele.enabled:
+                tele.inc("spbc.gc_notices", len(by_peer))
+                tele.rank_instant(
+                    "gc",
+                    runtime.rank,
+                    runtime.engine.now,
+                    args={"round": st.gc_round_sent},
+                )
 
     @staticmethod
     def _drained(ccomm, counters) -> bool:

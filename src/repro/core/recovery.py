@@ -242,6 +242,19 @@ class RecoveryManager:
                 killed_ranks=tuple(sorted(set(clusters.members(c)))),
             )
             self.failures.append(event)
+            tele = self.world.engine.telemetry
+            if tele.enabled and self._owns_cluster(c):
+                # Owner-only: mirrored crash side effects on other shards
+                # would double-count the event and duplicate the
+                # timeline instants in the merged coordinator view.
+                tele.inc("recovery.failures")
+                for kr in event.killed_ranks:
+                    tele.rank_instant(
+                        "failure",
+                        kr,
+                        event.time_ns,
+                        args={"kind": kind, "cluster": c},
+                    )
             prev = self._last_event.get(c)
             if prev is not None and c in self._pending_restart:
                 prev.superseded = True
@@ -418,6 +431,28 @@ class RecoveryManager:
                 round=event.restarted_from_round if event else 0,
                 tier=event.restored_tier if event else None,
             )
+        tele = self.world.engine.telemetry
+        if tele.enabled:
+            now = self.world.engine.now
+            t_fail = event.time_ns if event is not None else now
+            span_args = {
+                "round": event.restarted_from_round if event else 0,
+                "tier": event.restored_tier if event else None,
+                "cluster": cluster,
+            }
+            for r in members:
+                tele.rank_span("restart", r, t_fail, now, args=span_args)
+                rec = restores.get(r)
+                read_ns = rec.read_ns if rec is not None else 0
+                if read_ns > 0:
+                    # The read tail of the outage: the member's chain
+                    # came off storage in the final read_ns (overlapping
+                    # flow pipelines record their exact windows in the
+                    # storage lanes as well).
+                    tele.rank_span(
+                        "restart-read", r, now - read_ns, now, args=span_args
+                    )
+            tele.inc("recovery.restarts")
 
     def _notify_survivors(self, failed: set) -> None:
         """Deliver the failure notification from every surviving rank

@@ -59,6 +59,7 @@ from repro.harness.runner import (
     _resolve_ckpt_data,
     _resolve_storage,
 )
+from repro.obs import NULL_TELEMETRY, Telemetry, resolve_telemetry
 from repro.sim.network import NetworkParams, Topology
 from repro.sim.shard import lookahead_ns, shard_worker_main
 from repro.util.units import mb_per_s
@@ -89,6 +90,9 @@ class ShardPlan:
     # Collect owned-rank journal events (commits, gc, restarts) into a
     # ListSink and ship them back in the worker summary.
     journal: bool = False
+    # Record per-shard telemetry (metrics + timeline) and ship the
+    # snapshot back in the worker summary for the coordinator's merge.
+    telemetry: bool = False
 
 
 def partition_shards(
@@ -286,6 +290,10 @@ class ShardedRunResult:
     compute_ns: int = 0
     windows: int = 0
     lookahead_ns: int = 0
+    #: Coordinator-side merged telemetry (None unless requested): every
+    #: worker's metrics and timeline folded into one view, plus the
+    #: coordinator's own per-shard window/barrier-wait lanes.
+    telemetry: Optional[Telemetry] = None
 
     @property
     def restarted_ranks(self) -> set:
@@ -331,6 +339,7 @@ def run_spbc_sharded(
     warp=None,
     shard_weights: Optional[np.ndarray] = None,
     journal=None,
+    telemetry=None,
 ) -> ShardedRunResult:
     """Run an SPBC simulation split across ``shards`` worker processes.
 
@@ -376,6 +385,11 @@ def run_spbc_sharded(
     _resolve_ckpt_data(cfg, ckpt_data, profile)
     params = net_params or NetworkParams()
     _validate(cfg, params, warp)
+    # The coordinator's sink: workers record shard-locally and ship
+    # snapshots back; the coordinator adds its own window/barrier lanes
+    # and merges everything here.  Its queue sampler never runs (no
+    # engine on the coordinator side).
+    tele = resolve_telemetry(telemetry)
     for _at, _rank, kind in schedule:
         if kind not in FAILURE_KINDS:
             raise ValueError(f"unknown failure kind {kind!r}")
@@ -410,6 +424,7 @@ def run_spbc_sharded(
             restart_delay_ns=restart_delay_ns,
             restart_stagger_ns=restart_stagger_ns,
             journal=writer is not None,
+            telemetry=tele.enabled,
         )
         for sid, part in enumerate(parts)
     ]
@@ -444,6 +459,7 @@ def run_spbc_sharded(
             lookahead,
             restart_delay_ns,
             sorted(at for at, _r, _k in schedule),
+            tele,
         )
     finally:
         for conn in conns:
@@ -458,7 +474,14 @@ def run_spbc_sharded(
                 proc.join()
 
     result = _merge(
-        summaries, shard_of_cluster, nranks, shards, trace, windows, lookahead
+        summaries,
+        shard_of_cluster,
+        nranks,
+        shards,
+        trace,
+        windows,
+        lookahead,
+        tele,
     )
     if writer is not None:
         from repro.journal.recorder import finalize_run, log_counters_of
@@ -498,6 +521,7 @@ def _coordinate(
     lookahead: int,
     restart_delay_ns: int,
     failure_times: List[int],
+    tele=NULL_TELEMETRY,
 ):
     """Drive the report/grant windows until every shard drains.
 
@@ -548,6 +572,17 @@ def _coordinate(
             # completion is failure + restart delay.
             horizon = min(horizon, failure_times[0] + restart_delay_ns + 1)
         horizon = max(horizon, floor + 1)
+        if tele.enabled:
+            # Per-shard YAWNS lanes: the granted window, and (when a
+            # shard had already drained up to the floor) the stretch it
+            # spent waiting on the global barrier before this grant.
+            tele.inc("shard.windows")
+            for sid, rep in enumerate(reports):
+                if rep["now_ns"] < floor:
+                    tele.shard_span("barrier-wait", sid, rep["now_ns"], floor)
+                tele.shard_span(
+                    "window", sid, floor, horizon, args={"lookahead": lookahead}
+                )
         for sid in range(k):
             conns[sid].send(
                 ("grant", horizon, pending_imports[sid], pending_actions[sid])
@@ -570,6 +605,7 @@ def _merge(
     trace: bool,
     windows: int,
     lookahead: int,
+    tele=NULL_TELEMETRY,
 ) -> ShardedRunResult:
     finish: Dict[int, int] = {}
     results: Dict[int, object] = {}
@@ -602,6 +638,8 @@ def _merge(
         events += summ["events_executed"]
         if matrix is not None and summ["comm_matrix"] is not None:
             matrix += summ["comm_matrix"]
+        if tele.enabled:
+            tele.merge_snapshot(summ.get("telemetry"))
         for ev in summ["failures"]:
             key = (ev["time_ns"], ev["cluster"])
             sums = count_sums.setdefault(key, [0, 0, 0])
@@ -636,4 +674,5 @@ def _merge(
         compute_ns=compute,
         windows=windows,
         lookahead_ns=lookahead,
+        telemetry=tele if tele.enabled else None,
     )

@@ -25,6 +25,7 @@ from repro.core.recovery import RecoveryManager
 from repro.mpi.context import RankContext
 from repro.mpi.hooks import NativeHooks, ProtocolHooks
 from repro.mpi.runtime import World
+from repro.obs import resolve_telemetry
 from repro.sim.network import NetworkParams
 from repro.sim.process import ProcessStatus
 from repro.sim.warp import WarpConfig, WarpController
@@ -46,6 +47,18 @@ def _install_warp(world, warp: WarpSpec) -> None:
         return
     cfg = warp if isinstance(warp, WarpConfig) else WarpConfig(total_iters=warp)
     world.warp = WarpController(world, cfg)
+
+
+def _resolve_run_telemetry(telemetry, warp: WarpSpec):
+    """Resolve a runner's ``telemetry=`` spec, reconciled with warp.
+
+    The steady-state detector refuses to jump while any non-sleep event
+    is pending, so a live queue-depth sampler would pin a warp run in
+    exact mode forever; sampling is dropped rather than warp."""
+    tele = resolve_telemetry(telemetry)
+    if tele.enabled and warp is not None and tele.sample_queue:
+        tele.sample_queue = False
+    return tele
 
 
 def _resolve_storage(cfg: SPBCConfig, storage: StorageSpec) -> None:
@@ -97,6 +110,13 @@ class RunResult:
     def trace(self):
         return self.world.trace
 
+    @property
+    def telemetry(self):
+        """The run's telemetry sink (None when not requested) — same
+        shape as ``ShardedRunResult.telemetry``."""
+        tele = self.world.telemetry
+        return tele if tele.enabled else None
+
 
 @dataclass
 class RecoveryResult:
@@ -135,12 +155,16 @@ def run_app(
     trace: bool = True,
     until_ns: Optional[int] = None,
     warp: WarpSpec = None,
+    telemetry=None,
 ) -> RunResult:
     """Launch ``app_factory`` on every rank and run to completion.
 
     ``warp`` opts into steady-state fast-forward (see
     :mod:`repro.sim.warp`): pass the app's total iteration count (or a
-    :class:`WarpConfig`).  Default None = exact mode."""
+    :class:`WarpConfig`).  Default None = exact mode.
+
+    ``telemetry`` opts into metrics/timeline recording (see
+    :mod:`repro.obs`); the default None costs nothing."""
     world = World(
         nranks,
         ranks_per_node=ranks_per_node,
@@ -148,6 +172,7 @@ def run_app(
         seed=seed,
         net_params=net_params,
         trace=trace,
+        telemetry=_resolve_run_telemetry(telemetry, warp),
     )
     _install_warp(world, warp)
     for r in range(nranks):
@@ -180,6 +205,7 @@ def run_spbc(
     warp: WarpSpec = None,
     shards: Optional[int] = None,
     journal=None,
+    telemetry=None,
     **kw,
 ):
     """Failure-free run under SPBC (logging + identifiers active).
@@ -219,6 +245,7 @@ def run_spbc(
             profile=profile,
             warp=warp,
             journal=journal,
+            telemetry=telemetry,
             **kw,
         )
     writer = None
@@ -244,7 +271,9 @@ def run_spbc(
     _resolve_ckpt_data(cfg, ckpt_data, profile)
     hooks = SPBC(cfg)
     hooks.journal = writer
-    result = run_app(app_factory, nranks, hooks=hooks, warp=warp, **kw)
+    result = run_app(
+        app_factory, nranks, hooks=hooks, warp=warp, telemetry=telemetry, **kw
+    )
     if writer is not None:
         from repro.journal.recorder import (
             commit_history_of,
@@ -329,6 +358,12 @@ class OnlineResult:
     results: Dict[int, object]
     restarted_ranks: Set[int]
 
+    @property
+    def telemetry(self):
+        """The run's telemetry sink (None when not requested)."""
+        tele = self.world.telemetry
+        return tele if tele.enabled else None
+
 
 #: One scheduled crash: (time_ns, target rank, failure kind).
 FailureSpec = Tuple[int, int, str]
@@ -352,6 +387,7 @@ def run_failure_schedule(
     warp: WarpSpec = None,
     shards: Optional[int] = None,
     journal=None,
+    telemetry=None,
 ):
     """Run with an arbitrary schedule of process/node crashes and full
     online recovery after each (the fuzz harness's entry point).
@@ -401,6 +437,7 @@ def run_failure_schedule(
             trace=trace,
             warp=warp,
             journal=journal,
+            telemetry=telemetry,
         )
     writer = None
     if journal is not None:
@@ -435,6 +472,7 @@ def run_failure_schedule(
         seed=seed,
         net_params=net_params,
         trace=trace,
+        telemetry=_resolve_run_telemetry(telemetry, warp),
     )
     _install_warp(world, warp)
     manager = RecoveryManager(
@@ -499,6 +537,7 @@ def run_online_failure(
     warp: WarpSpec = None,
     shards: Optional[int] = None,
     journal=None,
+    telemetry=None,
 ):
     """Run with a single crash at ``fail_at_ns`` and full online recovery
     (Algorithm 1 lines 16-26) — sugar over :func:`run_failure_schedule`,
@@ -527,4 +566,5 @@ def run_online_failure(
         warp=warp,
         shards=shards,
         journal=journal,
+        telemetry=telemetry,
     )

@@ -122,6 +122,7 @@ def _rerun(
     app_factory=None,
     shards: Optional[int] = None,
     crash_at_lsn: Optional[int] = None,
+    telemetry=None,
 ) -> JournalWriter:
     """Re-execute the journal's config, recording into a fresh in-memory
     writer; returns the writer (its ``to_journal()`` is the re-run)."""
@@ -138,6 +139,7 @@ def _rerun(
             schedule,
             journal=writer,
             shards=shards,
+            telemetry=telemetry,
             **kw,
         )
     else:
@@ -149,6 +151,7 @@ def _rerun(
             kw.pop("clusters"),
             journal=writer,
             shards=shards,
+            telemetry=telemetry,
             **kw,
         )
     return writer
@@ -173,7 +176,7 @@ def _result_from(journal: Journal, resimulated: bool) -> ReplayResult:
 
 
 def replay_strict(
-    journal, app_factory=None, shards: Optional[int] = None
+    journal, app_factory=None, shards: Optional[int] = None, telemetry=None
 ) -> ReplayResult:
     """Re-execute a complete journal's config and verify bit-identical
     observables — the first divergence raises :class:`DivergenceError`
@@ -181,7 +184,13 @@ def replay_strict(
 
     ``shards`` picks the replay engine (None/1 = sequential); the
     comparison is engine-independent because both sides are put in
-    canonical order.  Returns the verified observables."""
+    canonical order.  Returns the verified observables.
+
+    ``telemetry`` instruments the re-execution (see :mod:`repro.obs`);
+    recording is observation-only, so the verification verdict is
+    telemetry-independent.  Pass a :class:`~repro.obs.Telemetry`
+    instance to keep the recording (``python -m repro trace --run``
+    renders a full-fidelity timeline this way)."""
     recorded = _load(journal)
     if not recorded.complete:
         raise JournalError(
@@ -189,7 +198,9 @@ def replay_strict(
             "replay_strict verifies finished recordings; use resume() "
             "for a killed campaign"
         )
-    writer = _rerun(recorded, app_factory=app_factory, shards=shards)
+    writer = _rerun(
+        recorded, app_factory=app_factory, shards=shards, telemetry=telemetry
+    )
     replayed = writer.to_journal()
     _compare_events(recorded, replayed)
     if canonical_json(recorded.result) != canonical_json(replayed.result):

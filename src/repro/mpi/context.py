@@ -123,6 +123,7 @@ class RankContext:
     ) -> Generator:
         """Concurrent send+recv (the halo-exchange workhorse)."""
         rt = self.rt
+        t0 = rt.engine.now if rt._tele_on else 0
         sreq = self.isend(dst, payload, nbytes, tag, comm)
         rreq = self.irecv(src, tag, comm)
         # Fused debt-flush + receive wait (see MPIRuntime._recv_block),
@@ -135,6 +136,10 @@ class RankContext:
                 rt._settle_or_schedule(sreq)
             if not sreq.done:
                 yield sreq.trigger
+        if rt._tele_on:
+            now = rt.engine.now
+            if now > t0:
+                rt.telemetry.rank_span("mpi-wait", rt.rank, t0, now)
         return rreq.status
 
     # ------------------------------------------------------------------

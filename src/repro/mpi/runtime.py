@@ -33,6 +33,7 @@ from repro.mpi.message import (
     WIRE_HEADER_BYTES,
 )
 from repro.mpi.request import RecvRequest, Request, SendRequest, Status
+from repro.obs import resolve_telemetry
 from repro.sim.engine import AllOf, AnyOf, Engine, SimError, Trigger
 from repro.sim.network import Network, NetworkParams, Packet, Topology
 from repro.sim.process import DebtWait, SimProcess, SleepMarker
@@ -54,6 +55,8 @@ class MPIRuntime:
         self.matching = MatchingEngine(self.hooks.match_allowed)
         self.trace = world.trace  # cached: consulted on every send/recv
         self._trace_on = world.trace.enabled  # immutable for a run
+        self.telemetry = world.telemetry
+        self._tele_on = world.telemetry.enabled  # immutable for a run
         self._eager_threshold = world.eager_threshold
         self._comms = world.comms.comms  # cached: one dict hit per deliver
         # Identifier-stamping capability: set by the protocol at attach()
@@ -592,6 +595,9 @@ class MPIRuntime:
         warp = self.world.warp
         if warp is not None:
             warp.on_compute(self, total)
+        if self._tele_on:
+            now = self.engine.now
+            self.telemetry.rank_span("compute", self.rank, now, now + total)
         sleep = self._csleep
         sleep.delay_ns = total
         yield sleep
@@ -606,7 +612,14 @@ class MPIRuntime:
             if req.completes_at_ns >= 0:
                 self._settle_or_schedule(req)
             if not req.done:
-                yield req.trigger
+                if self._tele_on:
+                    t0 = self.engine.now
+                    yield req.trigger
+                    self.telemetry.rank_span(
+                        "mpi-wait", self.rank, t0, self.engine.now
+                    )
+                else:
+                    yield req.trigger
         return req.status
 
     def waitall(self, reqs: List[Request]) -> Generator:
@@ -620,7 +633,14 @@ class MPIRuntime:
                 self._settle_or_schedule(r)
         pending = [r.trigger for r in reqs if not r.done]
         if pending:
-            yield AllOf(pending)
+            if self._tele_on:
+                t0 = self.engine.now
+                yield AllOf(pending)
+                self.telemetry.rank_span(
+                    "mpi-wait", self.rank, t0, self.engine.now
+                )
+            else:
+                yield AllOf(pending)
         return [r.status for r in reqs]
 
     def waitany(self, reqs: List[Request]) -> Generator:
@@ -640,7 +660,14 @@ class MPIRuntime:
             for i, r in enumerate(reqs):
                 if r.done:
                     return i, r.status
-            yield AnyOf([r.trigger for r in reqs if not r.done])
+            if self._tele_on:
+                t0 = self.engine.now
+                yield AnyOf([r.trigger for r in reqs if not r.done])
+                self.telemetry.rank_span(
+                    "mpi-wait", self.rank, t0, self.engine.now
+                )
+            else:
+                yield AnyOf([r.trigger for r in reqs if not r.done])
 
     def test(self, req: Request) -> Tuple[bool, Optional[Status]]:
         """MPI_Test: nonblocking completion check."""
@@ -680,7 +707,14 @@ class MPIRuntime:
             done = [(i, r.status) for i, r in enumerate(reqs) if r.done]
             if done:
                 return done
-            yield AnyOf([r.trigger for r in reqs if not r.done])
+            if self._tele_on:
+                t0 = self.engine.now
+                yield AnyOf([r.trigger for r in reqs if not r.done])
+                self.telemetry.rank_span(
+                    "mpi-wait", self.rank, t0, self.engine.now
+                )
+            else:
+                yield AnyOf([r.trigger for r in reqs if not r.done])
 
     def iprobe(
         self,
@@ -721,7 +755,14 @@ class MPIRuntime:
             flag, status = self.iprobe(src, tag, comm)
             if flag:
                 return status
-            yield self._arrival_signal
+            if self._tele_on:
+                t0 = self.engine.now
+                yield self._arrival_signal
+                self.telemetry.rank_span(
+                    "mpi-wait", self.rank, t0, self.engine.now
+                )
+            else:
+                yield self._arrival_signal
 
     def send(
         self,
@@ -877,8 +918,14 @@ class World:
         hooks: Optional[ProtocolHooks] = None,
         trace: bool = True,
         eager_threshold: int = DEFAULT_EAGER_THRESHOLD,
+        telemetry: Any = None,
     ) -> None:
         self.engine = Engine()
+        # Resolve telemetry before anything touches the engine: runtime
+        # construction already runs protocol attach hooks (which bind
+        # the storage backend and its I/O scheduler to this engine).
+        self.telemetry = resolve_telemetry(telemetry)
+        self.engine.telemetry = self.telemetry
         self.topology = Topology(nranks=nranks, ranks_per_node=ranks_per_node)
         self.network = self._make_network(net_params, seed)
         self.trace = Trace(enabled=trace)
@@ -891,6 +938,11 @@ class World:
         for rt in self.runtimes:
             self.hooks.attach(rt)
         self.processes: Dict[int, SimProcess] = {}
+        # The queue-depth sampler is observation-only (reads the heap,
+        # schedules nothing but its own re-arm); guarded like every
+        # other call site so disabled telemetry is never even invoked.
+        if self.telemetry.enabled:
+            self.telemetry.start_queue_sampler(self.engine)
 
     def _make_network(self, net_params: Optional[NetworkParams], seed: int) -> Network:
         """Subclass hook: the sharded world (repro.sim.shard) swaps in a

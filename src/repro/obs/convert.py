@@ -1,0 +1,112 @@
+"""Journal -> timeline converter: render a trace without re-simulating.
+
+A committed journal already contains the observable protocol timeline
+(commits with taken/committed instants, gc notices, failures with their
+blast radius, completed restarts), so a Chrome trace can be *projected*
+from it — the Event Replay pattern from :mod:`repro.journal.project`,
+applied to visualization.  The reconstruction is coarser than a live
+:class:`repro.obs.Telemetry` recording (no compute/MPI-wait spans, no
+engine or storage lanes — the journal never recorded those), but it
+turns ``tests/data/golden.journal`` into a Perfetto-loadable file in
+milliseconds, which is what the nightly CI artifact and the
+``python -m repro trace`` subcommand do.
+
+Span reconstruction:
+
+* ``commit`` events become per-rank ``checkpoint`` spans from the
+  checkpoint's ``taken_at`` instant (``t``) to ``committed_at_ns``.
+* ``failure``/``restart`` pairs become per-rank ``restart`` spans: a
+  failure remembers its killed ranks per cluster, and the cluster's
+  next completed restart closes the span for each of them.
+* ``gc`` and ``finish`` events become instants; failures are instants
+  on every killed rank at the moment of impact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.journal.format import Journal
+from repro.obs import Telemetry
+
+
+def timeline_from_journal(journal: Journal) -> Telemetry:
+    """Project a journal's canonical events into a telemetry timeline.
+
+    Designed as a ``project()`` metric function:
+    ``project(path, timeline_from_journal)`` loads and converts.  Works
+    on torn journals too (folds over whatever events exist).
+    """
+    tele = Telemetry(sample_queue=False)
+    open_failures: Dict[int, Tuple[int, List[int]]] = {}
+    for ev in journal.canonical_events():
+        kind = ev["k"]
+        t = ev["t"]
+        if kind == "commit":
+            end = ev.get("committed_at_ns", t)
+            tele.rank_span(
+                "checkpoint",
+                ev["rank"],
+                t,
+                end,
+                args={
+                    "round": ev.get("round"),
+                    "nbytes": ev.get("nbytes"),
+                    "durable": ev.get("durable"),
+                },
+            )
+            tele.inc("spbc.commits")
+            tele.inc("spbc.ckpt_bytes", ev.get("nbytes", 0))
+        elif kind == "gc":
+            tele.rank_instant(
+                "gc", ev["rank"], t, args={"round": ev.get("round")}
+            )
+            tele.inc("spbc.gc_notices", ev.get("peers", 1))
+        elif kind == "failure":
+            killed = list(ev.get("killed_ranks") or [ev.get("rank")])
+            for r in killed:
+                tele.rank_instant(
+                    "failure",
+                    r,
+                    t,
+                    args={
+                        "kind": ev.get("failure_kind"),
+                        "cluster": ev.get("cluster"),
+                    },
+                )
+            # The earliest open failure of a cluster anchors its restart
+            # span (a failure superseded before its restart ran extends
+            # the window — same convention as projections.downtime_ns).
+            cluster = ev.get("cluster")
+            if cluster in open_failures:
+                open_failures[cluster][1].extend(killed)
+            else:
+                open_failures[cluster] = (t, killed)
+            tele.inc("recovery.failures")
+        elif kind == "restart":
+            cluster = ev.get("cluster")
+            fell = open_failures.pop(cluster, None)
+            if fell is not None:
+                t_fail, killed = fell
+                for r in sorted(set(killed)):
+                    tele.rank_span(
+                        "restart",
+                        r,
+                        t_fail,
+                        t,
+                        args={
+                            "round": ev.get("round"),
+                            "tier": ev.get("tier"),
+                        },
+                    )
+            tele.inc("recovery.restarts")
+        elif kind == "finish":
+            tele.rank_instant("finish", ev["rank"], t)
+    return tele
+
+
+def chrome_trace_from_journal(journal: Any) -> Dict[str, Any]:
+    """Load (if needed) and convert a journal to a Chrome trace dict."""
+    from repro.journal.project import project
+
+    return project(journal, timeline_from_journal).to_chrome()

@@ -1,0 +1,153 @@
+"""Label-aware metrics registry with snapshot/merge semantics.
+
+Counters, gauges, and timing-span accumulators, each addressed by a
+``name`` plus optional key=value labels.  Keys are canonicalized to
+``name{k=v,...}`` (labels sorted), so the same logical series produced
+by different call sites — or by different shard worker processes —
+lands in the same slot.
+
+The registry is deliberately dumb about time: callers pass durations
+they measured on the simulation clock.  Aggregation across processes
+works through :meth:`snapshot` (a plain JSON-able dict that survives a
+pickle through the shard worker pipes) and :meth:`merge` on the
+coordinator side:
+
+* counters add,
+* gauges keep the last value per contributor and the max across all
+  contributors (the merged "last" is the max of lasts — there is no
+  meaningful global "last" across concurrent shards),
+* spans add both the invocation count and the total duration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.util.table import format_table
+
+
+def series_key(name: str, labels: Dict[str, Any]) -> str:
+    """Canonical series key: ``name`` or ``name{k=v,...}`` (sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Counters / gauges / span accumulators with snapshot + merge."""
+
+    __slots__ = ("counters", "gauges", "gauge_max", "spans")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.gauge_max: Dict[str, float] = {}
+        # key -> [count, total_ns]
+        self.spans: Dict[str, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: int = 1, **labels: Any) -> None:
+        key = series_key(name, labels)
+        self.counters[key] = self.counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        key = series_key(name, labels)
+        self.gauges[key] = value
+        prev = self.gauge_max.get(key)
+        if prev is None or value > prev:
+            self.gauge_max[key] = value
+
+    def span_add(self, name: str, dur_ns: int, **labels: Any) -> None:
+        key = series_key(name, labels)
+        slot = self.spans.get(key)
+        if slot is None:
+            self.spans[key] = [1, dur_ns]
+        else:
+            slot[0] += 1
+            slot[1] += dur_ns
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict view, safe to pickle/JSON and to merge elsewhere."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "gauge_max": dict(self.gauge_max),
+            "spans": {k: list(v) for k, v in self.spans.items()},
+        }
+
+    def merge(self, snap: Dict[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one."""
+        for k, v in snap.get("counters", {}).items():
+            self.counters[k] = self.counters.get(k, 0) + v
+        for k, v in snap.get("gauges", {}).items():
+            if k not in self.gauges or v > self.gauges[k]:
+                self.gauges[k] = v
+        for k, v in snap.get("gauge_max", {}).items():
+            if k not in self.gauge_max or v > self.gauge_max[k]:
+                self.gauge_max[k] = v
+        for k, v in snap.get("spans", {}).items():
+            slot = self.spans.get(k)
+            if slot is None:
+                self.spans[k] = list(v)
+            else:
+                slot[0] += v[0]
+                slot[1] += v[1]
+
+
+def format_metrics(snap: Dict[str, Any]) -> str:
+    """Render a metrics snapshot as ``util.table`` tables.
+
+    One table per series family (counters / gauges / spans), rows sorted
+    by series key, so the output is stable and machine-greppable —
+    ``grep 'spbc.commits'`` finds the same column layout every run.
+    """
+    parts: List[str] = []
+    counters = snap.get("counters", {})
+    if counters:
+        parts.append(
+            format_table(
+                ["counter", "value"],
+                [[k, counters[k]] for k in sorted(counters)],
+                title="Counters",
+            )
+        )
+    gauges = snap.get("gauges", {})
+    if gauges:
+        gmax = snap.get("gauge_max", {})
+        parts.append(
+            format_table(
+                ["gauge", "last", "max"],
+                [[k, gauges[k], gmax.get(k, gauges[k])] for k in sorted(gauges)],
+                title="Gauges",
+            )
+        )
+    spans = snap.get("spans", {})
+    if spans:
+        rows = []
+        for k in sorted(spans):
+            count, total_ns = spans[k]
+            mean_us = (total_ns / count / 1e3) if count else 0.0
+            rows.append([k, count, total_ns / 1e6, mean_us])
+        parts.append(
+            format_table(
+                ["span", "count", "total_ms", "mean_us"],
+                rows,
+                title="Timing spans",
+            )
+        )
+    if not parts:
+        return "(no metrics recorded)"
+    return "\n\n".join(parts)
+
+
+def snapshot_overview(snap: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """The headline numbers simperf and the CLI attach to run rows."""
+    if not snap:
+        return {}
+    out: Dict[str, Any] = {}
+    peak = snap.get("gauge_max", {}).get("engine.queue_depth")
+    if peak is not None:
+        out["peak_queue_depth"] = int(peak)
+    return out

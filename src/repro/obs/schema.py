@@ -1,0 +1,103 @@
+"""Structural validator for Chrome trace-event JSON documents.
+
+Chrome's trace-event format has no official JSON Schema; viewers are
+famously tolerant.  This checker enforces the subset the repo's
+:mod:`repro.obs.timeline` emits — the tests gate on it so a refactor
+cannot silently start producing documents Perfetto renders as garbage.
+
+``validate_chrome_trace`` returns a list of human-readable problems
+(empty = valid), so a test can assert ``== []`` and get the full defect
+list in the failure message.
+"""
+
+from __future__ import annotations
+
+from numbers import Number
+from typing import Any, Dict, List
+
+#: Event phases the repo emits: complete spans, instants, counters,
+#: metadata.
+KNOWN_PHASES = ("X", "i", "C", "M")
+
+_REQUIRED = {
+    "X": ("name", "pid", "tid", "ts", "dur"),
+    "i": ("name", "pid", "tid", "ts"),
+    "C": ("name", "pid", "tid", "ts", "args"),
+    "M": ("name", "pid", "args"),
+}
+
+_METADATA_NAMES = ("process_name", "process_sort_index", "thread_name")
+
+
+def validate_chrome_trace(doc: Any, max_problems: int = 20) -> List[str]:
+    """Check a trace document; returns problems (empty list = valid)."""
+    problems: List[str] = []
+
+    def bad(msg: str) -> bool:
+        problems.append(msg)
+        return len(problems) >= max_problems
+
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            if bad(f"event {i}: not an object"):
+                return problems
+            continue
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            if bad(f"event {i}: unknown phase {ph!r}"):
+                return problems
+            continue
+        for key in _REQUIRED[ph]:
+            if key not in ev:
+                if bad(f"event {i} (ph={ph}, name={ev.get('name')!r}): missing {key!r}"):
+                    return problems
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            if bad(f"event {i}: name must be a non-empty string"):
+                return problems
+        for key in ("ts", "dur"):
+            if key in ev and (
+                not isinstance(ev[key], Number) or ev[key] < 0
+            ):
+                if bad(f"event {i} ({name!r}): {key} must be a number >= 0"):
+                    return problems
+        for key in ("pid", "tid"):
+            if key in ev and not isinstance(ev[key], int):
+                if bad(f"event {i} ({name!r}): {key} must be an integer"):
+                    return problems
+        if ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                if bad(f"event {i} ({name!r}): counter args must be a non-empty object"):
+                    return problems
+            elif not all(isinstance(v, Number) for v in args.values()):
+                if bad(f"event {i} ({name!r}): counter values must be numbers"):
+                    return problems
+        if ph == "M":
+            if name not in _METADATA_NAMES:
+                if bad(f"event {i}: unknown metadata record {name!r}"):
+                    return problems
+            elif not isinstance(ev.get("args"), dict):
+                if bad(f"event {i} ({name!r}): metadata args must be an object"):
+                    return problems
+    return problems
+
+
+def trace_lane_counts(doc: Dict[str, Any]) -> Dict[str, int]:
+    """Event counts per process-group lane — the CLI's trace summary."""
+    names: Dict[int, str] = {}
+    for ev in doc.get("traceEvents", ()):
+        if ev.get("ph") == "M" and ev.get("name") == "process_name":
+            names[ev["pid"]] = ev["args"].get("name", str(ev["pid"]))
+    counts: Dict[str, int] = {}
+    for ev in doc.get("traceEvents", ()):
+        if ev.get("ph") == "M":
+            continue
+        lane = names.get(ev.get("pid"), str(ev.get("pid")))
+        counts[lane] = counts.get(lane, 0) + 1
+    return counts

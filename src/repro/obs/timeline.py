@@ -1,0 +1,203 @@
+"""Timeline recorder emitting Chrome trace-event JSON.
+
+Events are buffered as plain dicts in engine nanoseconds and converted
+to the Chrome trace-event format (microsecond ``ts``/``dur``) by
+:meth:`TimelineRecorder.to_chrome`; the result loads directly in
+Perfetto or ``chrome://tracing``.
+
+Lane layout (trace-event ``pid`` groups, ``tid`` rows):
+
+====================  ====================================================
+pid                   rows
+====================  ====================================================
+``PID_RANKS`` (1)     one row per simulated rank: ``compute`` /
+                      ``mpi-wait`` / ``checkpoint`` / ``ckpt-write`` /
+                      ``restart`` / ``restart-read`` spans, ``failure`` /
+                      ``gc`` instants
+``PID_ENGINE`` (2)    one row per shard (row 0 sequentially): the
+                      ``queue depth`` counter sampled from the event heap
+``PID_STORAGE`` (3)   one row per tier lane: per-flow read/write spans
+                      and the ``occupancy`` counter (active flows)
+``PID_SHARDS`` (4)    one row per PDES shard: YAWNS ``window`` grants and
+                      ``barrier-wait`` gaps
+====================  ====================================================
+
+Rows inside ``PID_RANKS``/``PID_ENGINE``/``PID_SHARDS`` use the rank or
+shard id as the ``tid`` directly; storage lanes hash their label to a
+stable ``tid`` (:func:`stable_tid`) so independently recording shard
+workers agree on row identity when the coordinator merges their
+buffers.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
+
+PID_RANKS = 1
+PID_ENGINE = 2
+PID_STORAGE = 3
+PID_SHARDS = 4
+
+_PID_NAMES = {
+    PID_RANKS: "ranks",
+    PID_ENGINE: "engine",
+    PID_STORAGE: "storage",
+    PID_SHARDS: "shards",
+}
+
+
+def stable_tid(label: str) -> int:
+    """A deterministic, process-independent row id for a named lane."""
+    return zlib.crc32(label.encode()) & 0x3FFF
+
+
+class TimelineRecorder:
+    """Buffers lane events; converts/merges into Chrome trace JSON."""
+
+    __slots__ = ("events", "tracks")
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+        # (pid, tid) -> human row label, for thread_name metadata.
+        self.tracks: Dict[Tuple[int, int], str] = {}
+
+    # ------------------------------------------------------------------
+    def track(self, pid: int, tid: int, label: str) -> None:
+        self.tracks[(pid, tid)] = label
+
+    def span(
+        self,
+        name: str,
+        pid: int,
+        tid: int,
+        start_ns: int,
+        end_ns: int,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        ev: Dict[str, Any] = {
+            "ph": "X",
+            "name": name,
+            "pid": pid,
+            "tid": tid,
+            "ts_ns": start_ns,
+            "dur_ns": max(0, end_ns - start_ns),
+        }
+        if args:
+            ev["args"] = args
+        self.events.append(ev)
+
+    def instant(
+        self,
+        name: str,
+        pid: int,
+        tid: int,
+        t_ns: int,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        ev: Dict[str, Any] = {
+            "ph": "i",
+            "name": name,
+            "pid": pid,
+            "tid": tid,
+            "ts_ns": t_ns,
+            "s": "t",
+        }
+        if args:
+            ev["args"] = args
+        self.events.append(ev)
+
+    def counter(
+        self,
+        name: str,
+        pid: int,
+        tid: int,
+        t_ns: int,
+        values: Dict[str, float],
+    ) -> None:
+        self.events.append(
+            {
+                "ph": "C",
+                "name": name,
+                "pid": pid,
+                "tid": tid,
+                "ts_ns": t_ns,
+                "args": dict(values),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def export(self) -> Dict[str, Any]:
+        """Picklable buffer (shard workers ship this to the coordinator)."""
+        return {
+            "events": self.events,
+            "tracks": [[pid, tid, label] for (pid, tid), label in self.tracks.items()],
+        }
+
+    def merge(self, exported: Dict[str, Any]) -> None:
+        self.events.extend(exported.get("events", ()))
+        for pid, tid, label in exported.get("tracks", ()):
+            self.tracks[(pid, tid)] = label
+
+    # ------------------------------------------------------------------
+    def to_chrome(self) -> Dict[str, Any]:
+        """The Chrome trace-event document (``traceEvents`` container).
+
+        Events are sorted by a total key so the document is byte-stable
+        regardless of the order shard buffers were merged in.
+        """
+        out: List[Dict[str, Any]] = []
+        seen: Dict[Tuple[int, int], str] = {}
+        for pid, name in _PID_NAMES.items():
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": name},
+                }
+            )
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "process_sort_index",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"sort_index": pid},
+                }
+            )
+        for ev in self.events:
+            key = (ev["pid"], ev["tid"])
+            if key not in seen:
+                seen[key] = self.tracks.get(key) or _default_row_label(*key)
+        for (pid, tid) in sorted(seen):
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": seen[(pid, tid)]},
+                }
+            )
+        body = []
+        for ev in self.events:
+            ce = {k: v for k, v in ev.items() if k not in ("ts_ns", "dur_ns")}
+            ce["ts"] = ev["ts_ns"] / 1e3
+            if "dur_ns" in ev:
+                ce["dur"] = ev["dur_ns"] / 1e3
+            body.append(ce)
+        body.sort(
+            key=lambda e: (e["ts"], e["pid"], e["tid"], e["ph"], e["name"])
+        )
+        out.extend(body)
+        return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def _default_row_label(pid: int, tid: int) -> str:
+    if pid == PID_RANKS:
+        return f"rank {tid}"
+    if pid in (PID_ENGINE, PID_SHARDS):
+        return f"shard {tid}"
+    return f"lane {tid}"

@@ -35,6 +35,8 @@ from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from heapq import heappush as _heappush
 
+from repro.obs import NULL_TELEMETRY
+
 
 class SimError(RuntimeError):
     """Base class for simulator errors."""
@@ -74,6 +76,7 @@ class Engine:
         "events_executed",
         "compute_sleepers",
         "processes",
+        "telemetry",
     )
 
     def __init__(self) -> None:
@@ -93,6 +96,10 @@ class Engine:
         # Processes register here so run() can detect deadlock; the engine
         # treats them opaquely (anything with .is_blocked and .name).
         self.processes: List[Any] = []
+        # Telemetry sink (repro.obs): the storage/resource layers reach
+        # it through the engine they are already bound to.  The null
+        # object keeps the disabled path to one attribute load + branch.
+        self.telemetry = NULL_TELEMETRY
 
     # ------------------------------------------------------------------
     # Scheduling

@@ -157,6 +157,11 @@ class BandwidthResource:
             self._advance()
             self._active.remove(flow)
             self._replan()
+            tele = self.engine.telemetry
+            if tele.enabled:
+                tele.storage_level(
+                    self.name, self.engine.now, len(self._active)
+                )
         return True
 
     # ------------------------------------------------------------------
@@ -170,6 +175,9 @@ class BandwidthResource:
             return
         self._active.append(flow)
         self._replan()
+        tele = self.engine.telemetry
+        if tele.enabled:
+            tele.storage_level(self.name, self.engine.now, len(self._active))
 
     def _rate_bytes_per_ns(self) -> float:
         bw = self.bandwidth_bytes_per_s
@@ -207,6 +215,11 @@ class BandwidthResource:
             self._active = [
                 f for f in self._active if f.remaining > _EPS_BYTES
             ]
+            tele = self.engine.telemetry
+            if tele.enabled:
+                tele.storage_level(
+                    self.name, self.engine.now, len(self._active)
+                )
             for f in finished:
                 self._complete(f)
         self._replan()

@@ -248,6 +248,13 @@ def build_shard_world(plan) -> Tuple[World, "SPBC", Optional[ShardRecoveryManage
         from repro.journal.recorder import ListSink
 
         hooks.journal = ListSink()
+    telemetry = None
+    if plan.telemetry:
+        # Shard-local recorder: the `shard` id keys the engine lane so
+        # the coordinator's merge keeps per-shard queue-depth rows apart.
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry(shard=plan.shard_id)
     world = _ShardWorld(
         plan.owned_ranks,
         plan.nranks,
@@ -256,6 +263,7 @@ def build_shard_world(plan) -> Tuple[World, "SPBC", Optional[ShardRecoveryManage
         seed=plan.seed,
         net_params=plan.net_params,
         trace=plan.trace,
+        telemetry=telemetry,
     )
     for r in sorted(plan.owned_ranks):
         world.launch(r, plan.app_factory(RankContext(world, r), None))
@@ -315,6 +323,9 @@ def _summarize(world, spbc, manager, owned_ranks: FrozenSet[int]) -> Dict[str, A
         "restarts": dict(manager.restarts) if manager else {},
         "journal_events": (
             list(spbc.journal.events) if spbc.journal is not None else []
+        ),
+        "telemetry": (
+            world.telemetry.snapshot() if world.telemetry.enabled else None
         ),
     }
 

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.ckptdata.compression import compression_model
+from repro.obs import NULL_TELEMETRY
 from repro.storage.iosched import ChainRead, IOScheduler
 from repro.storage.model import (
     StorageTier,
@@ -363,6 +364,12 @@ class TieredBackend(StorageBackend):
     def flows_active(self) -> bool:
         return self.async_flush and self.iosched is not None
 
+    def _telemetry(self):
+        """The bound engine's telemetry (null until bind_engine)."""
+        if self.iosched is None:
+            return NULL_TELEMETRY
+        return self.iosched.engine.telemetry
+
     @property
     def charge_decompress(self) -> bool:
         return self._charge_decompress
@@ -476,6 +483,7 @@ class TieredBackend(StorageBackend):
         per_round = self._copies.setdefault(ckpt.rank, {}).setdefault(
             ckpt.round_no, {}
         )
+        tele = self._telemetry()
         for t in tiers:
             if t.name in deferred:
                 self._start_flush(t, ckpt, flush_delay_ns)
@@ -485,6 +493,8 @@ class TieredBackend(StorageBackend):
             self.tier_writes[t.name] += 1
             self.tier_bytes[t.name] += ckpt.stored_bytes
             self.bytes_written += ckpt.stored_bytes
+            if tele.enabled:
+                tele.inc("storage.tier_bytes", ckpt.stored_bytes, tier=t.name)
         self.writes += 1
         self.write_ns_total += write_ns
         rounds = self._all_rounds.setdefault(ckpt.rank, [])
@@ -551,6 +561,9 @@ class TieredBackend(StorageBackend):
         self.tier_writes[name] += 1
         self.tier_bytes[name] += ckpt.stored_bytes
         self.bytes_written += ckpt.stored_bytes
+        tele = self._telemetry()
+        if tele.enabled:
+            tele.inc("storage.tier_bytes", ckpt.stored_bytes, tier=name)
         self.background_write_ns_total += flow.duration_ns
         if flow.meta["kind"] == "flush":
             self.flush_flows_completed += 1

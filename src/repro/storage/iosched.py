@@ -101,6 +101,19 @@ class IOScheduler:
                         flow.meta.get("round_no", 0),
                     )
                 )
+            tele = self.engine.telemetry
+            if tele.enabled:
+                tele.storage_span(
+                    "write",
+                    f"{tier_name}.write",
+                    flow.start_ns,
+                    flow.end_ns,
+                    args={
+                        "bytes": flow.nbytes,
+                        "rank": flow.meta.get("rank", -1),
+                        "round": flow.meta.get("round_no", 0),
+                    },
+                )
             if on_done is not None:
                 on_done(flow)
 
@@ -133,6 +146,19 @@ class IOScheduler:
                         flow.meta.get("rank", -1),
                         flow.meta.get("round_no", 0),
                     )
+                )
+            tele = self.engine.telemetry
+            if tele.enabled:
+                tele.storage_span(
+                    "read",
+                    f"{tier_name}.read",
+                    flow.start_ns,
+                    flow.end_ns,
+                    args={
+                        "bytes": flow.nbytes,
+                        "rank": flow.meta.get("rank", -1),
+                        "round": flow.meta.get("round_no", 0),
+                    },
                 )
             if on_done is not None:
                 on_done(flow)

@@ -1,0 +1,114 @@
+"""Metrics registry: series keys, accumulation, snapshot/merge, tables."""
+
+from repro.obs import MetricsRegistry, format_metrics, snapshot_overview
+from repro.obs.metrics import series_key
+
+
+def test_series_key_canonicalizes_label_order():
+    assert series_key("x", {}) == "x"
+    assert series_key("x", {"b": 2, "a": 1}) == "x{a=1,b=2}"
+    assert series_key("x", {"a": 1, "b": 2}) == series_key(
+        "x", {"b": 2, "a": 1}
+    )
+
+
+def test_counters_accumulate_per_label_set():
+    m = MetricsRegistry()
+    m.inc("bytes", 10, tier="ram")
+    m.inc("bytes", 5, tier="ram")
+    m.inc("bytes", 7, tier="pfs")
+    m.inc("events")
+    assert m.counters == {
+        "bytes{tier=ram}": 15,
+        "bytes{tier=pfs}": 7,
+        "events": 1,
+    }
+
+
+def test_gauges_keep_last_and_max():
+    m = MetricsRegistry()
+    m.gauge("depth", 3)
+    m.gauge("depth", 9)
+    m.gauge("depth", 4)
+    assert m.gauges["depth"] == 4
+    assert m.gauge_max["depth"] == 9
+
+
+def test_spans_accumulate_count_and_total():
+    m = MetricsRegistry()
+    m.span_add("write", 100)
+    m.span_add("write", 250)
+    assert m.spans["write"] == [2, 350]
+
+
+def test_snapshot_is_plain_and_detached():
+    m = MetricsRegistry()
+    m.inc("c", 1)
+    m.span_add("s", 10)
+    snap = m.snapshot()
+    m.inc("c", 1)
+    m.span_add("s", 10)
+    assert snap["counters"]["c"] == 1
+    assert snap["spans"]["s"] == [1, 10]
+
+
+def test_merge_adds_counters_and_spans_maxes_gauges():
+    """The shard-aggregation contract: counters and span totals add,
+    gauges keep the max across contributors."""
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.inc("c", 2)
+    b.inc("c", 3)
+    b.inc("only_b", 1)
+    a.gauge("g", 5)
+    b.gauge("g", 8)
+    a.span_add("s", 10)
+    b.span_add("s", 30)
+    a.merge(b.snapshot())
+    assert a.counters == {"c": 5, "only_b": 1}
+    assert a.gauges["g"] == 8
+    assert a.gauge_max["g"] == 8
+    assert a.spans["s"] == [2, 40]
+
+
+def test_merge_is_order_independent_for_totals():
+    snaps = []
+    for base in (1, 2, 3):
+        m = MetricsRegistry()
+        m.inc("c", base)
+        m.gauge("g", base * 10)
+        m.span_add("s", base * 100)
+        snaps.append(m.snapshot())
+    fwd, rev = MetricsRegistry(), MetricsRegistry()
+    for s in snaps:
+        fwd.merge(s)
+    for s in reversed(snaps):
+        rev.merge(s)
+    assert fwd.snapshot() == rev.snapshot()
+
+
+def test_format_metrics_is_stable_and_greppable():
+    m = MetricsRegistry()
+    m.inc("spbc.commits", 4)
+    m.gauge("engine.queue_depth", 17)
+    m.span_add("rank.checkpoint", 2_000_000)
+    text = format_metrics(m.snapshot())
+    assert "Counters" in text and "Gauges" in text and "Timing spans" in text
+    # One row per series, series key in the first column.
+    assert any("spbc.commits" in ln and "4" in ln for ln in text.splitlines())
+    assert "engine.queue_depth" in text
+    assert "rank.checkpoint" in text
+    # Deterministic: same snapshot, same bytes.
+    assert text == format_metrics(m.snapshot())
+
+
+def test_format_metrics_empty_snapshot():
+    assert format_metrics({}) == "(no metrics recorded)"
+
+
+def test_snapshot_overview_extracts_peak_queue_depth():
+    m = MetricsRegistry()
+    m.gauge("engine.queue_depth", 12)
+    m.gauge("engine.queue_depth", 7)
+    assert snapshot_overview(m.snapshot()) == {"peak_queue_depth": 12}
+    assert snapshot_overview({}) == {}
+    assert snapshot_overview(None) == {}

@@ -1,0 +1,149 @@
+"""The telemetry-off fast path: disabled telemetry is never invoked and
+recording never changes what a run computes."""
+
+import pathlib
+
+import pytest
+
+from repro.apps.synthetic import ring_app
+from repro.core.clusters import ClusterMap
+from repro.core.protocol import SPBCConfig
+from repro.harness.runner import run_failure_schedule, run_spbc
+from repro.journal.replay import replay_strict
+from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs import _NullTelemetry
+from repro.obs.schema import validate_chrome_trace
+
+GOLDEN = (
+    pathlib.Path(__file__).resolve().parent.parent / "data" / "golden.journal"
+)
+
+NRANKS = 16
+SCHEDULE = [(3_000_000, 5, "node"), (9_000_000, 12, "process")]
+
+
+def _kw(cm):
+    return dict(
+        config=SPBCConfig(clusters=cm, checkpoint_every=3, state_nbytes=1 << 16),
+        storage="tiered:ram@1,pfs@2",
+        ranks_per_node=4,
+    )
+
+
+def _failure_run(cm, **extra):
+    factory = ring_app(iters=14, msg_bytes=2048, compute_ns=200_000)
+    return run_failure_schedule(
+        factory, NRANKS, cm, SCHEDULE, **_kw(cm), **extra
+    )
+
+
+# ----------------------------------------------------------------------
+# The probe: disabled telemetry receives ZERO method calls
+# ----------------------------------------------------------------------
+
+class ProbeTelemetry(_NullTelemetry):
+    """A disabled telemetry whose every method records its invocation.
+
+    ``resolve_telemetry`` accepts it (it *is* a ``_NullTelemetry``), so
+    it rides through the runner exactly like the shared singleton — and
+    any instrumented layer that forgets its ``enabled`` guard shows up
+    as a recorded call."""
+
+    __slots__ = ()
+    calls: list = []
+
+
+def _spy(name):
+    def method(self, *a, **kw):
+        ProbeTelemetry.calls.append(name)
+    return method
+
+
+for _name in (
+    "inc", "gauge", "rank_span", "rank_instant", "shard_span",
+    "queue_depth", "start_queue_sampler", "storage_span", "storage_level",
+    "snapshot", "merge_snapshot", "metrics_snapshot", "to_chrome",
+):
+    setattr(ProbeTelemetry, _name, _spy(_name))
+
+
+def test_disabled_telemetry_is_never_invoked_sequential():
+    """Every instrumented layer (engine, runtime, protocol, recovery,
+    storage) must gate on ``enabled`` — a full failure/recovery run with
+    a probing null telemetry must record zero calls."""
+    ProbeTelemetry.calls.clear()
+    cm = ClusterMap.block(NRANKS, 4)
+    res = _failure_run(cm, telemetry=ProbeTelemetry())
+    assert res.restarted_ranks
+    assert ProbeTelemetry.calls == []
+    assert res.telemetry is None
+
+
+def test_disabled_telemetry_is_never_invoked_sharded():
+    ProbeTelemetry.calls.clear()
+    cm = ClusterMap.block(NRANKS, 4)
+    res = _failure_run(cm, shards=2, telemetry=ProbeTelemetry())
+    assert res.restarted_ranks
+    assert ProbeTelemetry.calls == []
+    assert res.telemetry is None
+
+
+# ----------------------------------------------------------------------
+# Recording is observation-only
+# ----------------------------------------------------------------------
+
+def test_off_and_on_runs_are_observationally_identical():
+    cm = ClusterMap.block(NRANKS, 4)
+    off = _failure_run(cm)
+    on = _failure_run(cm, telemetry=Telemetry())
+    assert off.makespan_ns == on.makespan_ns
+    assert off.results == on.results
+    assert dict(off.manager.restarts) == dict(on.manager.restarts)
+    for r in range(NRANKS):
+        assert (
+            off.world.hooks.state[r].log.bytes_logged
+            == on.world.hooks.state[r].log.bytes_logged
+        )
+    # The on-side actually recorded something valid.
+    tele = on.telemetry
+    assert tele is not None
+    assert tele.metrics_snapshot()["counters"]["spbc.commits"] > 0
+    assert validate_chrome_trace(tele.to_chrome()) == []
+
+
+def test_failure_free_run_accepts_telemetry_specs():
+    cm = ClusterMap.block(NRANKS, 4)
+    factory = ring_app(iters=8, msg_bytes=2048, compute_ns=200_000)
+    off = run_spbc(factory, NRANKS, cm, **_kw(cm))
+    on = run_spbc(factory, NRANKS, cm, **_kw(cm), telemetry="metrics")
+    assert off.makespan_ns == on.makespan_ns
+    assert on.telemetry.timeline is None
+    assert on.telemetry.metrics_snapshot()["counters"]["spbc.commits"] > 0
+    with pytest.raises(ValueError, match="telemetry"):
+        run_spbc(factory, NRANKS, cm, **_kw(cm), telemetry="bogus")
+
+
+def test_null_telemetry_is_a_shared_cheap_singleton():
+    assert NULL_TELEMETRY.enabled is False
+    assert NULL_TELEMETRY.to_chrome()["traceEvents"] == []
+    assert NULL_TELEMETRY.snapshot() == {}
+
+
+# ----------------------------------------------------------------------
+# Golden journal: replay-strict verdict is telemetry-independent
+# ----------------------------------------------------------------------
+
+@pytest.mark.skipif(not GOLDEN.exists(), reason="no committed golden journal")
+def test_replay_strict_passes_with_telemetry_disabled_and_enabled():
+    res_off = replay_strict(str(GOLDEN))
+    tele = Telemetry()
+    res_on = replay_strict(str(GOLDEN), telemetry=tele)
+    assert res_off.makespan_ns == res_on.makespan_ns
+    assert res_off.results == res_on.results
+    # The instrumented re-execution left a full-fidelity recording.
+    doc = tele.to_chrome()
+    assert validate_chrome_trace(doc) == []
+    assert any(
+        e["ph"] == "X" and e["name"] == "checkpoint"
+        for e in doc["traceEvents"]
+    )

@@ -1,0 +1,159 @@
+"""Timeline recorder + Chrome trace-event schema checker."""
+
+import json
+
+from repro.obs import (
+    PID_ENGINE,
+    PID_RANKS,
+    PID_SHARDS,
+    PID_STORAGE,
+    TimelineRecorder,
+    stable_tid,
+)
+from repro.obs.schema import (
+    KNOWN_PHASES,
+    trace_lane_counts,
+    validate_chrome_trace,
+)
+
+
+def _sample_recorder():
+    tl = TimelineRecorder()
+    tl.span("compute", PID_RANKS, 0, 1_000, 5_000, args={"iter": 1})
+    tl.span("mpi-wait", PID_RANKS, 1, 2_000, 3_000)
+    tl.instant("failure", PID_RANKS, 1, 4_000, args={"cluster": 0})
+    tl.counter("queue depth", PID_ENGINE, 0, 2_500, {"events": 17})
+    tl.track(PID_STORAGE, stable_tid("pfs.write"), "pfs.write")
+    tl.span("write", PID_STORAGE, stable_tid("pfs.write"), 0, 9_000)
+    tl.span("window", PID_SHARDS, 0, 0, 10_000, args={"lookahead": 500})
+    return tl
+
+
+def test_to_chrome_is_schema_valid_and_json_serializable():
+    doc = _sample_recorder().to_chrome()
+    assert validate_chrome_trace(doc) == []
+    json.dumps(doc)  # must not contain non-JSON values
+    assert doc["displayTimeUnit"] == "ms"
+
+
+def test_ns_to_us_conversion():
+    tl = TimelineRecorder()
+    tl.span("s", PID_RANKS, 0, 1_000, 4_000)
+    doc = tl.to_chrome()
+    ev = [e for e in doc["traceEvents"] if e["ph"] == "X"][0]
+    assert ev["ts"] == 1.0 and ev["dur"] == 3.0
+
+
+def test_negative_duration_clamps_to_zero():
+    tl = TimelineRecorder()
+    tl.span("s", PID_RANKS, 0, 5_000, 4_000)
+    ev = [e for e in tl.to_chrome()["traceEvents"] if e["ph"] == "X"][0]
+    assert ev["dur"] == 0.0
+
+
+def test_metadata_names_processes_and_threads():
+    doc = _sample_recorder().to_chrome()
+    procs = {
+        e["pid"]: e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert procs == {
+        PID_RANKS: "ranks",
+        PID_ENGINE: "engine",
+        PID_STORAGE: "storage",
+        PID_SHARDS: "shards",
+    }
+    threads = {
+        (e["pid"], e["tid"]): e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    # Explicit track label wins; rank/shard rows get default labels.
+    assert threads[(PID_STORAGE, stable_tid("pfs.write"))] == "pfs.write"
+    assert threads[(PID_RANKS, 0)] == "rank 0"
+    assert threads[(PID_SHARDS, 0)] == "shard 0"
+
+
+def test_merge_order_does_not_change_the_document():
+    """Shard buffers merge in nondeterministic arrival order; the
+    exported Chrome document must be byte-stable anyway."""
+    parts = []
+    for shard in range(3):
+        tl = TimelineRecorder()
+        tl.span("window", PID_SHARDS, shard, shard * 100, shard * 100 + 50)
+        tl.counter("queue depth", PID_ENGINE, shard, 10, {"events": shard})
+        parts.append(tl.export())
+    fwd, rev = TimelineRecorder(), TimelineRecorder()
+    for p in parts:
+        fwd.merge(p)
+    for p in reversed(parts):
+        rev.merge(p)
+    assert json.dumps(fwd.to_chrome()) == json.dumps(rev.to_chrome())
+
+
+def test_stable_tid_is_deterministic_and_bounded():
+    assert stable_tid("pfs.write") == stable_tid("pfs.write")
+    assert stable_tid("pfs.write") != stable_tid("pfs.read")
+    for label in ("ram.write", "pfs.read", "partner.write"):
+        assert 0 <= stable_tid(label) <= 0x3FFF
+
+
+def test_trace_lane_counts_groups_by_process_name():
+    doc = _sample_recorder().to_chrome()
+    counts = trace_lane_counts(doc)
+    assert counts["ranks"] == 3
+    assert counts["engine"] == 1
+    assert counts["storage"] == 1
+    assert counts["shards"] == 1
+
+
+# ----------------------------------------------------------------------
+# Negative cases: the validator must actually reject malformed docs
+# ----------------------------------------------------------------------
+
+def test_validator_rejects_non_object_top_level():
+    assert validate_chrome_trace([1, 2]) != []
+    assert validate_chrome_trace({"events": []}) != []
+
+
+def test_validator_rejects_unknown_phase():
+    doc = {"traceEvents": [{"ph": "B", "name": "x", "pid": 1, "tid": 0,
+                            "ts": 0}]}
+    assert any("phase" in p for p in validate_chrome_trace(doc))
+    assert "B" not in KNOWN_PHASES
+
+
+def test_validator_rejects_span_without_duration():
+    doc = {"traceEvents": [{"ph": "X", "name": "x", "pid": 1, "tid": 0,
+                            "ts": 0}]}
+    assert any("dur" in p for p in validate_chrome_trace(doc))
+
+
+def test_validator_rejects_negative_timestamps():
+    doc = {"traceEvents": [{"ph": "X", "name": "x", "pid": 1, "tid": 0,
+                            "ts": -1, "dur": 5}]}
+    assert validate_chrome_trace(doc) != []
+
+
+def test_validator_rejects_non_numeric_counter_values():
+    doc = {"traceEvents": [{"ph": "C", "name": "c", "pid": 2, "tid": 0,
+                            "ts": 0, "args": {"events": "many"}}]}
+    assert any("number" in p for p in validate_chrome_trace(doc))
+
+
+def test_validator_rejects_empty_counter_args():
+    doc = {"traceEvents": [{"ph": "C", "name": "c", "pid": 2, "tid": 0,
+                            "ts": 0, "args": {}}]}
+    assert validate_chrome_trace(doc) != []
+
+
+def test_validator_rejects_unknown_metadata_record():
+    doc = {"traceEvents": [{"ph": "M", "name": "bogus_meta", "pid": 1,
+                            "args": {}}]}
+    assert any("metadata" in p for p in validate_chrome_trace(doc))
+
+
+def test_validator_caps_problem_list():
+    doc = {"traceEvents": [{"ph": "Z"}] * 100}
+    assert len(validate_chrome_trace(doc, max_problems=5)) == 5

@@ -1,0 +1,84 @@
+"""Acceptance: a 1024-rank sharded run with one injected node failure
+produces a valid Chrome trace-event document with per-rank
+checkpoint/restart spans and per-shard window/barrier lanes."""
+
+import json
+
+import pytest
+
+from repro.apps.synthetic import ring_app
+from repro.core.clusters import ClusterMap
+from repro.core.protocol import SPBCConfig
+from repro.harness.runner import run_failure_schedule
+from repro.obs import PID_RANKS, PID_SHARDS, Telemetry
+from repro.obs.schema import trace_lane_counts, validate_chrome_trace
+
+NRANKS = 1024
+SHARDS = 4
+
+
+@pytest.mark.slow
+def test_1024_rank_sharded_failure_run_renders_a_full_timeline(tmp_path):
+    cm = ClusterMap.block(NRANKS, 128)
+    factory = ring_app(iters=8, msg_bytes=4096, compute_ns=200_000)
+    tele = Telemetry()
+    res = run_failure_schedule(
+        factory,
+        NRANKS,
+        cm,
+        [(2_000_000, 100, "node")],
+        config=SPBCConfig(
+            clusters=cm, checkpoint_every=2, state_nbytes=1 << 16
+        ),
+        storage="tiered:ram@1,pfs@2",
+        ranks_per_node=8,
+        shards=SHARDS,
+        telemetry=tele,
+    )
+    assert res.nshards == SHARDS
+    assert res.restarted_ranks, "the injected node failure never restarted"
+
+    doc = tele.to_chrome()
+    # Schema-valid after a JSON round trip, exactly as a viewer loads it.
+    out = tmp_path / "sharded.trace.json"
+    out.write_text(json.dumps(doc))
+    doc = json.loads(out.read_text())
+    assert validate_chrome_trace(doc) == []
+
+    events = doc["traceEvents"]
+    spans = [e for e in events if e["ph"] == "X"]
+
+    # Per-rank checkpoint spans, spread across many ranks.
+    ckpt_tids = {
+        e["tid"] for e in spans
+        if e["pid"] == PID_RANKS and e["name"] == "checkpoint"
+    }
+    assert len(ckpt_tids) > NRANKS // 2
+
+    # Per-rank restart spans covering every killed rank.
+    restart_tids = {
+        e["tid"] for e in spans
+        if e["pid"] == PID_RANKS and e["name"] == "restart"
+    }
+    assert res.restarted_ranks <= restart_tids
+
+    # Per-shard YAWNS lanes: a window-grant lane for every shard, and
+    # barrier-wait spans on the shards the failure desynchronized.
+    window_tids = {
+        e["tid"] for e in spans
+        if e["pid"] == PID_SHARDS and e["name"] == "window"
+    }
+    assert window_tids == set(range(SHARDS))
+    barrier = [
+        e for e in spans
+        if e["pid"] == PID_SHARDS and e["name"] == "barrier-wait"
+    ]
+    for e in barrier:
+        assert e["dur"] >= 0
+
+    counts = trace_lane_counts(doc)
+    assert counts.get("engine", 0) >= SHARDS  # queue-depth samples
+    counters = tele.metrics_snapshot()["counters"]
+    assert counters["recovery.failures"] >= 1
+    assert counters["recovery.restarts"] >= 1
+    assert counters["spbc.commits"] > NRANKS

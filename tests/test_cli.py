@@ -291,3 +291,75 @@ def test_journal_path_rejected_for_other_experiments(capsys):
     with pytest.raises(SystemExit):
         main(["table1", "stray.journal"])
     assert "no journal path" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# trace subcommand and telemetry flags
+# ----------------------------------------------------------------------
+
+def _load_valid_trace(path):
+    import json
+
+    from repro.obs.schema import validate_chrome_trace
+
+    doc = json.loads(path.read_text())
+    assert validate_chrome_trace(doc) == []
+    return doc
+
+
+def test_trace_projects_a_journal_without_resimulating(tmp_path, capsys):
+    path = tmp_path / "run.journal"
+    assert main(_record_args(path)) == 0
+    capsys.readouterr()
+    assert main(["trace", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "journal projection" in out and "wrote" in out
+    doc = _load_valid_trace(tmp_path / "run.journal.trace.json")
+    assert any(
+        e.get("ph") == "X" and e.get("name") == "checkpoint"
+        for e in doc["traceEvents"]
+    )
+
+
+def test_trace_run_replays_with_full_instrumentation(tmp_path, capsys):
+    path = tmp_path / "run.journal"
+    assert main(_record_args(path)) == 0
+    capsys.readouterr()
+    trace_out = tmp_path / "full.trace.json"
+    assert main(
+        ["trace", str(path), "--run", "--trace-out", str(trace_out),
+         "--metrics"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "strict replay" in out
+    assert "Counters" in out and "spbc.commits" in out
+    doc = _load_valid_trace(trace_out)
+    # Live replay has engine-internal lanes the projection cannot have.
+    assert any(
+        e.get("ph") == "C" and e.get("name") == "queue depth"
+        for e in doc["traceEvents"]
+    )
+
+
+def test_journal_record_with_telemetry_flags(tmp_path, capsys):
+    path = tmp_path / "run.journal"
+    trace_out = tmp_path / "rec.trace.json"
+    assert main(
+        _record_args(path) + ["--trace-out", str(trace_out), "--metrics"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "recorded" in out and "Counters" in out
+    _load_valid_trace(trace_out)
+    # The journal itself still replays strictly (recording was
+    # observation-only even with telemetry on).
+    assert main(["replay", str(path)]) == 0
+    assert "replay-strict: OK" in capsys.readouterr().out
+
+
+def test_replay_with_metrics_prints_tables(tmp_path, capsys):
+    path = tmp_path / "run.journal"
+    assert main(_record_args(path)) == 0
+    capsys.readouterr()
+    assert main(["replay", str(path), "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "replay-strict: OK" in out and "Counters" in out
