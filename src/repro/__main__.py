@@ -113,6 +113,15 @@ def main(argv=None) -> int:
         "matrix this overrides the default shard count (8)",
     )
     parser.add_argument(
+        "--samples",
+        type=int,
+        default=1,
+        metavar="N",
+        help="simperf: run the full matrix N times and report per-"
+        "scenario medians (the baseline-recording protocol as one "
+        "invocation; rows carry a 'samples' field)",
+    )
+    parser.add_argument(
         "--json",
         type=str,
         default=None,
@@ -283,6 +292,7 @@ def main(argv=None) -> int:
                 include_shard_pair=not args.ranks or bool(args.shards),
                 shard_ranks=args.ranks or sp.SHARD_RANKS,
                 shard_nshards=args.shards or sp.SHARD_NSHARDS,
+                samples=args.samples,
             )
         print(sp.format_simperf(result, baseline))
         if args.json:
@@ -309,22 +319,29 @@ def main(argv=None) -> int:
                     print(f"PERF REGRESSION: {p}", file=sys.stderr)
                 rc = 1
         if args.quick and args.shards:
-            # The sharded 4096-rank smoke: one calibrated pair, with the
-            # wall-clock speedup gated on hosts that have the cores.
-            pair = sp.shard_pair(
-                nranks=args.ranks or sp.SHARD_RANKS, nshards=args.shards
-            )
-            print()
-            print(sp.format_shard_pair(pair))
-            problems = sp.check_shard_speedup(pair)
-            if problems:
-                for p in problems:
-                    print(f"PERF REGRESSION: {p}", file=sys.stderr)
-                rc = 1
-            elif pair["host_cpus"] < 2:
-                print("shard pair: single-core host, speedup gate skipped")
-            else:
-                print("shard pair: speedup gate passed")
+            # The sharded 4096-rank smoke: one calibrated pair per flush
+            # mode (sync, then async with mirrored flows), wall-clock
+            # speedup gated on hosts that have the cores.
+            for flush_mode in ("sync", "async"):
+                pair = sp.shard_pair(
+                    nranks=args.ranks or sp.SHARD_RANKS,
+                    nshards=args.shards,
+                    flush_mode=flush_mode,
+                )
+                print()
+                print(sp.format_shard_pair(pair))
+                problems = sp.check_shard_speedup(pair)
+                if problems:
+                    for p in problems:
+                        print(f"PERF REGRESSION: {p}", file=sys.stderr)
+                    rc = 1
+                elif pair["host_cpus"] < 2:
+                    print(
+                        f"shard pair ({flush_mode}): single-core host, "
+                        "speedup gate skipped"
+                    )
+                else:
+                    print(f"shard pair ({flush_mode}): speedup gate passed")
         if rc:
             return rc
     elif args.experiment == "ioverlap":

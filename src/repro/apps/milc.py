@@ -13,7 +13,7 @@ count.
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional
+from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.apps.base import (
     AppSpec,
@@ -46,51 +46,104 @@ def _grid4(n: int) -> List[int]:
     return dims
 
 
+def _torus_neighbors(rank: int, size: int) -> List[int]:
+    """The 4-D torus gather partners on the ``_grid4`` factorization
+    (2 per dimension with extent > 1, wrap-around duplicates folded)."""
+    dims = _grid4(size)
+    coords = []
+    r = rank
+    for d in dims:
+        coords.append(r % d)
+        r //= d
+
+    def rank_of(cs: List[int]) -> int:
+        out = 0
+        mult = 1
+        for c, d in zip(cs, dims):
+            out += (c % d) * mult
+            mult *= d
+        return out
+
+    neighbors = []
+    for axis, d in enumerate(dims):
+        if d == 1:
+            continue
+        for step in (+1, -1):
+            cs = list(coords)
+            cs[axis] += step
+            nb = rank_of(cs)
+            if nb != rank:
+                neighbors.append(nb)
+    return list(dict.fromkeys(neighbors))
+
+
+#: size -> (per-rank accumulators after the last tabulated iteration,
+#: per-iteration CG-residual allreduce totals).  Deterministic and
+#: shared by every rank: computed once per world size, extended on
+#: demand.
+_TOTALS_CACHE: Dict[int, Tuple[List[int], List[int]]] = {}
+
+
+def _allreduce_totals(size: int, upto: int) -> List[int]:
+    """CG-residual allreduce totals for iterations ``0..upto-1``, by
+    replaying every rank's accumulator analytically.
+
+    This is milc's warp-contract fast-forward state: a jumped rank folds
+    these totals (and its torus neighbors' gather payloads) instead of
+    exchanging the skipped iterations' messages.  Valid only for runs
+    that started from iteration 0 — exactly the failure-free phases warp
+    is allowed to engage in."""
+    accs, totals = _TOTALS_CACHE.setdefault(size, ([0] * size, []))
+    if len(totals) < upto:
+        neighbors_of = [_torus_neighbors(r, size) for r in range(size)]
+        for j in range(len(totals), upto):
+            for r in range(size):
+                accs[r] = mix_unordered(
+                    accs[r], [mix(0, n, r, j) for n in neighbors_of[r]]
+                )
+            total = sum((a >> 11) & 0xFFFF for a in accs)
+            for r in range(size):
+                accs[r] = mix(accs[r], total)
+            totals.append(total)
+    return totals
+
+
 def milc_app(
     iters: int = 12,
     face_bytes: int = 6 * 1024,
     compute_ns: int = 80_000_000,
 ):
     def factory(ctx: RankContext, state: Optional[dict] = None) -> Generator:
-        n = ctx.size
-        dims = _grid4(n)
-        coords = []
-        r = ctx.rank
-        for d in dims:
-            coords.append(r % d)
-            r //= d
-
-        def rank_of(cs: List[int]) -> int:
-            out = 0
-            mult = 1
-            for c, d in zip(cs, dims):
-                out += (c % d) * mult
-                mult *= d
-            return out
-
-        neighbors = []
-        for axis, d in enumerate(dims):
-            if d == 1:
-                continue
-            for step in (+1, -1):
-                cs = list(coords)
-                cs[axis] += step
-                nb = rank_of(cs)
-                if nb != ctx.rank:
-                    neighbors.append(nb)
-        neighbors = list(dict.fromkeys(neighbors))
+        me = ctx.rank
+        neighbors = _torus_neighbors(me, ctx.size)
 
         pattern = ctx.declare_pattern()
         start = resume_iteration(state)
         acc = resume_acc(state)
-        for i in range(start, iters):
+        # Warp contract (repro.sim.warp): the CG compute *leads* the
+        # iteration, so the quiescent anchor sits before any of
+        # iteration i's communication — a granted jump of K replays K
+        # whole iterations (gather fold + residual total per skipped j)
+        # and lands at the same pre-gather point of iteration i+K.
+        ctx.declare_warpable()
+        i = start
+        while i < iters:
             yield from ctx.maybe_checkpoint(lambda i=i, acc=acc: {"iter": i, "acc": acc})
             yield from ctx.compute(compute_ns)
+            jump = ctx.warp_jump()
+            if jump:
+                totals = _allreduce_totals(ctx.size, i + jump)
+                for j in range(i, i + jump):
+                    acc = mix_unordered(
+                        acc, [mix(0, nb, me, j) for nb in neighbors]
+                    )
+                    acc = mix(acc, totals[j])
+                i += jump
             if neighbors:
                 ctx.begin_iteration(pattern)
                 recvs = [ctx.irecv(src=ANY_SOURCE, tag=TAG_GATHER) for _ in neighbors]
                 sends = [
-                    ctx.isend(nb, mix(0, ctx.rank, nb, i), nbytes=face_bytes, tag=TAG_GATHER)
+                    ctx.isend(nb, mix(0, me, nb, i), nbytes=face_bytes, tag=TAG_GATHER)
                     for nb in neighbors
                 ]
                 statuses = yield from ctx.waitall(recvs)
@@ -102,6 +155,7 @@ def milc_app(
                 (acc >> 11) & 0xFFFF, lambda a, b: a + b, nbytes=8
             )
             acc = mix(acc, total)
+            i += 1
         return acc
 
     return factory

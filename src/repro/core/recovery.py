@@ -548,6 +548,19 @@ class _FlowRestore:
             handle.cancel()
         self.handles.clear()
 
+    def next_event_ns(self) -> Optional[int]:
+        """Conservative lower bound on the next pipeline event across
+        the cluster's members — and therefore on the restart milestone
+        time, which always lands on one of these events.  The shard
+        coordinator holds every other shard at this bound (recomputed
+        per window) until the completion instant is actually known."""
+        bounds = [
+            b
+            for b in (h.next_event_ns() for h in self.handles.values())
+            if b is not None
+        ]
+        return min(bounds, default=None)
+
     def _member_done(self, rank: int, receipt: Optional[RestoreReceipt]) -> None:
         if self.cancelled:
             return

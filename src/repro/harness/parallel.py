@@ -30,13 +30,26 @@ their failure notifications at the same instant.  Holds and a
 ``failure time + restart delay`` horizon cap keep windows from skipping
 over these same-instant interactions.
 
-Sharding refuses configurations it cannot reproduce exactly: network
-jitter (seeded per-packet draws diverge across event orders), warp mode
-(the detector needs the global event stream), and async-flush storage
-(shared-tier drain flows contend globally in one bandwidth resource that
-cannot be decomposed per shard).  Synchronous storage decomposes
-exactly — closed-form write costs depend only on the static world size
-and restore reads only on cluster-local state.
+Async-flush storage (``--storage ...:async``) is decomposed by
+mirroring the shared-tier flow model: each shard runs its owned flows
+(background flushes, restart-read pipelines, partner rebuilds) on a
+local bandwidth-resource replica, exports start/cancel records for
+flows on *shared* lanes, and replays the other shards' records as
+mirror flows at the exported absolute instants — so every shard
+recomputes identical piecewise-constant bandwidth shares and identical
+completion times (see :mod:`repro.sim.resources`).  Two extra horizon
+rules keep the replay exact: the lookahead is capped by the smallest
+shared-tier latency (a flow started inside a window cannot be admitted
+before the next window's grant has delivered its record), and a window
+containing a failure ends right after it (the failure's flush
+cancellations must reach the mirrors before any shard advances past
+the crash instant).  Unshared lanes (per-node RAM/SSD, partner links)
+drain flows independently and need no mirroring; synchronous storage
+decomposes exactly with no flow traffic at all.
+
+Sharding still refuses configurations it cannot reproduce exactly:
+network jitter (seeded per-packet draws diverge across event orders)
+and warp mode (the detector needs the global event stream).
 """
 
 from __future__ import annotations
@@ -290,6 +303,13 @@ class ShardedRunResult:
     compute_ns: int = 0
     windows: int = 0
     lookahead_ns: int = 0
+    #: Background-flow accounting summed across shards (async storage;
+    #: zeros for synchronous specs) — matches the sequential backend's
+    #: flush_flows_*/rebuild_flows_* counters.
+    storage_counters: Dict[str, int] = field(default_factory=dict)
+    #: rank -> rounds restorable at the end of the run (the "drained
+    #: rounds" view: an in-flight flush that never landed is absent).
+    drained_rounds: Dict[int, List[int]] = field(default_factory=dict)
     #: Coordinator-side merged telemetry (None unless requested): every
     #: worker's metrics and timeline folded into one view, plus the
     #: coordinator's own per-shard window/barrier-wait lanes.
@@ -311,13 +331,27 @@ def _validate(cfg: SPBCConfig, params: NetworkParams, warp) -> None:
             "sharded runs require jitter_max_ns=0: per-packet jitter "
             "draws depend on global event order and would diverge"
         )
+
+
+def _flow_lookahead_cap_ns(cfg: SPBCConfig) -> Optional[int]:
+    """Horizon cap for mirrored shared-lane flows, or None when the
+    storage runs no flows.
+
+    A flow started at ``t`` inside a window is admitted at
+    ``t + delay + latency >= t + latency``; its start record reaches the
+    other shards with the *next* window's grant, by which time they sit
+    at the previous horizon.  Capping the lookahead at the smallest
+    shared-tier latency guarantees the record always arrives before its
+    admission instant.  (Cancellations are delivered in time by the
+    failure and hold caps — they only happen at crash and restart
+    milestones.)"""
     storage = cfg.storage
-    if storage is not None and getattr(storage, "async_flush", False):
-        raise ValueError(
-            "async-flush storage cannot be sharded: background drain "
-            "flows share one global bandwidth resource; use a "
-            "synchronous spec (closed-form costs decompose exactly)"
-        )
+    if storage is None or not getattr(storage, "async_flush", False):
+        return None
+    shared = [t.latency_ns for t in storage.plan.tiers if t.shared]
+    if not shared:
+        return None
+    return max(1, min(shared))
 
 
 def run_spbc_sharded(
@@ -404,6 +438,14 @@ def run_spbc_sharded(
                 shard_of_rank[r] = sid
     topology = Topology(nranks=nranks, ranks_per_node=ranks_per_node)
     lookahead = lookahead_ns(params, topology, shard_of_rank)
+    flow_cap = _flow_lookahead_cap_ns(cfg)
+    if flow_cap is not None:
+        # Mirrored shared-lane flows: a start record must reach the
+        # other shards before its admission instant (see
+        # _flow_lookahead_cap_ns).  The PFS latency (milliseconds)
+        # dwarfs the network lookahead (microseconds), so in practice
+        # this never bites.
+        lookahead = min(lookahead, flow_cap)
 
     plans = [
         ShardPlan(
@@ -460,6 +502,7 @@ def run_spbc_sharded(
             restart_delay_ns,
             sorted(at for at, _r, _k in schedule),
             tele,
+            flows_mirrored=flow_cap is not None,
         )
     finally:
         for conn in conns:
@@ -522,6 +565,7 @@ def _coordinate(
     restart_delay_ns: int,
     failure_times: List[int],
     tele=NULL_TELEMETRY,
+    flows_mirrored: bool = False,
 ):
     """Drive the report/grant windows until every shard drains.
 
@@ -530,10 +574,12 @@ def _coordinate(
     reports = [_recv(conns[i], i) for i in range(k)]
     pending_imports: List[list] = [[] for _ in range(k)]
     pending_actions: List[list] = [[] for _ in range(k)]
+    pending_flows: List[list] = [[] for _ in range(k)]
     windows = 0
     while True:
         # Harvest: route packets to their destination shard, rebroadcast
-        # restart milestones to every *other* shard as mirror actions.
+        # restart milestones and shared-lane flow records to every
+        # *other* shard (the originator already ran the real thing).
         for sid, rep in enumerate(reports):
             for export in rep["exports"]:
                 pending_imports[shard_of_rank[export[1]]].append(export)
@@ -543,11 +589,23 @@ def _coordinate(
                         pending_actions[other].append(
                             (at_ns, cluster, members, node)
                         )
+            for rec in rep.get("flows", ()):
+                for other in range(k):
+                    if other != sid:
+                        pending_flows[other].append(rec)
         candidates = [
             rep["next_ns"] for rep in reports if rep["next_ns"] is not None
         ]
         candidates += [e[6] for imp in pending_imports for e in imp]
         candidates += [a[0] for act in pending_actions for a in act]
+        # Flow-record application instants (admit time for starts,
+        # cancel time for cancels): already bounded below by the floor,
+        # but fold them in so the window math never has to assume it.
+        candidates += [
+            rec[4] if rec[0] == "start" else rec[3]
+            for flows in pending_flows
+            for rec in flows
+        ]
         if not candidates:
             if all(rep["done"] for rep in reports):
                 break
@@ -571,6 +629,12 @@ def _coordinate(
             # shards have not seen as a hold yet; its earliest possible
             # completion is failure + restart delay.
             horizon = min(horizon, failure_times[0] + restart_delay_ns + 1)
+            if flows_mirrored:
+                # Async storage: the crash cancels in-flight flushes on
+                # the owning shards at the failure instant; end the
+                # window right after it so the cancel records reach the
+                # mirrors while they still sit at that instant.
+                horizon = min(horizon, failure_times[0] + 1)
         horizon = max(horizon, floor + 1)
         if tele.enabled:
             # Per-shard YAWNS lanes: the granted window, and (when a
@@ -585,10 +649,17 @@ def _coordinate(
                 )
         for sid in range(k):
             conns[sid].send(
-                ("grant", horizon, pending_imports[sid], pending_actions[sid])
+                (
+                    "grant",
+                    horizon,
+                    pending_imports[sid],
+                    pending_actions[sid],
+                    pending_flows[sid],
+                )
             )
             pending_imports[sid] = []
             pending_actions[sid] = []
+            pending_flows[sid] = []
         reports = [_recv(conns[i], i) for i in range(k)]
         windows += 1
     for sid in range(k):
@@ -622,6 +693,8 @@ def _merge(
     # shard-local purge/invalidation counts.
     owner_events: Dict[Tuple[int, int], dict] = {}
     count_sums: Dict[Tuple[int, int], List[int]] = {}
+    storage_counters: Dict[str, int] = {}
+    drained: Dict[int, List[int]] = {}
     for sid, summ in enumerate(summaries):
         finish.update(summ["finish_ns"])
         results.update(summ["results"])
@@ -640,20 +713,30 @@ def _merge(
             matrix += summ["comm_matrix"]
         if tele.enabled:
             tele.merge_snapshot(summ.get("telemetry"))
+        for name, value in summ.get("storage_counters", {}).items():
+            storage_counters[name] = storage_counters.get(name, 0) + value
+        drained.update(summ.get("drained_rounds", {}))
         for ev in summ["failures"]:
             key = (ev["time_ns"], ev["cluster"])
-            sums = count_sums.setdefault(key, [0, 0, 0])
+            sums = count_sums.setdefault(key, [0, 0, 0, 0])
             sums[0] += ev["purged_packets"]
             sums[1] += ev["invalidated_copies"]
             sums[2] += ev["cancelled_flushes"]
+            # Partner rebuilds are started shard-locally on every shard
+            # (each re-mirrors its own ranks' copies onto the returned
+            # node), so the global count is a sum like the others.
+            sums[3] += ev["partner_rebuilds"]
             if shard_of_cluster[ev["cluster"]] == sid:
                 owner_events[key] = dict(ev)
     failures = []
     for key in sorted(owner_events):
         ev = owner_events[key]
-        ev["purged_packets"], ev["invalidated_copies"], ev["cancelled_flushes"] = (
-            count_sums[key]
-        )
+        (
+            ev["purged_packets"],
+            ev["invalidated_copies"],
+            ev["cancelled_flushes"],
+            ev["partner_rebuilds"],
+        ) = count_sums[key]
         ev["killed_ranks"] = tuple(ev["killed_ranks"])
         failures.append(FailureEvent(**ev))
     return ShardedRunResult(
@@ -674,5 +757,7 @@ def _merge(
         compute_ns=compute,
         windows=windows,
         lookahead_ns=lookahead,
+        storage_counters=storage_counters,
+        drained_rounds=drained,
         telemetry=tele if tele.enabled else None,
     )

@@ -24,13 +24,21 @@ Young/Daly range — against a ram+pfs plan):
 Plus the warp pair: the failure-free 1024-rank long ring run in exact
 mode vs ``--warp`` (steady-state fast-forward, ``repro.sim.warp``).
 
-Plus the shard pair: the 4096-rank sync scenario single-process vs
+Plus the shard pairs: the 4096-rank scenario single-process vs
 ``shards=8`` (conservative PDES across worker processes,
-``repro.sim.shard``).  The sharded row's wall-clock only improves when
-the host actually has cores to run the workers on, so each result
-records ``host_cpus`` and :func:`check_shard_speedup` gates the
-speedup only on capable hosts (single-core containers record the pair
-as an overhead reference and report instead of failing).
+``repro.sim.shard``), in both the sync flush mode and — with the
+``shard8-async`` row — the async-flush mode, where every background
+PFS flow is mirrored across the shards (the coordination cost of the
+mirrored-flow protocol is exactly what that row watches).  The sharded
+rows' wall-clock only improves when the host actually has cores to run
+the workers on, so each result records ``host_cpus`` and
+:func:`check_shard_speedup` gates the speedup only on capable hosts
+(single-core containers record the pairs as an overhead reference and
+report instead of failing).
+
+``samples=N`` (CLI ``--samples N``) reruns the whole matrix N times
+and reports per-scenario medians — the committed-baseline recording
+protocol in one invocation (:func:`median_of_samples`).
 
 Hardware normalization
 ----------------------
@@ -162,10 +170,17 @@ def run_scenario(
 ) -> SimPerfRow:
     """Run one matrix cell and measure it."""
     if mode == "shard-exact" or mode.startswith("shard"):
-        # The shard pair: the sync scenario, single-process
-        # ("shard-exact") or split over N worker shards ("shardN").
-        nshards = None if mode == "shard-exact" else int(mode[len("shard"):])
-        sc = _scenario_config(nranks, "sync")
+        # The shard pair: single-process ("shard-exact") or split over
+        # N worker shards ("shardN"), on the sync scenario — or with an
+        # "-async" suffix ("shard8-async"), the async-flush scenario
+        # with its background PFS flows mirrored across the shards.
+        base = mode
+        flush_mode = "sync"
+        if base.endswith("-async"):
+            base = base[: -len("-async")]
+            flush_mode = "async"
+        nshards = None if base == "shard-exact" else int(base[len("shard"):])
+        sc = _scenario_config(nranks, flush_mode)
         factory = ring_app(
             iters=iters, msg_bytes=MSG_BYTES, compute_ns=COMPUTE_NS
         )
@@ -343,6 +358,49 @@ def _host_cpus() -> int:
         return os.cpu_count() or 1
 
 
+def median_of_samples(runs: Sequence[Dict]) -> Dict:
+    """Merge ``N`` independent :func:`simperf` results into the
+    committed-baseline form: per scenario, the median ``norm_cost`` and
+    median ``wall_s`` across the runs (rates re-derived from the median
+    wall), each row stamped with ``"samples": N``.
+
+    This is the protocol the baseline note used to describe as a manual
+    step ("several runs; take medians") — ``--samples N`` automates it.
+    Deterministic per-run facts (event counts, makespan, peak queue
+    depth) are asserted identical across samples rather than averaged."""
+    from statistics import median
+
+    by_scenario: Dict[str, List[Dict]] = {}
+    for run in runs:
+        for row in run["rows"]:
+            by_scenario.setdefault(row["scenario"], []).append(row)
+    rows = []
+    for sid, samples in by_scenario.items():
+        first = samples[0]
+        for row in samples[1:]:
+            for key in ("events", "makespan_ns", "peak_queue_depth"):
+                assert row[key] == first[key], (sid, key)
+        wall = median(r["wall_s"] for r in samples)
+        merged = dict(first)
+        merged.update(
+            wall_s=wall,
+            events_per_sec=first["events"] / wall if wall > 0 else 0.0,
+            sim_ns_per_wall_s=(
+                first["makespan_ns"] / wall if wall > 0 else 0.0
+            ),
+            norm_cost=median(r["norm_cost"] for r in samples),
+            samples=len(samples),
+        )
+        rows.append(merged)
+    return {
+        "calibration_wall_s": median(
+            run["calibration_wall_s"] for run in runs
+        ),
+        "host_cpus": runs[0]["host_cpus"],
+        "rows": rows,
+    }
+
+
 def simperf(
     ranks: Sequence[int] = SIMPERF_RANKS,
     modes: Sequence[str] = SIMPERF_MODES,
@@ -353,6 +411,7 @@ def simperf(
     include_shard_pair: bool = True,
     shard_ranks: int = SHARD_RANKS,
     shard_nshards: int = SHARD_NSHARDS,
+    samples: int = 1,
 ) -> Dict:
     """Run the matrix; returns {"calibration_wall_s", "rows": [...]}.
 
@@ -362,7 +421,22 @@ def simperf(
     the cell's ``norm_cost`` is the *minimum per-repetition ratio* —
     pairing scenario and calibration under the same instantaneous
     machine state makes the gated metric robust to host-speed drift
-    within and across runs."""
+    within and across runs.
+
+    ``samples > 1`` repeats the whole matrix that many times and merges
+    with :func:`median_of_samples` — the baseline-recording protocol as
+    one invocation."""
+    if samples > 1:
+        return median_of_samples([
+            simperf(
+                ranks=ranks, modes=modes, iters=iters,
+                include_warp_pair=include_warp_pair,
+                warp_iters=warp_iters, repeats=repeats,
+                include_shard_pair=include_shard_pair,
+                shard_ranks=shard_ranks, shard_nshards=shard_nshards,
+            )
+            for _ in range(samples)
+        ])
     calib = min(calibrate() for _ in range(3))
     rows: List[SimPerfRow] = []
 
@@ -396,7 +470,11 @@ def simperf(
         rows.append(best(lambda: run_scenario(
             WARP_RANKS, "warp", warp=True, warp_iters=warp_iters)))
     if include_shard_pair:
-        for mode in ("shard-exact", f"shard{shard_nshards}"):
+        for mode in (
+            "shard-exact",
+            f"shard{shard_nshards}",
+            f"shard{shard_nshards}-async",
+        ):
             rows.append(best(
                 lambda m=mode: run_scenario(shard_ranks, m, iters)
             ))
@@ -446,14 +524,21 @@ def shard_pair(
     nshards: int = SHARD_NSHARDS,
     iters: int = ITERS,
     repeats: int = 1,
+    flush_mode: str = "sync",
 ) -> Dict:
-    """Run the sharded speedup pair: the ``nranks`` sync scenario
+    """Run the sharded speedup pair: the ``nranks`` scenario
     single-process vs ``shards=nshards``, one calibration-paired
     measurement each (the pair is the CI shard smoke — it must fit the
-    perf-smoke budget, so no triple repetition at this scale)."""
+    perf-smoke budget, so no triple repetition at this scale).
+
+    ``flush_mode="async"`` runs the async-flush variant of both sides:
+    the sharded run then exercises the mirrored-flow protocol (every
+    background PFS flush visible to all shards), so its speedup gates
+    that the coordination cost does not eat the parallelism."""
+    suffix = "-async" if flush_mode == "async" else ""
     calib = min(calibrate() for _ in range(2))
     rows: List[SimPerfRow] = []
-    for mode in ("shard-exact", f"shard{nshards}"):
+    for mode in (f"shard-exact{suffix}", f"shard{nshards}{suffix}"):
         out = None
         norm = None
         for _ in range(repeats):

@@ -25,12 +25,31 @@ Semantics:
   gone (no time travel), the survivors only speed up from *now*.
 * **Determinism** — completions are engine events ordered by the global
   scheduling sequence, so runs remain reproducible byte-for-byte.
+
+Sharded simulation (``repro.harness.parallel``) decomposes a *shared*
+resource across worker processes by mirroring: the shard owning a flow
+runs it for real and exports ``("start", ...)`` / ``("cancel", ...)``
+records through :attr:`BandwidthResource.export_sink`; every other
+shard replays them as **mirror flows** — members of the active set that
+consume a bandwidth share (so the owned flows drain at exactly the
+sequential rate) but carry no callbacks, counters, or telemetry.  Two
+invariants make the replay exact:
+
+* admissions, completions, and cancellations mutate the active set at
+  identical sim times on every shard (starts are admitted at an absolute
+  ``admit_at_ns``; completions are recomputed locally from the identical
+  piecewise-constant rates; cancels are replayed at their recorded
+  instant), so every shard derives the same share timeline; and
+* same-instant ordering cannot matter: any event touching the lane first
+  *reaps* flows whose bytes already drained (completion wins over a
+  same-instant admit or cancel), making the outcome independent of the
+  intra-instant event order — which differs across shards.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.sim.engine import Engine, EventHandle, Trigger
 
@@ -48,10 +67,13 @@ class Flow:
         "requested_ns",
         "start_ns",
         "end_ns",
+        "admit_at_ns",
         "cancelled",
         "done",
         "on_done",
         "meta",
+        "gid",
+        "mirror",
     )
 
     def __init__(
@@ -68,10 +90,19 @@ class Flow:
         self.requested_ns = requested_ns  # when start_flow was called
         self.start_ns: Optional[int] = None  # when bytes started moving
         self.end_ns: Optional[int] = None
+        # Absolute admission time (requested + delay + latency): the
+        # instant the flow joins the sharing pool on *every* shard.
+        self.admit_at_ns: int = requested_ns
         self.cancelled = False
         self.done = Trigger(name=f"flow.{resource.name}")
         self.on_done = on_done
         self.meta = meta or {}
+        # Cross-shard identity of an exported flow (owner shard, seq) —
+        # None for flows on unshared lanes or in single-process runs.
+        self.gid: Optional[Tuple[int, int]] = None
+        # True for a replayed copy of another shard's flow: it occupies
+        # a bandwidth share but owns no counters, telemetry, or windows.
+        self.mirror = False
 
     @property
     def finished(self) -> bool:
@@ -111,7 +142,19 @@ class BandwidthResource:
         self._active: List[Flow] = []
         self._last_ns = engine.now
         self._tick: Optional[EventHandle] = None
-        # Counters (benchmarks/tests).
+        # Absolute time of the scheduled completion tick (None while the
+        # lane is idle) — a conservative lower bound on the next
+        # completion, used for the shard coordinator's hold points.
+        self.tick_at_ns: Optional[int] = None
+        # Sharded mirroring (repro.harness.parallel): when set, every
+        # real flow on this (shared) lane is announced through the sink
+        # as ("start", lane, gid, nbytes, admit_at_ns) and
+        # ("cancel", lane, gid, t_ns) records for the other shards.
+        self.export_sink: Optional[Callable[[tuple], None]] = None
+        self.shard_tag = 0
+        self._gid_seq = 0
+        # Counters (benchmarks/tests) — real flows only; mirrors of
+        # other shards' flows never touch them.
         self.flows_started = 0
         self.flows_completed = 0
         self.flows_cancelled = 0
@@ -139,29 +182,56 @@ class BandwidthResource:
         flow = Flow(self, nbytes, self.engine.now, on_done, meta)
         self.flows_started += 1
         lead = delay_ns + latency_ns
+        flow.admit_at_ns = self.engine.now + lead
+        if self.export_sink is not None and self.shared:
+            flow.gid = (self.shard_tag, self._gid_seq)
+            self._gid_seq += 1
+            self.export_sink(
+                ("start", self.name, flow.gid, nbytes, flow.admit_at_ns)
+            )
         if lead > 0:
             self.engine.schedule(lead, self._admit, flow)
         else:
             self._admit(flow)
         return flow
 
+    def mirror_flow(self, gid: Tuple[int, int], nbytes: int) -> Flow:
+        """A replayed copy of another shard's flow (sharded runs): it
+        joins the sharing pool via ``_admit`` at the exported admission
+        time and competes for bandwidth, but fires no user callbacks and
+        touches no counters or telemetry."""
+        flow = Flow(self, nbytes, self.engine.now, None, None)
+        flow.gid = gid
+        flow.mirror = True
+        return flow
+
     def cancel(self, flow: Flow) -> bool:
         """Abort a flow.  Time already spent is *not* refunded to anyone;
         survivors re-share the bandwidth from now on.  Returns False if
-        the flow already finished (nothing to cancel)."""
+        the flow already finished (nothing to cancel) — including a flow
+        whose bytes fully drained by *now* and is completed (reaped) on
+        the spot: completion beats a same-instant cancellation on every
+        shard regardless of intra-instant event order."""
         if flow.cancelled or flow.finished:
             return False
-        flow.cancelled = True
-        self.flows_cancelled += 1
-        if flow in self._active:
+        if self._active:
             self._advance()
-            self._active.remove(flow)
-            self._replan()
-            tele = self.engine.telemetry
-            if tele.enabled:
-                tele.storage_level(
-                    self.name, self.engine.now, len(self._active)
+            self._reap()
+            if flow.finished:
+                self._replan()
+                return False
+        flow.cancelled = True
+        if not flow.mirror:
+            self.flows_cancelled += 1
+            if self.export_sink is not None and flow.gid is not None:
+                self.export_sink(
+                    ("cancel", self.name, flow.gid, self.engine.now)
                 )
+        if flow in self._active:
+            self._active.remove(flow)
+            if not flow.mirror:
+                self._emit_level()
+        self._replan()
         return True
 
     # ------------------------------------------------------------------
@@ -169,15 +239,24 @@ class BandwidthResource:
         if flow.cancelled:
             return
         self._advance()
+        self._reap()
         flow.start_ns = self.engine.now
         if flow.remaining <= _EPS_BYTES:  # zero-byte flow: latency only
+            self._replan()
             self._complete(flow)
             return
         self._active.append(flow)
         self._replan()
+        if not flow.mirror:
+            self._emit_level()
+
+    def _emit_level(self) -> None:
+        """Occupancy sample: owned (non-mirror) flows only, so merged
+        sharded timelines account each real flow exactly once."""
         tele = self.engine.telemetry
         if tele.enabled:
-            tele.storage_level(self.name, self.engine.now, len(self._active))
+            level = sum(1 for f in self._active if not f.mirror)
+            tele.storage_level(self.name, self.engine.now, level)
 
     def _rate_bytes_per_ns(self) -> float:
         bw = self.bandwidth_bytes_per_s
@@ -195,40 +274,51 @@ class BandwidthResource:
                 f.remaining -= dt * rate
         self._last_ns = now
 
+    def _reap(self) -> None:
+        """Complete every active flow whose bytes already drained.
+
+        Called by any event touching the lane *before* it mutates the
+        active set, so a completion due at this instant lands at this
+        instant no matter whether the tick, an admit, or a cancel is
+        processed first — intra-instant event order differs across
+        shards (and between sequential and sharded runs) and must not
+        be observable."""
+        due = [f for f in self._active if f.remaining <= _EPS_BYTES]
+        if not due:
+            return
+        self._active = [f for f in self._active if f.remaining > _EPS_BYTES]
+        if any(not f.mirror for f in due):
+            self._emit_level()
+        for f in due:
+            self._complete(f)
+
     def _replan(self) -> None:
         """(Re)schedule the next completion event."""
         if self._tick is not None:
             self._tick.cancel()
             self._tick = None
+            self.tick_at_ns = None
         if not self._active:
             return
         rate = self._rate_bytes_per_ns()
         shortest = min(f.remaining for f in self._active)
         dt = max(1, math.ceil(max(0.0, shortest) / rate))
         self._tick = self.engine.schedule(dt, self._on_tick)
+        self.tick_at_ns = self.engine.now + dt
 
     def _on_tick(self) -> None:
         self._tick = None
+        self.tick_at_ns = None
         self._advance()
-        finished = [f for f in self._active if f.remaining <= _EPS_BYTES]
-        if finished:
-            self._active = [
-                f for f in self._active if f.remaining > _EPS_BYTES
-            ]
-            tele = self.engine.telemetry
-            if tele.enabled:
-                tele.storage_level(
-                    self.name, self.engine.now, len(self._active)
-                )
-            for f in finished:
-                self._complete(f)
+        self._reap()
         self._replan()
 
     def _complete(self, flow: Flow) -> None:
         flow.remaining = 0.0
         flow.end_ns = self.engine.now
-        self.flows_completed += 1
-        self.bytes_completed += flow.nbytes
+        if not flow.mirror:
+            self.flows_completed += 1
+            self.bytes_completed += flow.nbytes
         flow.done.fire(flow)
         if flow.on_done is not None:
             flow.on_done(flow)

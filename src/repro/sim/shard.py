@@ -41,7 +41,7 @@ from dataclasses import asdict
 from heapq import heappush as _heappush
 from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.core.recovery import RecoveryManager
+from repro.core.recovery import RecoveryManager, _FlowRestore
 from repro.mpi.context import RankContext
 from repro.mpi.runtime import World
 from repro.sim.network import Network, NetworkParams, Packet
@@ -205,19 +205,36 @@ class ShardRecoveryManager(RecoveryManager):
 
         The coordinator must not let any other shard advance past this
         time: executing the milestone emits same-instant remote actions
-        (survivor notifications on other shards)."""
-        return min(self._pending_at.values(), default=None)
+        (survivor notifications, flush cancellations on other shards).
+        Scheduled restarts hold at their known absolute time
+        (``_pending_at``); a flow-based restore's completion instant is
+        unknown until it happens, so it holds at the pipeline's next
+        event — a conservative bound that advances every window."""
+        bounds = list(self._pending_at.values())
+        for pending in self._pending_restart.values():
+            if isinstance(pending, _FlowRestore):
+                b = pending.next_event_ns()
+                if b is not None:
+                    bounds.append(b)
+        return min(bounds, default=None)
 
     def mirror_restart(
-        self, members: Tuple[int, ...], node: Optional[int]
+        self, cluster: int, members: Tuple[int, ...], node: Optional[int]
     ) -> None:
         """Non-owning shard's share of a completed restart: deliver the
         failure notification from this shard's survivors, and re-mirror
-        partner copies onto the returned node."""
+        partner copies onto the returned node.  Rebuild flows started
+        here re-replicate *this* shard's ranks' copies; their count is
+        recorded on the shard-local failure event so the coordinator's
+        merge sums to the sequential ``partner_rebuilds`` total."""
         failed = set(members)
         self._notify_survivors(failed)
         if node is not None and hasattr(self.spbc.storage, "rebuild_partner_copies"):
-            self.spbc.storage.rebuild_partner_copies(node)
+            started = self.spbc.storage.rebuild_partner_copies(node)
+            if started:
+                event = self._last_event.get(cluster)
+                if event is not None:
+                    event.partner_rebuilds += started
 
 
 class _ShardWorld(World):
@@ -281,6 +298,12 @@ def build_shard_world(plan) -> Tuple[World, "SPBC", Optional[ShardRecoveryManage
         manager.journal = hooks.journal
         for at_ns, rank, kind in plan.schedule:
             manager.inject_failure(at_ns, rank, kind=kind)
+    storage = hooks.storage
+    if storage is not None and getattr(storage, "flows_active", False):
+        # Async tiered storage: this shard's flows on shared lanes are
+        # exported to (and mirrored from) the other shards, so every
+        # shard computes the same piecewise-constant bandwidth shares.
+        storage.iosched.enable_shard_mirroring(plan.shard_id)
     return world, hooks, manager
 
 
@@ -313,6 +336,23 @@ def _summarize(world, spbc, manager, owned_ranks: FrozenSet[int]) -> Dict[str, A
         ),
         "pfs_write_windows": list(spbc.pfs_write_windows),
         "shared_flow_windows": list(storage.shared_flow_windows()),
+        # Background-flow accounting (async mode; zeros otherwise).
+        # Each shard counts only its own real flows, so the
+        # coordinator's sums equal the sequential counters.
+        "storage_counters": {
+            name: getattr(storage, name, 0)
+            for name in (
+                "flush_flows_started",
+                "flush_flows_completed",
+                "flush_flows_cancelled",
+                "rebuild_flows_started",
+                "rebuild_flows_completed",
+            )
+        },
+        # Rounds each owned rank could restore at the end of the run —
+        # the "drained rounds" observable (a flush that never landed is
+        # not restorable).
+        "drained_rounds": {r: list(storage.restorable_rounds(r)) for r in owned},
         "ckpt_stall_ns": sum(spbc.ckpt_stall_ns.values()),
         "overhead_ns": sum(world.runtimes[r].overhead_total_ns for r in owned),
         "compute_ns": sum(world.runtimes[r].compute_total_ns for r in owned),
@@ -346,16 +386,22 @@ def shard_worker_main(conn, plan) -> None:
 
     * worker -> coordinator: ``("report", dict)`` after every window,
       or ``("error", traceback_str)`` on any failure.
-    * coordinator -> worker: ``("grant", horizon_ns, imports, actions)``
-      to simulate up to (excluding) ``horizon_ns``, after injecting the
-      relayed ``imports`` and scheduling the restart-mirror ``actions``;
-      ``("finalize",)`` to reply with the merged summary and exit.
+    * coordinator -> worker:
+      ``("grant", horizon_ns, imports, actions, flow_records)`` to
+      simulate up to (excluding) ``horizon_ns``, after injecting the
+      relayed ``imports``, scheduling the restart-mirror ``actions``,
+      and scheduling the other shards' shared-lane ``flow_records``
+      (mirror admissions/cancellations — async storage only, else
+      empty); ``("finalize",)`` to reply with the merged summary and
+      exit.
     """
     try:
         world, spbc, manager = build_shard_world(plan)
         engine = world.engine
         net: ShardNetwork = world.network
         owned = plan.owned_ranks
+        iosched = getattr(spbc.storage, "iosched", None)
+        mirroring = iosched is not None and iosched.flow_outbox is not None
 
         def report() -> Dict[str, Any]:
             done = all(
@@ -376,6 +422,7 @@ def shard_worker_main(conn, plan) -> None:
                 "hold_ns": manager.hold_ns() if manager else None,
                 "exports": exports,
                 "milestones": manager.drain_milestones() if manager else [],
+                "flows": iosched.drain_flow_records() if mirroring else [],
                 "done": done,
                 "blocked": blocked,
                 "now_ns": engine.now,
@@ -387,9 +434,13 @@ def shard_worker_main(conn, plan) -> None:
             if msg[0] == "finalize":
                 conn.send(("summary", _summarize(world, spbc, manager, owned)))
                 return
-            _kind, horizon, imports, actions = msg
+            _kind, horizon, imports, actions, flow_records = msg
+            for rec in flow_records:
+                iosched.schedule_flow_record(rec)
             for at_ns, cluster, members, node in actions:
-                engine.schedule_at(at_ns, manager.mirror_restart, members, node)
+                engine.schedule_at(
+                    at_ns, manager.mirror_restart, cluster, members, node
+                )
             # Deterministic cross-source injection order: equal-arrival
             # imports from different shards get their delivery sequence
             # from this globally agreed sort, not from relay timing.

@@ -571,10 +571,13 @@ class TieredBackend(StorageBackend):
             self.rebuild_flows_completed += 1
             self._rebuilding.discard((rank, ckpt.round_no))
 
-    def _cancel_flow(self, flow: "Flow") -> None:
+    def _cancel_flow(self, flow: "Flow") -> bool:
         rank = flow.meta["rank"]
-        if self.iosched is not None:
-            self.iosched.cancel(flow)
+        if self.iosched is not None and not self.iosched.cancel(flow):
+            # The flow's bytes had fully drained by this very instant:
+            # the lane completed (reaped) it instead of cancelling —
+            # ``_flow_landed`` already ran and the copy is restorable.
+            return False
         live = self._inflight.get(rank)
         if live is not None and flow in live:
             live.remove(flow)
@@ -584,13 +587,14 @@ class TieredBackend(StorageBackend):
             self.flush_flows_cancelled += 1
         else:
             self._rebuilding.discard((rank, flow.meta["round_no"]))
+        return True
 
     def cancel_inflight_above(self, rank: int, round_no: int) -> int:
         cancelled = 0
         for flow in list(self._inflight.get(rank, [])):
             if flow.meta["round_no"] > round_no:
-                self._cancel_flow(flow)
-                cancelled += 1
+                if self._cancel_flow(flow):
+                    cancelled += 1
         return cancelled
 
     def shared_flow_windows(self) -> List[Tuple[int, int, int, int]]:

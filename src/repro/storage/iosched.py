@@ -45,6 +45,9 @@ class IOScheduler:
         self._tiers: Dict[str, StorageTier] = {}
         self._write: Dict[str, BandwidthResource] = {}
         self._read: Dict[str, BandwidthResource] = {}
+        # Every distinct lane by resource name ("pfs.write", "pfs.read",
+        # ...) — the key space of the cross-shard flow records.
+        self._lanes: Dict[str, BandwidthResource] = {}
         for t in tiers:
             self._tiers[t.name] = t
             self._write[t.name] = BandwidthResource(
@@ -65,6 +68,14 @@ class IOScheduler:
                     t.read_bandwidth_bytes_per_s or t.bandwidth_bytes_per_s,
                     shared=t.shared,
                 )
+            self._lanes[self._write[t.name].name] = self._write[t.name]
+            self._lanes[self._read[t.name].name] = self._read[t.name]
+        # Sharded mirroring (enable_shard_mirroring): records exported by
+        # this shard's real flows on shared lanes, drained once per
+        # window into the worker report, and the registry of mirror
+        # flows replaying the *other* shards' records locally.
+        self.flow_outbox: Optional[List[tuple]] = None
+        self._mirrors: Dict[Tuple[str, Tuple[int, int]], Flow] = {}
         # Completed write flows on *shared* tiers, as (start_ns, end_ns,
         # rank, round_no) windows — the measured (not assumed) PFS burst
         # timeline behind ``SPBC.peak_concurrent_pfs_writers``.
@@ -76,6 +87,50 @@ class IOScheduler:
 
     def tier(self, name: str) -> StorageTier:
         return self._tiers[name]
+
+    # -- sharded mirroring (repro.harness.parallel) --------------------
+    def enable_shard_mirroring(self, shard_id: int) -> None:
+        """Export every real flow on a *shared* lane as start/cancel
+        records (worker report -> coordinator -> other shards), so all
+        shards maintain identical active sets on the shared media.
+        Unshared lanes (per-node RAM/SSD, partner links) drain each flow
+        at full bandwidth regardless of the others, so their completion
+        times are shard-local facts that need no mirroring."""
+        self.flow_outbox = []
+        for res in self._lanes.values():
+            if res.shared:
+                res.shard_tag = shard_id
+                res.export_sink = self.flow_outbox.append
+
+    def drain_flow_records(self) -> List[tuple]:
+        out, self.flow_outbox = self.flow_outbox, []
+        return out
+
+    def schedule_flow_record(self, rec: tuple) -> None:
+        """Replay another shard's exported flow record: create the
+        mirror flow now and admit it at the exported absolute time, or
+        cancel it at the exported instant.  Admission safety is the
+        coordinator's lookahead cap (a shared tier's latency bounds the
+        window length), so ``admit_at_ns``/``t_ns`` never lie in this
+        shard's past."""
+        if rec[0] == "start":
+            _kind, lane, gid, nbytes, admit_at_ns = rec
+            res = self._lanes[lane]
+            key = (lane, tuple(gid))
+            flow = res.mirror_flow(key[1], nbytes)
+            self._mirrors[key] = flow
+            flow.on_done = lambda _f, key=key: self._mirrors.pop(key, None)
+            self.engine.schedule_at(admit_at_ns, res._admit, flow)
+        else:
+            _kind, lane, gid, t_ns = rec
+            self.engine.schedule_at(
+                t_ns, self._apply_mirror_cancel, lane, tuple(gid)
+            )
+
+    def _apply_mirror_cancel(self, lane: str, gid: Tuple[int, int]) -> None:
+        flow = self._mirrors.pop((lane, gid), None)
+        if flow is not None:
+            self._lanes[lane].cancel(flow)
 
     # ------------------------------------------------------------------
     def write(
@@ -198,6 +253,7 @@ class ChainRead:
         self.cancelled = False
         self._flow: Optional[Flow] = None
         self._pending: Optional[EventHandle] = None
+        self._pending_at: Optional[int] = None  # decompress completion
         self._next = 0
         self._step()
 
@@ -222,6 +278,22 @@ class ChainRead:
         if self._pending is not None:
             self._pending.cancel()
             self._pending = None
+            self._pending_at = None
+
+    def next_event_ns(self) -> Optional[int]:
+        """Conservative lower bound on this pipeline's next stage event
+        (decompress completion, pending flow admission, or the current
+        lane's next completion tick) — the shard coordinator's hold
+        point while a flow-based restore is in flight, recomputed every
+        window as the pipeline advances."""
+        if self._pending_at is not None:
+            return self._pending_at
+        flow = self._flow
+        if flow is not None:
+            if flow.start_ns is None:
+                return flow.admit_at_ns
+            return flow.resource.tick_at_ns
+        return None
 
     # ------------------------------------------------------------------
     def _step(self) -> None:
@@ -244,9 +316,11 @@ class ChainRead:
         self._next += 1
         if dec_ns > 0:
             self._pending = self.sched.engine.schedule(dec_ns, self._decompressed)
+            self._pending_at = self.sched.engine.now + dec_ns
         else:
             self._step()
 
     def _decompressed(self) -> None:
         self._pending = None
+        self._pending_at = None
         self._step()

@@ -297,7 +297,7 @@ def _journal_app():
     )
 
 
-def run_fuzz_journal_roundtrip(seed, spec, tmp_path):
+def run_fuzz_journal_roundtrip(seed, spec, tmp_path, shards=None):
     from repro.journal import Journal, replay_strict, resume
     from repro.journal.recorder import JournalWriter
 
@@ -316,6 +316,7 @@ def run_fuzz_journal_roundtrip(seed, spec, tmp_path):
             ranks_per_node=RPN,
             storage=spec,
             journal=journal,
+            shards=shards,
         )
 
     # record + strict replay
@@ -324,7 +325,7 @@ def run_fuzz_journal_roundtrip(seed, spec, tmp_path):
     assert out.results == ref.results
     journal = Journal.load(path)
     assert journal.complete
-    res = replay_strict(str(path))
+    res = replay_strict(str(path), shards=shards)
     assert res.makespan_ns == out.makespan_ns
     assert res.results == out.results
 
@@ -333,7 +334,7 @@ def run_fuzz_journal_roundtrip(seed, spec, tmp_path):
     torn_path = tmp_path / f"fuzz-{seed}-torn.journal"
     go(JournalWriter(str(torn_path), crash_at_lsn=kill_at))
     assert Journal.load(torn_path).torn_tail
-    resumed = resume(str(torn_path))
+    resumed = resume(str(torn_path), shards=shards)
     assert resumed.resimulated
     assert resumed.makespan_ns == out.makespan_ns
     assert resumed.results == out.results
@@ -355,6 +356,24 @@ def test_fuzz_journal_roundtrip(seed, spec, tmp_path):
 def test_fuzz_journal_roundtrip_deep(seed, spec, tmp_path):
     """Nightly slice: ten more seeds per backend, async flush included."""
     run_fuzz_journal_roundtrip(seed, spec, tmp_path)
+
+
+@pytest.mark.parametrize("spec", ASYNC_BACKENDS[:2])
+@pytest.mark.parametrize("seed", [1, 2])
+def test_fuzz_journal_roundtrip_sharded_async(seed, spec, tmp_path):
+    """PR-gate slice: the same record / strict-replay / kill-and-resume
+    property on the sharded engine with async-flush storage — the
+    mirrored-flow protocol must survive the journal round trip."""
+    run_fuzz_journal_roundtrip(seed, spec, tmp_path, shards=2)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("spec", BACKENDS + ASYNC_BACKENDS)
+@pytest.mark.parametrize("seed", range(10, 20))
+def test_fuzz_journal_roundtrip_sharded_deep(seed, spec, tmp_path):
+    """Nightly slice: every backend recorded, replayed, and resumed on
+    the sharded engine."""
+    run_fuzz_journal_roundtrip(seed, spec, tmp_path, shards=4)
 
 
 # ----------------------------------------------------------------------

@@ -113,6 +113,30 @@ def test_minife_warp_with_checkpoints():
     assert_equivalent(exact, warped, 16, check_rounds=True)
 
 
+def test_milc_warp_is_exact():
+    """The lattice-QCD app: 4-D torus ANY_SOURCE gathers and one CG
+    residual allreduce per iteration.  Its leading compute phase means
+    the analytic replay covers whole iterations (gather fold + residual
+    total per skipped j) — and must reproduce exact mode bit-for-bit."""
+    from repro.apps.milc import milc_app
+
+    factory = milc_app(iters=30, face_bytes=4096, compute_ns=400_000)
+    exact, warped = run_pair(factory, 30, 16, 4)
+    assert warped.world.warp.warped_iterations > 0, "warp never engaged"
+    assert_equivalent(exact, warped, 16)
+
+
+def test_milc_warp_with_checkpoints():
+    from repro.apps.milc import milc_app
+
+    factory = milc_app(iters=48, face_bytes=2048, compute_ns=300_000)
+    exact, warped = run_pair(
+        factory, 48, 16, 4, ckpt=20, storage="tiered:ram@1,pfs@2"
+    )
+    assert warped.world.warp.warped_iterations > 0
+    assert_equivalent(exact, warped, 16, check_rounds=True)
+
+
 def test_warp_with_checkpoints_preserves_commit_history():
     """Checkpoint rounds always run exact; warp covers the iterations in
     between (long cadence so the steady window is wide enough)."""
