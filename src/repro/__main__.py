@@ -295,11 +295,28 @@ def main(argv=None) -> int:
                 samples=args.samples,
             )
         print(sp.format_simperf(result, baseline))
+        # The event-queue microbenchmark rides along on every simperf
+        # run: both backends adjacent in this process, so the recorded
+        # wheel-vs-heap events/s ratios are host-independent evidence.
+        micro = sp.queue_microbench()
+        result["queue_microbench"] = micro
+        print()
+        print(sp.format_queue_microbench(micro))
         if args.json:
             with open(args.json, "w") as fh:
                 _json.dump(result, fh, indent=1)
             print(f"(wrote {args.json})")
         rc = 0
+        if args.quick:
+            # Event-queue crossover gate: the wheel must keep its
+            # deep-queue events/s lead over the heap reference.
+            problems = sp.check_queue_microbench(micro)
+            if problems:
+                for p in problems:
+                    print(f"PERF REGRESSION: {p}", file=sys.stderr)
+                rc = 1
+            else:
+                print("eventq microbenchmark: crossover gate passed")
         if args.quick and baseline is not None:
             problems = sp.check_regression(result, baseline)
             if problems:

@@ -22,7 +22,7 @@ Structure per V-cycle (down + up through ``levels`` grids):
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional
+from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.apps.base import (
     AppSpec,
@@ -75,6 +75,87 @@ def _coarse_partners(rank: int, size: int, level: int, fanout: int) -> List[int]
         out.append((rank + k * stride) % size)
         out.append((rank - k * stride) % size)
     return [p for p in dict.fromkeys(out) if p != rank]
+
+
+def _vcycle_path(levels: int) -> List[int]:
+    """Down sweep then up sweep (coarsest visited once)."""
+    return list(range(levels)) + list(range(levels - 2, -1, -1))
+
+
+def _fold_levels(
+    acc: int,
+    rank: int,
+    cyc: int,
+    path: List[int],
+    s0: int,
+    s1: int,
+    fine_levels: int,
+    fine_nb: List[int],
+    partners_at: Dict[int, List[int]],
+) -> int:
+    """Fold the exchange contributions of path positions ``[s0, s1)`` of
+    cycle ``cyc`` into ``acc`` exactly as the live loop would: fine halo
+    payloads in neighbor order, coarse requests order-insensitively
+    (``mix_unordered`` — arrival order is data-dependent but the fold is
+    commutative, which is what makes the Figure-4 pattern warpable at
+    all), coarse replies in partner order."""
+    for s in range(s0, s1):
+        lvl = path[s]
+        if lvl < fine_levels:
+            for nb in fine_nb:
+                acc = mix(acc, mix(0, nb, rank, cyc, lvl))
+        else:
+            partners = partners_at[lvl]
+            acc = mix_unordered(
+                acc, [mix(0, q, rank, cyc, lvl) for q in partners]
+            )
+            for p in partners:
+                acc = mix(acc, mix(0, mix(0, rank, p, cyc, lvl)))
+    return acc
+
+
+#: (size, levels, fine_levels, coarse_fanout) -> (per-rank accumulators
+#: after the last tabulated cycle, per-cycle residual allreduce totals).
+#: Deterministic and shared by every rank: computed once per geometry,
+#: extended on demand.
+_TOTALS_CACHE: Dict[
+    Tuple[int, int, int, int], Tuple[List[int], List[int]]
+] = {}
+
+
+def _cycle_totals(
+    size: int, levels: int, fine_levels: int, coarse_fanout: int, upto: int
+) -> List[int]:
+    """Residual allreduce totals for cycles ``0..upto-1``, by replaying
+    every rank's accumulator analytically.
+
+    This is amg's warp-contract fast-forward state: a jumped rank folds
+    these totals (and its own exchange payloads) instead of running the
+    skipped V-cycles' communication."""
+    key = (size, levels, fine_levels, coarse_fanout)
+    accs, totals = _TOTALS_CACHE.setdefault(key, ([0] * size, []))
+    if len(totals) < upto:
+        path = _vcycle_path(levels)
+        npos = len(path)
+        fine_nb_of = [_fine_neighbors(r, size) for r in range(size)]
+        partners_of: List[Dict[int, List[int]]] = [
+            {
+                lvl: _coarse_partners(r, size, lvl - fine_levels, coarse_fanout)
+                for lvl in range(fine_levels, levels)
+            }
+            for r in range(size)
+        ]
+        for j in range(len(totals), upto):
+            for r in range(size):
+                accs[r] = _fold_levels(
+                    accs[r], r, j, path, 0, npos,
+                    fine_levels, fine_nb_of[r], partners_of[r],
+                )
+            total = sum((a >> 7) & 0xFFFF for a in accs)
+            for r in range(size):
+                accs[r] = mix(accs[r], total)
+            totals.append(total)
+    return totals
 
 
 def amg_app(
@@ -147,14 +228,53 @@ def amg_app(
             ctx.end_iteration(pid)
             return payloads, [s.payload for s in replies]
 
-        for cyc in range(start, cycles):
+        # Warp contract: the periodicity detector may anchor at *any*
+        # level compute (a rank inside a coarse exchange vetoes the
+        # snapshot through its posted receives, so anchors always sit on
+        # a level boundary, before that level's communication).  Each
+        # rank therefore consumes ``warp_jump()`` immediately after
+        # every level compute and fast-forwards position-aware: the rest
+        # of the current cycle, the skipped whole cycles, and the
+        # already-executed prefix of the landing cycle are folded
+        # analytically before communication resumes with the post-jump
+        # cycle index.
+        ctx.declare_warpable()
+        path = _vcycle_path(levels)
+        partners_at = {
+            lvl: _coarse_partners(ctx.rank, n, lvl - fine_levels, coarse_fanout)
+            for lvl in range(fine_levels, levels)
+        }
+        npos = len(path)
+        cyc = start
+        while cyc < cycles:
             yield from ctx.maybe_checkpoint(
                 lambda cyc=cyc, acc=acc: {"iter": cyc, "acc": acc}
             )
-            # Down sweep then up sweep (coarsest visited once).
-            path = list(range(levels)) + list(range(levels - 2, -1, -1))
-            for lvl in path:
+            s = 0
+            while s < npos:
+                lvl = path[s]
                 yield from ctx.compute(level_compute(lvl, cyc))
+                jump = ctx.warp_jump()
+                if jump:
+                    totals = _cycle_totals(
+                        n, levels, fine_levels, coarse_fanout, cyc + jump
+                    )
+                    acc = _fold_levels(
+                        acc, ctx.rank, cyc, path, s, npos,
+                        fine_levels, fine_nb, partners_at,
+                    )
+                    acc = mix(acc, totals[cyc])
+                    for j in range(cyc + 1, cyc + jump):
+                        acc = _fold_levels(
+                            acc, ctx.rank, j, path, 0, npos,
+                            fine_levels, fine_nb, partners_at,
+                        )
+                        acc = mix(acc, totals[j])
+                    acc = _fold_levels(
+                        acc, ctx.rank, cyc + jump, path, 0, s,
+                        fine_levels, fine_nb, partners_at,
+                    )
+                    cyc += jump
                 if lvl < fine_levels:
                     payloads = yield from fine_exchange(lvl, cyc)
                     for p in payloads:
@@ -164,11 +284,13 @@ def amg_app(
                     acc = mix_unordered(acc, got)
                     for p in replies:
                         acc = mix(acc, p)
+                s += 1
             # Residual norm.
             total = yield from ctx.allreduce(
                 (acc >> 7) & 0xFFFF, lambda a, b: a + b, nbytes=8
             )
             acc = mix(acc, total)
+            cyc += 1
         return acc
 
     return factory

@@ -40,6 +40,12 @@ report instead of failing).
 and reports per-scenario medians — the committed-baseline recording
 protocol in one invocation (:func:`median_of_samples`).
 
+Plus the event-queue microbenchmark (:func:`queue_microbench`): the
+classic hold model run head-to-head on both queue backends
+(``repro.sim.eventq``), whose deep-queue wheel-vs-heap events/s ratio
+is the crossover evidence for the calendar-queue default and a CI gate
+(:func:`check_queue_microbench`).
+
 Hardware normalization
 ----------------------
 Raw wall-clock is machine-dependent, so each run also times a fixed
@@ -99,6 +105,23 @@ QUICK_SCENARIOS = (
 
 #: Perf-smoke regression threshold on the normalized cost.
 REGRESSION_THRESHOLD = 0.30
+
+#: Queue microbenchmark (the event-queue swap's evidence): the classic
+#: hold model — steady queue depth, every pop reschedules itself an
+#: exponential increment ahead — at these depths.  The smallest depth
+#: brackets the Tier-1 workloads (hundreds of pending events), the
+#: middle one the 4096-rank shard scenarios (~5k), and the deepest is
+#: where the heap's O(log n) sift + cache misses separate decisively
+#: from the wheel's O(1) buckets.
+QUEUE_BENCH_DEPTHS = (1_000, 16_000, 260_000)
+QUEUE_BENCH_OPS = 200_000
+QUEUE_BENCH_MEAN_GAP_NS = 1_000
+#: The gate: at the deepest configured depth the wheel must beat the
+#: heap by this events/s factor (measured ~2.9-3.3x on dev hosts; the
+#: two backends run adjacently in one process, so the ratio cancels
+#: host speed).  A drop below means the calendar queue's hot path or
+#: its calibration triggers regressed.
+QUEUE_CROSSOVER_RATIO = 1.5
 
 
 @dataclass
@@ -344,6 +367,112 @@ def format_telemetry_overhead(pair: Dict) -> str:
         f"{pair['baseline_wall_s'] * 1e3:.1f} ms, wired-but-off "
         f"{pair['wired_off_wall_s'] * 1e3:.1f} ms, median pair ratio "
         f"{pair['overhead'] * 100:+.1f}%"
+    )
+
+
+def _hold_once(queue, depth: int, nops: int, seed: int) -> float:
+    """One hold-model run: fill to ``depth``, then ``nops`` pop+push
+    pairs, each pop rescheduling itself ``+Exp(mean gap)`` ahead.  The
+    rng is reseeded per run so every backend replays the identical
+    event stream.  Returns the wall seconds for the timed pairs."""
+    import random
+
+    rng = random.Random(seed)
+    expo = rng.expovariate
+    rate = 1.0 / QUEUE_BENCH_MEAN_GAP_NS
+    push = queue.push
+    pop = queue.pop
+    seq = 0
+    for _ in range(depth):
+        seq += 1
+        push((int(expo(rate)) + 1, seq, None, None, ()))
+    gc.collect()
+    t0 = time.perf_counter()
+    for _ in range(nops):
+        item = pop()
+        seq += 1
+        push((item[0] + int(expo(rate)) + 1, seq, None, None, ()))
+    return time.perf_counter() - t0
+
+
+def queue_microbench(
+    depths: Sequence[int] = QUEUE_BENCH_DEPTHS,
+    nops: int = QUEUE_BENCH_OPS,
+    rounds: int = 2,
+    seed: int = 42,
+) -> Dict:
+    """Head-to-head event-queue benchmark: the hold model on each
+    backend, adjacent in one process so the per-depth events/s ratio
+    cancels host speed.  This is the crossover evidence for the
+    calendar-queue tentpole: the heap pays O(log n) sifts that grow
+    with depth, the wheel's bucket ops stay flat — and
+    :func:`check_queue_microbench` gates that the separation at the
+    deepest depth stays above :data:`QUEUE_CROSSOVER_RATIO`."""
+    from repro.sim.eventq import BACKENDS
+
+    rows: List[Dict] = []
+    for depth in depths:
+        walls = {name: [] for name in BACKENDS}
+        for r in range(rounds):
+            # Alternate order round to round so drift favors neither.
+            order = list(BACKENDS) if r % 2 == 0 else list(BACKENDS)[::-1]
+            for name in order:
+                walls[name].append(
+                    _hold_once(BACKENDS[name](), depth, nops, seed)
+                )
+        best = {name: min(w) for name, w in walls.items()}
+        row = {"depth": depth, "ops": nops}
+        for name, wall in best.items():
+            row[name] = {
+                "wall_s": wall,
+                "ns_per_op": wall / nops * 1e9,
+                "events_per_sec": nops / wall if wall > 0 else 0.0,
+            }
+        row["wheel_speedup"] = (
+            best["heap"] / best["wheel"] if best.get("wheel") else 0.0
+        )
+        rows.append(row)
+    return {"mean_gap_ns": QUEUE_BENCH_MEAN_GAP_NS, "rows": rows}
+
+
+def check_queue_microbench(
+    result: Dict, min_ratio: float = QUEUE_CROSSOVER_RATIO
+) -> List[str]:
+    """Gate the deepest hold-model depth's wheel-vs-heap events/s."""
+    deepest = max(result["rows"], key=lambda r: r["depth"])
+    if deepest["wheel_speedup"] < min_ratio:
+        return [
+            f"eventq hold model at depth {deepest['depth']}: wheel "
+            f"{deepest['wheel']['events_per_sec'] / 1e3:.0f} kev/s is only "
+            f"{deepest['wheel_speedup']:.2f}x the heap's "
+            f"{deepest['heap']['events_per_sec'] / 1e3:.0f} kev/s "
+            f"(required {min_ratio:.2f}x)"
+        ]
+    return []
+
+
+def format_queue_microbench(result: Dict) -> str:
+    headers = [
+        "depth", "heap ns/op", "wheel ns/op", "heap kev/s", "wheel kev/s",
+        "wheel speedup",
+    ]
+    body = [
+        [
+            r["depth"],
+            r["heap"]["ns_per_op"],
+            r["wheel"]["ns_per_op"],
+            r["heap"]["events_per_sec"] / 1e3,
+            r["wheel"]["events_per_sec"] / 1e3,
+            f"{r['wheel_speedup']:.2f}x",
+        ]
+        for r in result["rows"]
+    ]
+    return format_table(
+        headers,
+        body,
+        title="eventq microbenchmark: hold model, pop+reschedule "
+        f"(+Exp mean {result['mean_gap_ns']} ns)",
+        float_fmt="{:.1f}",
     )
 
 

@@ -149,7 +149,7 @@ class Telemetry:
     def start_queue_sampler(self, engine) -> None:
         """Schedule the self-rescheduling queue-depth sampler.
 
-        The sampler re-arms only while the heap holds *other* events
+        The sampler re-arms only while the queue holds *other* events
         (its own entry is already popped when it fires), so it never
         keeps an otherwise-drained engine alive: ``run()`` still
         terminates, deadlock detection still fires, and a shard worker
@@ -162,9 +162,9 @@ class Telemetry:
         interval = self.queue_sample_interval_ns
 
         def _sample() -> None:
-            heap = engine._heap
-            self.queue_depth(engine.now, len(heap))
-            if heap:
+            depth = engine.pending_events
+            self.queue_depth(engine.now, depth)
+            if depth:
                 engine.schedule_fast(interval, _sample)
 
         engine.schedule_fast(0, _sample)

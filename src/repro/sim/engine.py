@@ -2,10 +2,13 @@
 
 Design notes
 ------------
-* The event queue is a binary heap of ``(time_ns, seq, handle, fn, args)``
+* The pending-event set holds ``(time_ns, seq, handle, fn, args)`` tuples
   where ``seq`` is a global monotone counter assigned at scheduling time.
   Two events at the same virtual time therefore fire in scheduling order,
-  making whole executions reproducible byte-for-byte.
+  making whole executions reproducible byte-for-byte.  The container is a
+  pluggable :mod:`repro.sim.eventq` backend — an adaptive calendar queue
+  by default, the classic binary heap under ``REPRO_EVENTQ=heap`` — both
+  draining in identical ``(time_ns, seq)`` order.
 * Blocking is expressed with :class:`Trigger` objects.  A process
   generator yields a trigger and is resumed with ``trigger.value`` once it
   fires.  Triggers are single-fire.  ``AnyOf``/``AllOf`` compose them.
@@ -30,12 +33,10 @@ Fast paths (profiled on the Tier-1 workloads, see
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Dict, Iterable, List, Optional
-
-from heapq import heappush as _heappush
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
 
 from repro.obs import NULL_TELEMETRY
+from repro.sim.eventq import make_event_queue
 
 
 class SimError(RuntimeError):
@@ -68,7 +69,8 @@ class Engine:
 
     __slots__ = (
         "now",
-        "_heap",
+        "_eq",
+        "_push",
         "_seq",
         "_running",
         "_stopped",
@@ -81,7 +83,10 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: List[tuple] = []
+        # Pending-event set (repro.sim.eventq); _push is the bound insert
+        # method, cached because every scheduling path goes through it.
+        self._eq = make_event_queue()
+        self._push = self._eq.push
         self._seq: int = 0
         self._running = False
         self._stopped = False
@@ -112,7 +117,7 @@ class Engine:
             raise ValueError(f"negative delay {delay_ns}")
         handle = EventHandle()
         self._seq += 1
-        _heappush(self._heap, (self.now + delay_ns, self._seq, handle, fn, args))
+        self._push((self.now + delay_ns, self._seq, handle, fn, args))
         return handle
 
     def schedule_fast(
@@ -126,7 +131,7 @@ class Engine:
         if delay_ns < 0:
             raise ValueError(f"negative delay {delay_ns}")
         self._seq += 1
-        _heappush(self._heap, (self.now + delay_ns, self._seq, None, fn, args))
+        self._push((self.now + delay_ns, self._seq, None, fn, args))
 
     def schedule_at(
         self, time_ns: int, fn: Callable[..., None], *args: Any
@@ -143,7 +148,7 @@ class Engine:
         if time_ns < self.now:
             raise ValueError(f"cannot schedule in the past ({time_ns} < {self.now})")
         self._seq += 1
-        _heappush(self._heap, (time_ns, self._seq, None, fn, args))
+        self._push((time_ns, self._seq, None, fn, args))
 
     def timeout(self, delay_ns: int) -> "Trigger":
         """A trigger that fires ``delay_ns`` from now (virtual sleep).
@@ -164,6 +169,10 @@ class Engine:
         before the deadline (in practice: yield it in the same event that
         created it) and must not compose it into AnyOf/AllOf or read it
         after it fired."""
+        if delay_ns < 0:
+            # Validate before touching the pool so a raise cannot strand a
+            # reset trigger outside the free list.
+            raise ValueError(f"negative delay {delay_ns}")
         pool = self._timeout_pool
         if pool:
             trig = pool.pop()
@@ -172,7 +181,7 @@ class Engine:
         else:
             trig = _Timeout(pool)
         self._seq += 1
-        _heappush(self._heap, (self.now + delay_ns, self._seq, None, trig.fire, ()))
+        self._push((self.now + delay_ns, self._seq, None, trig.fire, ()))
         return trig
 
     # ------------------------------------------------------------------
@@ -195,43 +204,67 @@ class Engine:
         self._running = True
         self._stopped = False
         executed = 0
-        heap = self._heap
-        pop = heapq.heappop
+        eq = self._eq
+        pop = eq.pop
         try:
             if until_ns is None and max_events is None:
                 # Hot loop: no deadline, no event budget — the common case
                 # for full-run simulations.
-                while heap:
+                while True:
                     if self._stopped:
                         break
-                    time_ns, _seq, handle, fn, args = pop(heap)
+                    item = pop()
+                    if item is None:
+                        break
+                    time_ns, _seq, handle, fn, args = item
+                    if handle is not None and handle.cancelled:
+                        continue
+                    self.now = time_ns
+                    fn(*args)
+                    executed += 1
+            elif max_events is None:
+                # Deadline-only loop (the windowed PDES shard hot path):
+                # a fused peek+pop keeps it at one queue call per event.
+                pop_until = eq.pop_until
+                while True:
+                    if self._stopped:
+                        break
+                    item = pop_until(until_ns)
+                    if item is None:
+                        if eq.peek_time() is not None:
+                            self.now = until_ns
+                        break
+                    time_ns, _seq, handle, fn, args = item
                     if handle is not None and handle.cancelled:
                         continue
                     self.now = time_ns
                     fn(*args)
                     executed += 1
             else:
-                while heap:
+                peek = eq.peek_time
+                while True:
                     if self._stopped:
                         break
-                    time_ns = heap[0][0]
+                    time_ns = peek()
+                    if time_ns is None:
+                        break
                     if until_ns is not None and time_ns > until_ns:
                         self.now = until_ns
                         break
-                    time_ns, _seq, handle, fn, args = pop(heap)
+                    time_ns, _seq, handle, fn, args = pop()
                     if handle is not None and handle.cancelled:
                         continue
                     self.now = time_ns
                     fn(*args)
                     executed += 1
-                    if max_events is not None and executed >= max_events:
+                    if executed >= max_events:
                         raise SimError(
                             f"exceeded max_events={max_events}; likely livelock"
                         )
         finally:
             self._running = False
             self.events_executed += executed
-        if detect_deadlock and not self._stopped and not self._heap:
+        if detect_deadlock and not self._stopped and not len(self._eq):
             stuck = [p for p in self.processes if getattr(p, "is_blocked", False)]
             if stuck:
                 names = ", ".join(str(getattr(p, "name", p)) for p in stuck[:8])
@@ -246,35 +279,32 @@ class Engine:
 
     @property
     def pending_events(self) -> int:
-        return len(self._heap)
+        return len(self._eq)
 
     def next_event_time(self) -> Optional[int]:
         """Virtual time of the earliest live pending event, or ``None``.
 
-        Pops cancelled handles off the heap head so the answer is exact —
-        the lower bound the conservative shard coordinator
+        Discards cancelled handles at the queue head so the answer is
+        exact — the lower bound the conservative shard coordinator
         (:mod:`repro.harness.parallel`) builds its safe horizon from."""
-        heap = self._heap
-        while heap:
-            head = heap[0]
-            handle = head[2]
-            if handle is not None and handle.cancelled:
-                heapq.heappop(heap)
-                continue
-            return head[0]
-        return None
+        return self._eq.next_live_time()
+
+    def iter_pending(self) -> Iterator[tuple]:
+        """Iterate the pending ``(time_ns, seq, handle, fn, args)`` tuples
+        in unspecified order (cancelled events may still appear).  The
+        warp detector's quiescence probe reads the queue through this."""
+        return iter(self._eq)
 
     # ------------------------------------------------------------------
     # Warp support (see repro.sim.warp): shift every pending event and
     # the clock by a constant.  Adding the same delta to every key
-    # preserves the heap invariant and all same-time sequencing exactly.
+    # preserves all same-time sequencing exactly; the calendar backend
+    # does it in O(1) by rebasing its epoch offset.
     # ------------------------------------------------------------------
     def shift_pending(self, delta_ns: int) -> None:
         if delta_ns < 0:
             raise ValueError(f"negative warp shift {delta_ns}")
-        heap = self._heap  # mutate in place: run() holds a local alias
-        for i, (t, seq, handle, fn, args) in enumerate(heap):
-            heap[i] = (t + delta_ns, seq, handle, fn, args)
+        self._eq.shift_all(delta_ns)
         self.now += delta_ns
 
 

@@ -30,8 +30,6 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from heapq import heappush as _heappush
-
 from repro.sim.engine import Engine
 from repro.util.units import KB, US
 
@@ -226,7 +224,7 @@ class Network:
         # in-flight table, and the delivery event no-ops on the miss.
         # (schedule_at_fast inlined — arrival >= now by construction.)
         engine._seq += 1
-        _heappush(engine._heap, (arrival, engine._seq, None, self._deliver, (fid,)))
+        engine._push((arrival, engine._seq, None, self._deliver, (fid,)))
         self._in_flight[fid] = pkt
         self.packets_sent += 1
         self.bytes_sent += nbytes

@@ -38,7 +38,6 @@ from __future__ import annotations
 
 import traceback
 from dataclasses import asdict
-from heapq import heappush as _heappush
 from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.recovery import RecoveryManager, _FlowRestore
@@ -120,7 +119,7 @@ class ShardNetwork(Network):
         fid = self._flight_ids = self._flight_ids + 1
         engine = self.engine
         engine._seq += 1
-        _heappush(engine._heap, (arrives_at, engine._seq, None, self._deliver, (fid,)))
+        engine._push((arrives_at, engine._seq, None, self._deliver, (fid,)))
         self._in_flight[fid] = pkt
 
 

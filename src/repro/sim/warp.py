@@ -211,7 +211,7 @@ class WarpController:
         # any other event (failure injection, storage flow tick, stale
         # wake of a killed incarnation, composed timeout) vetoes warp.
         wake_offsets: Dict[int, int] = {}
-        for time_ns, _seq, handle, fn, _args in engine._heap:
+        for time_ns, _seq, handle, fn, _args in engine.iter_pending():
             if handle is not None:
                 if handle.cancelled:
                     continue

@@ -51,6 +51,22 @@ def test_cancelled_handle_skips_only_that_event():
     assert fired == ["fast"]
 
 
+def test_timeout_pooled_rejects_negative_delay_without_leaking():
+    """timeout_pooled validates like the other schedule entry points —
+    and the raise happens before pool checkout, so a rejected call never
+    strands a reset trigger outside the free list."""
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.timeout_pooled(-1)
+    assert eng._timeout_pool == []
+    t = eng.timeout_pooled(5)
+    eng.run()
+    assert eng._timeout_pool == [t]
+    with pytest.raises(ValueError):
+        eng.timeout_pooled(-7)
+    assert eng._timeout_pool == [t]  # the pooled trigger was not consumed
+
+
 def test_pooled_timeouts_recycle_through_the_free_list():
     eng = Engine()
     t1 = eng.timeout_pooled(5)

@@ -137,6 +137,49 @@ def test_milc_warp_with_checkpoints():
     assert_equivalent(exact, warped, 16, check_rounds=True)
 
 
+def test_amg_warp_is_exact():
+    """The V-cycle app with Fig.4 ANY_SOURCE coarse exchanges: the
+    detector may anchor at *any* level compute, so amg's position-aware
+    analytic replay (rest-of-cycle + whole cycles + landing-cycle
+    prefix, with cached residual totals) must reproduce exact mode
+    bit-for-bit.  Balanced compute (``imbalance=0.0``) makes the cycles
+    periodic; the default jitter keeps production runs exact-only."""
+    from repro.apps.amg import amg_app
+
+    factory = amg_app(
+        cycles=24, levels=4, fine_levels=2, compute_l0_ns=400_000,
+        imbalance=0.0,
+    )
+    exact, warped = run_pair(factory, 24, 16, 4)
+    assert warped.world.warp.warped_iterations > 0, "warp never engaged"
+    assert_equivalent(exact, warped, 16)
+
+
+def test_amg_warp_with_checkpoints():
+    from repro.apps.amg import amg_app
+
+    factory = amg_app(
+        cycles=40, levels=4, fine_levels=2, compute_l0_ns=300_000,
+        imbalance=0.0,
+    )
+    exact, warped = run_pair(
+        factory, 40, 16, 4, ckpt=16, storage="tiered:ram@1,pfs@2"
+    )
+    assert warped.world.warp.warped_iterations > 0
+    assert_equivalent(exact, warped, 16, check_rounds=True)
+
+
+def test_amg_default_imbalance_declines_warp():
+    """With the default per-level load imbalance the cycle deltas never
+    repeat: the declared contract must silently stay exact."""
+    from repro.apps.amg import amg_app
+
+    factory = amg_app(cycles=8, levels=4, fine_levels=2, compute_l0_ns=300_000)
+    exact, warped = run_pair(factory, 8, 16, 4)
+    assert warped.world.warp.warps == 0
+    assert_equivalent(exact, warped, 16)
+
+
 def test_warp_with_checkpoints_preserves_commit_history():
     """Checkpoint rounds always run exact; warp covers the iterations in
     between (long cadence so the steady window is wide enough)."""

@@ -15,7 +15,12 @@ about):
   clusters (every message logged), no checkpointing;
 * ``sync``    — coordinated checkpoints every 4 iterations against a
   ram+pfs plan (collective-heavy);
-* ``halo``    — the 2-D halo exchange (waitall-heavy).
+* ``halo``    — the 2-D halo exchange (waitall-heavy);
+* ``eventq``  — not a simulation: the hold-model event-queue
+  microbenchmark head-to-head on both queue backends
+  (``repro.harness.simperf.queue_microbench``), then a cProfile of the
+  calendar queue at the deepest depth — where the bucket hot path's
+  time actually goes.
 
 Output: raw wall-clock (profiler off), events/sec, then the cProfile
 top-N by the requested sort key.
@@ -34,7 +39,7 @@ from repro.core.clusters import ClusterMap
 from repro.core.protocol import SPBCConfig
 from repro.harness.runner import run_spbc
 
-WORKLOADS = ("logging", "sync", "halo")
+WORKLOADS = ("logging", "sync", "halo", "eventq")
 
 
 def build(workload: str, nranks: int):
@@ -59,7 +64,33 @@ def build(workload: str, nranks: int):
     raise SystemExit(f"unknown workload {workload!r} (pick from {WORKLOADS})")
 
 
+def profile_eventq(sort: str, top: int) -> None:
+    from repro.harness.simperf import (
+        QUEUE_BENCH_DEPTHS,
+        QUEUE_BENCH_OPS,
+        _hold_once,
+        format_queue_microbench,
+        queue_microbench,
+    )
+    from repro.sim.eventq import CalendarEventQueue
+
+    print("== eventq: hold-model microbenchmark (both backends) ==")
+    print(format_queue_microbench(queue_microbench()))
+    depth = max(QUEUE_BENCH_DEPTHS)
+    pr = cProfile.Profile()
+    pr.enable()
+    _hold_once(CalendarEventQueue(), depth, QUEUE_BENCH_OPS, seed=42)
+    pr.disable()
+    print(f"-- cProfile of the calendar queue at depth {depth} --")
+    buf = io.StringIO()
+    pstats.Stats(pr, stream=buf).sort_stats(sort).print_stats(top)
+    print(buf.getvalue())
+
+
 def profile_one(workload: str, nranks: int, sort: str, top: int) -> None:
+    if workload == "eventq":
+        profile_eventq(sort, top)
+        return
     run = build(workload, nranks)
     # Raw wall first (profiler overhead excluded), best of 3.
     wall = min(_timed(run) for _ in range(3))
